@@ -1,0 +1,140 @@
+"""Benchmark: ablations of the design choices DESIGN.md calls out.
+
+Placement heuristic, Fail-In-Place effectiveness, adoption rule, growth
+buffer policy, and the reused-DDR4 (CXL) share.
+"""
+
+from repro.allocation.traces import TraceParams, generate_trace
+from repro.analysis.ablations import (
+    adoption_rule_ablation,
+    buffer_policy_ablation,
+    cxl_fraction_sweep,
+    fip_sweep,
+    placement_policy_ablation,
+)
+from repro.core.tables import render_table
+
+from conftest import run_once
+
+
+def _trace():
+    return generate_trace(
+        seed=21, params=TraceParams(duration_days=7, mean_concurrent_vms=400)
+    )
+
+
+def test_ablation_placement(benchmark, save):
+    results = run_once(benchmark, lambda: placement_policy_ablation(_trace()))
+    table = render_table(
+        ["policy", "servers", "core density", "memory density"],
+        [
+            [r.policy, r.servers_needed, r.mean_core_density,
+             r.mean_memory_density]
+            for r in results
+        ],
+        title="Ablation: placement heuristic (production = best-fit)",
+    )
+    save("ablation_placement.txt", table)
+    by_policy = {r.policy: r for r in results}
+    assert (
+        by_policy["best-fit"].servers_needed
+        <= by_policy["worst-fit"].servers_needed
+    )
+
+
+def test_ablation_fip(benchmark, save):
+    results = run_once(benchmark, fip_sweep)
+    table = render_table(
+        ["FIP effectiveness", "baseline repairs/100", "GreenSKU repairs/100",
+         "GreenSKU premium"],
+        [
+            [r.effectiveness, r.baseline_repair_rate, r.greensku_repair_rate,
+             r.greensku_overhead]
+            for r in results
+        ],
+        title="Ablation: Fail-In-Place effectiveness (paper assumes 0.75)",
+    )
+    save("ablation_fip.txt", table)
+    assert results[-1].greensku_overhead == 0.0
+
+
+def test_ablation_adoption(benchmark, save):
+    results = run_once(benchmark, lambda: adoption_rule_ablation(_trace()))
+    table = render_table(
+        ["rule", "cluster savings", "green servers", "baseline servers"],
+        [
+            [r.rule, f"{r.cluster_savings:.1%}", r.green_servers,
+             r.baseline_servers]
+            for r in results
+        ],
+        title=(
+            "Ablation: adoption rule ('always' ignores SLOs — its savings "
+            "are not like-for-like)"
+        ),
+    )
+    save("ablation_adoption.txt", table)
+    by_rule = {r.rule: r for r in results}
+    assert by_rule["carbon-aware"].cluster_savings > 0
+
+
+def test_ablation_buffer(benchmark, save):
+    results = run_once(benchmark, lambda: buffer_policy_ablation(20, 40))
+    table = render_table(
+        ["policy", "baseline buffer", "green buffer", "buffer kgCO2e"],
+        [
+            [r.policy, r.baseline_buffer_servers, r.green_buffer_servers,
+             r.buffer_carbon_kg]
+            for r in results
+        ],
+        title="Ablation: growth-buffer policy",
+    )
+    save("ablation_buffer.txt", table)
+    single, dual = results
+    assert single.buffer_carbon_kg >= dual.buffer_carbon_kg
+
+
+def test_ablation_cxl_fraction(benchmark, save):
+    results = run_once(benchmark, cxl_fraction_sweep)
+    table = render_table(
+        ["CXL DIMMs", "CXL fraction", "kgCO2e/core", "savings vs baseline"],
+        [
+            [r.cxl_dimms, r.cxl_fraction, r.total_per_core,
+             f"{r.savings_vs_baseline:.1%}"]
+            for r in results
+        ],
+        title="Ablation: share of memory behind reused CXL DDR4",
+    )
+    save("ablation_cxl_fraction.txt", table)
+    savings = [r.savings_vs_baseline for r in results]
+    assert savings == sorted(savings)
+
+
+def test_ablation_lifetime_segregation(benchmark, save):
+    from repro.allocation.lifetimes import (
+        segregation_study,
+        stranded_capacity_fraction,
+    )
+
+    trace = _trace()
+
+    def run():
+        return (
+            segregation_study(trace),
+            stranded_capacity_fraction(trace),
+        )
+
+    outcome, stranded = run_once(benchmark, run)
+    text = "\n".join(
+        [
+            "Ablation: lifetime-aware placement (Barbalho et al.)",
+            f"  interleaved right-size: {outcome.interleaved_servers} "
+            "servers",
+            f"  segregated right-size:  {outcome.segregated_servers} "
+            f"(anchor {outcome.anchor_servers} + churn "
+            f"{outcome.churn_servers})",
+            f"  capacity stranded on servers pinned by long-lived VMs: "
+            f"{stranded:.1%}",
+        ]
+    )
+    save("ablation_lifetime_segregation.txt", text)
+    assert 0 <= stranded <= 1

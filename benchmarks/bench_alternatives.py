@@ -1,0 +1,15 @@
+"""Benchmark: Section VII-B — equivalent alternative strategies."""
+
+from repro.experiments import section7_alternatives
+
+from conftest import run_once
+
+
+def test_alternatives(benchmark, save):
+    result = run_once(benchmark, section7_alternatives.run)
+    save(
+        "section7_alternatives.txt",
+        section7_alternatives.render(result),
+    )
+    assert result.report.lifetime_years > 6
+    assert 0.2 < result.report.efficiency_improvement < 0.4

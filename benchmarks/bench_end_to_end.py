@@ -1,0 +1,14 @@
+"""Benchmark: the headline 26% -> cluster -> DC savings chain."""
+
+from repro.experiments import end_to_end
+
+from conftest import run_once
+
+
+def test_end_to_end(benchmark, save):
+    result = run_once(
+        benchmark, lambda: end_to_end.run(mean_concurrent_vms=1000)
+    )
+    save("end_to_end.txt", end_to_end.render(result))
+    assert result.per_core_savings > result.cluster_savings > result.dc_savings
+    assert result.dc_savings > 0

@@ -1,0 +1,135 @@
+"""Benchmark: extension studies beyond the paper's main evaluation.
+
+- the validation report (all fast calibration anchors),
+- the lifetime-extension study through GSF (Section VII-B's "GSF can
+  evaluate server lifetime extension ..."),
+- the second-generation GreenSKU options (Section III's residual
+  emissions: NIC reuse, low-power DRAM),
+- the generation-aware reference accounting.
+"""
+
+from repro.allocation.traces import TraceParams, generate_trace
+from repro.analysis.lifetime import lifetime_study
+from repro.analysis.second_gen import second_generation_study
+from repro.core.tables import render_table
+from repro.experiments import validation
+from repro.gsf.framework import Gsf
+from repro.hardware.sku import greensku_full
+
+from conftest import run_once
+
+
+def test_validation_report(benchmark, save):
+    checks = run_once(benchmark, validation.run)
+    save("validation.txt", validation.render(checks))
+    assert all(c.passed for c in checks)
+
+
+def test_lifetime_study(benchmark, save):
+    study = run_once(benchmark, lifetime_study)
+    table = render_table(
+        ["lifetime (y)", "embodied/core-y", "operational/core-y",
+         "maintenance/core-y", "total/core-y"],
+        [
+            [p.lifetime_years, p.embodied_per_core_year,
+             p.operational_per_core_year,
+             p.maintenance_overhead_per_core_year,
+             p.total_per_core_year]
+            for p in study.points
+        ],
+        title=(
+            "Lifetime extension through GSF (wear-out + efficiency "
+            f"stagnation priced in); optimum = "
+            f"{study.optimal_lifetime_years:.0f} years"
+        ),
+    )
+    save("lifetime_study.txt", table)
+    assert 6 < study.optimal_lifetime_years < 15
+
+
+def test_second_generation_options(benchmark, save):
+    options = run_once(benchmark, second_generation_study)
+    table = render_table(
+        ["design", "kgCO2e/core", "savings vs baseline",
+         "increment vs GreenSKU-Full"],
+        [
+            [o.name, o.total_per_core, f"{o.savings_vs_baseline:.1%}",
+             f"{o.incremental_savings_vs_gen1_greensku:.1%}"]
+            for o in options
+        ],
+        title="Second-generation GreenSKU options (paper: low returns "
+        "today)",
+    )
+    save("second_generation.txt", table)
+    increments = [
+        o.incremental_savings_vs_gen1_greensku
+        for o in options
+        if o.name != "GreenSKU-Full"
+    ]
+    assert all(0 < inc < 0.10 for inc in increments)
+
+
+def test_generation_aware_accounting(benchmark, save):
+    gsf = Gsf()
+    trace = generate_trace(
+        seed=4, params=TraceParams(duration_days=7, mean_concurrent_vms=400)
+    )
+
+    def run():
+        return (
+            gsf.evaluate_generation_aware(greensku_full(), trace),
+            gsf.evaluate(greensku_full(), trace),
+        )
+
+    aware, default = run_once(benchmark, run)
+    text = "\n".join(
+        [
+            "Generation-aware vs all-Gen3 reference accounting:",
+            f"  generation-aware cluster savings: "
+            f"{aware.cluster_savings:.1%} "
+            f"(reference {aware.sizing.reference_by_gen})",
+            f"  default (all-Gen3 reference):     "
+            f"{default.cluster_savings:.1%}",
+        ]
+    )
+    save("generation_aware.txt", text)
+    assert aware.cluster_savings > 0
+
+
+def test_fleet_transition(benchmark, save):
+    from repro.analysis.transition import transition_study
+
+    study = run_once(
+        benchmark, lambda: transition_study(fleet_servers=100_000)
+    )
+    text = "\n".join(
+        [
+            "Fleet transition 2024-2030 (100k servers, GreenSKU-Full):",
+            f"  adopt now:    {study.savings_by_2030_now:.1%} cumulative "
+            "savings by 2030",
+            f"  adopt in 2y:  {study.savings_by_2030_delayed:.1%}",
+            f"  cost of the two-year delay: "
+            f"{study.cost_of_delay_kg / 1e6:,.0f} ktCO2e",
+        ]
+    )
+    save("fleet_transition.txt", text)
+    assert study.savings_by_2030_now > study.savings_by_2030_delayed > 0
+
+
+def test_temporal_shifting(benchmark, save):
+    from repro.carbon.temporal import (
+        schedule_batch,
+        synthetic_batch_workload,
+    )
+
+    result = run_once(
+        benchmark,
+        lambda: schedule_batch(synthetic_batch_workload(jobs=60)),
+    )
+    save(
+        "temporal_shifting.txt",
+        "Temporal carbon-aware batch scheduling: "
+        f"{result.savings_fraction:.0%} of flexible operational emissions "
+        f"({result.immediate_kg:.1f} -> {result.shifted_kg:.1f} kg)",
+    )
+    assert result.savings_fraction > 0.05

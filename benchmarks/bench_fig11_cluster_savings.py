@@ -1,0 +1,23 @@
+"""Benchmark: Fig. 11 / Fig. 12 — cluster savings vs carbon intensity."""
+
+import numpy as np
+
+from repro.experiments import fig11_cluster_savings
+
+from conftest import run_once
+
+
+def test_fig11_cluster_savings(benchmark, save):
+    result = run_once(
+        benchmark,
+        lambda: fig11_cluster_savings.run(
+            mean_concurrent_vms=1000,
+            intensities=np.linspace(0.0, 0.4, 9),
+        ),
+    )
+    save("fig11_cluster_savings.txt", fig11_cluster_savings.render(result))
+    save("fig11_cluster_savings.csv", fig11_cluster_savings.to_csv(result))
+    # Reuse wins on clean grids; savings positive across the sweep.
+    assert result.best_at(0.0) == "GreenSKU-Full"
+    for point in result.points:
+        assert point.best_sku()[1] > 0

@@ -1,0 +1,12 @@
+"""Benchmark: Fig. 1 — data-center carbon breakdown."""
+
+from repro.experiments import fig1_breakdown
+
+from conftest import run_once
+
+
+def test_fig1_breakdown(benchmark, save):
+    result = run_once(benchmark, fig1_breakdown.run)
+    save("fig1_breakdown.txt", fig1_breakdown.render(result))
+    assert abs(result.operational_share - 0.58) < 0.05
+    assert abs(result.compute_share - 0.57) < 0.05

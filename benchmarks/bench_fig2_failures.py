@@ -1,0 +1,12 @@
+"""Benchmark: Fig. 2 — DIMM failure rates over 7 deployment years."""
+
+from repro.experiments import fig2_failures
+
+from conftest import run_once
+
+
+def test_fig2_failures(benchmark, save):
+    result = run_once(benchmark, fig2_failures.run)
+    save("fig2_failures.txt", fig2_failures.render(result))
+    save("fig2_failures.csv", fig2_failures.to_csv(result))
+    assert abs(result.steady_slope_per_month) < 0.005

@@ -1,0 +1,15 @@
+"""Benchmark: Fig. 7 — tail latency vs load per application class."""
+
+from repro.experiments import fig7_latency
+
+from conftest import run_once
+
+
+def test_fig7_latency(benchmark, save):
+    panels = run_once(benchmark, fig7_latency.run)
+    save("fig7_latency.txt", fig7_latency.render(panels))
+    save("fig7_latency.csv", fig7_latency.to_csv(panels))
+    by_name = {p.app_name: p for p in panels}
+    assert not by_name["Masstree"].meets_slo
+    assert by_name["Xapian"].green_cores_needed == 12
+    assert by_name["Nginx"].green_cores_needed == 10

@@ -1,0 +1,15 @@
+"""Benchmark: Fig. 8 — CXL latency impact on Moses vs HAProxy."""
+
+from repro.experiments import fig8_cxl
+
+from conftest import run_once
+
+
+def test_fig8_cxl(benchmark, save):
+    panels = run_once(benchmark, fig8_cxl.run)
+    save("fig8_cxl.txt", fig8_cxl.render(panels))
+    save("fig8_cxl.csv", fig8_cxl.to_csv(panels))
+    moses = next(p for p in panels if p.app_name == "Moses")
+    haproxy = next(p for p in panels if p.app_name == "HAProxy")
+    assert moses.peak_reduction > haproxy.peak_reduction
+    assert abs(haproxy.peak_reduction - 0.11) < 0.03

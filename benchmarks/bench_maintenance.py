@@ -1,0 +1,11 @@
+"""Benchmark: Section V — maintenance overheads (AFR, FIP, C_OOS)."""
+
+from repro.experiments import section5_maintenance
+
+from conftest import run_once
+
+
+def test_maintenance(benchmark, save):
+    result = run_once(benchmark, section5_maintenance.run)
+    save("section5_maintenance.txt", section5_maintenance.render(result))
+    assert abs(result.overhead_delta) < 0.1

@@ -1,0 +1,49 @@
+"""Benchmark: Section VIII runtime systems (autoscaling, DVFS, Pond)."""
+
+from repro.core.tables import render_table
+from repro.perf.apps import APPLICATIONS, get_app
+from repro.perf.autoscale import autoscale
+from repro.perf.dvfs import frequency_sweep
+from repro.perf.pond import mitigated_share
+
+from conftest import run_once
+
+
+def test_autoscaler(benchmark, save):
+    result = run_once(benchmark, lambda: autoscale(get_app("Xapian")))
+    save(
+        "runtime_autoscale.txt",
+        f"Autoscaling Xapian over 48h diurnal load: "
+        f"{result.core_hour_savings:.0%} core-hours returned, "
+        f"{result.slo_violation_hours} SLO-violation hours",
+    )
+    assert result.core_hour_savings > 0.1
+    assert result.slo_violation_hours <= 2
+
+
+def test_dvfs(benchmark, save):
+    plans = run_once(
+        benchmark, lambda: frequency_sweep(get_app("Nginx"), cores=10)
+    )
+    table = render_table(
+        ["load QPS", "frequency", "power saving", "meets SLO"],
+        [
+            [f"{p.load_qps:.0f}", f"{p.frequency:.2f}",
+             f"{p.power_savings:.0%}", p.meets_slo]
+            for p in plans
+        ],
+        title="DVFS plans across load (Nginx, 10 cores)",
+    )
+    save("runtime_dvfs.txt", table)
+    assert all(p.meets_slo for p in plans)
+    assert plans[0].power_savings > plans[-1].power_savings
+
+
+def test_pond_mitigation(benchmark, save):
+    share = run_once(benchmark, lambda: mitigated_share(APPLICATIONS))
+    save(
+        "runtime_pond.txt",
+        f"Pond tiering: {share:.0%} of applications within the 5% CXL "
+        "slowdown bound (paper: 98%)",
+    )
+    assert share >= 0.95

@@ -1,0 +1,11 @@
+"""Benchmark: Table I — baseline CPUs vs the efficient Bergamo."""
+
+from repro.experiments import table1_cpus
+
+from conftest import run_once
+
+
+def test_table1_cpus(benchmark, save):
+    result = run_once(benchmark, table1_cpus.run)
+    save("table1_cpus.txt", table1_cpus.render(result))
+    assert len(result.rows) == 4

@@ -1,0 +1,11 @@
+"""Benchmark: Table II — DevOps build slowdowns."""
+
+from repro.experiments import table2_devops
+
+from conftest import run_once
+
+
+def test_table2_devops(benchmark, save):
+    result = run_once(benchmark, table2_devops.run)
+    save("table2_devops.txt", table2_devops.render(result))
+    assert result.max_abs_error() < 0.005

@@ -1,0 +1,11 @@
+"""Benchmark: Table III — GreenSKU-Efficient scaling factors."""
+
+from repro.experiments import table3_scaling
+
+from conftest import run_once
+
+
+def test_table3_scaling(benchmark, save):
+    result = run_once(benchmark, table3_scaling.run)
+    save("table3_scaling.txt", table3_scaling.render(result))
+    assert result.matched_cells == 57

@@ -1,0 +1,11 @@
+"""Benchmark: Table IV / Table VIII — per-core carbon savings."""
+
+from repro.experiments import table4_savings
+
+from conftest import run_once
+
+
+def test_table4_savings(benchmark, save):
+    result = run_once(benchmark, table4_savings.run)
+    save("table4_savings.txt", table4_savings.render(result))
+    assert result.max_abs_deviation_points <= 1.5

@@ -1,0 +1,11 @@
+"""Benchmark: Section VII-A — cost vs carbon efficiency."""
+
+from repro.experiments import section7_tco
+
+from conftest import run_once
+
+
+def test_tco(benchmark, save):
+    result = run_once(benchmark, section7_tco.run)
+    save("section7_tco.txt", section7_tco.render(result))
+    assert result.within_paper_band

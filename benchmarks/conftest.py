@@ -1,0 +1,42 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one paper table/figure at full scale, times it
+with pytest-benchmark, and writes the rendered rows/series to
+``benchmarks/out/<name>.txt`` (plus ``.csv`` where the experiment exports
+series data) so results persist after the run.
+
+Heavy experiments run once per benchmark (``rounds=1``) — the interesting
+output is the artifact, not a timing distribution.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> pathlib.Path:
+    """Directory collecting rendered benchmark artifacts."""
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def save(out_dir):
+    """Writer: ``save(name, text)`` persists one artifact and echoes it."""
+
+    def _save(name: str, text: str) -> None:
+        path = out_dir / name
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

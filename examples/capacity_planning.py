@@ -1,0 +1,80 @@
+"""Capacity planning: from a VM trace to a deployable cluster plan.
+
+Uses GSF's allocation, sizing, maintenance, and buffer components the way
+a capacity planner would: replay the expected workload, right-size the
+mix of baseline SKUs and GreenSKUs, add out-of-service headroom and the
+growth buffer, and report the bill of servers with its carbon and packing
+profile.
+
+Run with ``python examples/capacity_planning.py``.
+"""
+
+from repro import (
+    ClusterSpec,
+    Gsf,
+    TraceParams,
+    baseline_gen3,
+    generate_trace,
+    greensku_full,
+    simulate,
+)
+from repro.core.tables import render_table
+
+
+def main() -> None:
+    gsf = Gsf()
+    baseline, greensku = baseline_gen3(), greensku_full()
+    trace = generate_trace(
+        seed=9, params=TraceParams(duration_days=14, mean_concurrent_vms=800)
+    )
+    print(
+        f"workload: {len(trace.vms)} VM deployments over "
+        f"{trace.params.duration_days:.0f} days, peak "
+        f"{trace.peak_concurrent_cores()} concurrent cores"
+    )
+
+    evaluation = gsf.evaluate(greensku, trace)
+    sizing = evaluation.sizing
+
+    rows = [
+        ["baseline (serving)", sizing.mixed_baseline_servers],
+        ["GreenSKU-Full (serving)", sizing.mixed_green_servers],
+        [
+            "out-of-service headroom",
+            f"{100 * sizing.oos_overhead_baseline:.2f}% / "
+            f"{100 * sizing.oos_overhead_green:.2f}%",
+        ],
+        ["growth buffer (baseline SKUs)",
+         evaluation.buffer.baseline_buffer_servers],
+        ["reference: all-baseline cluster", sizing.baseline_only_servers],
+    ]
+    print(render_table(["item", "count"], rows, title="Deployment plan"))
+
+    # Replay the trace against the final plan to report packing health.
+    policy = gsf.adoption_model(greensku).policy()
+    spec = ClusterSpec.of(
+        (baseline, sizing.mixed_baseline_servers),
+        (greensku, sizing.mixed_green_servers),
+    )
+    outcome = simulate(trace, spec, adoption=policy)
+    print(
+        f"\nreplay: {outcome.placed_vms} placed, "
+        f"{len(outcome.rejected_vms)} rejected, "
+        f"{outcome.green_placements} on GreenSKUs "
+        f"({outcome.fallback_placements} fungible fallbacks)"
+    )
+    print(
+        f"packing: baseline cores {outcome.baseline_stats.mean_core_density:.0%} / "
+        f"memory {outcome.baseline_stats.mean_memory_density:.0%}; "
+        f"GreenSKU cores {outcome.green_stats.mean_core_density:.0%} / "
+        f"memory {outcome.green_stats.mean_memory_density:.0%}"
+    )
+    print(
+        f"\ncarbon: cluster savings {evaluation.cluster_savings:.1%}, "
+        f"net data-center savings {gsf.dc_savings(evaluation):.1%} "
+        "vs an all-baseline deployment"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,170 @@
+"""Design-space exploration: search SKU configurations for lower carbon.
+
+Section VIII notes the authors iterated through hundreds of configurations
+with parts of GSF.  This example does a small, transparent version of that
+search over three axes:
+
+- memory:core ratio (DIMM count) — reproducing the finding that the
+  baseline's 9.6 GB/core is not carbon-optimal (8 GB/core is,
+  motivating "Baseline-Resized"),
+- how much memory to move behind CXL-attached reused DDR4,
+- how much storage to serve from reused m.2 SSDs.
+
+Every candidate is priced with the carbon model; the per-core winner and
+the full frontier print at the end.
+
+Run with ``python examples/design_space_exploration.py``.
+"""
+
+from typing import List, Tuple
+
+from repro import CarbonModel, ServerSKU, baseline_gen3
+from repro.core.tables import render_table
+from repro.hardware import catalog
+from repro.hardware.sku import _platform_parts
+
+
+def candidate(
+    ddr5_dimms: int, cxl_dimms: int, reused_ssds: int
+) -> ServerSKU:
+    """A Bergamo-based candidate with the given memory/storage mix."""
+    controllers = (cxl_dimms + 3) // 4
+    new_ssds = max(2, 5 - reused_ssds // 3)  # keep >= 2 new boot drives
+    parts = [
+        (catalog.BERGAMO, 1),
+        (catalog.DDR5_64GB, ddr5_dimms),
+        (catalog.SSD_4TB_NEW, new_ssds),
+    ]
+    if cxl_dimms:
+        parts += [
+            (catalog.DDR4_32GB_REUSED, cxl_dimms),
+            (catalog.CXL_CONTROLLER, controllers),
+        ]
+    if reused_ssds:
+        parts.append((catalog.SSD_1TB_REUSED, reused_ssds))
+    name = f"B-{ddr5_dimms}d-{cxl_dimms}cxl-{reused_ssds}r"
+    return ServerSKU.build(name, parts + _platform_parts())
+
+
+def explore() -> List[Tuple[ServerSKU, float]]:
+    """Price every candidate; return (sku, total kgCO2e per core).
+
+    Candidates below 6 GB/core are dropped: per-core carbon alone always
+    rewards stripping memory, but the packing studies (Fig. 9 methodology)
+    show such ratios reject memory-bound workloads or inflate cluster
+    sizes — the workload-constrained sweep below makes that visible.
+    """
+    model = CarbonModel()
+    results = []
+    for ddr5 in (8, 10, 12, 14, 16):
+        for cxl in (0, 4, 8):
+            for reused in (0, 6, 12):
+                sku = candidate(ddr5, cxl, reused)
+                if sku.memory_per_core < 6.0:
+                    continue
+                results.append((sku, model.assess(sku).total_per_core))
+    return sorted(results, key=lambda pair: pair[1])
+
+
+def main() -> None:
+    model = CarbonModel()
+    baseline = model.assess(baseline_gen3()).total_per_core
+    results = explore()
+
+    rows = []
+    for sku, per_core in results[:12]:
+        rows.append(
+            [
+                sku.name,
+                sku.memory_gb,
+                f"{sku.memory_per_core:.1f}",
+                f"{sku.storage_tb:g}",
+                per_core,
+                f"{1 - per_core / baseline:.0%}",
+            ]
+        )
+    print(
+        render_table(
+            [
+                "candidate",
+                "mem GB",
+                "mem/core",
+                "storage TB",
+                "kgCO2e/core",
+                "savings vs baseline",
+            ],
+            rows,
+            title="Carbon-optimal GreenSKU candidates (best 12)",
+        )
+    )
+
+    best = results[0][0]
+    print(
+        f"\nwinner: {best.name} — reuse-heavy with memory:core "
+        f"{best.memory_per_core:.1f} (the paper's GreenSKU-Full is the "
+        "deployable neighbourhood of this point)"
+    )
+
+    # The memory:core finding, priced the honest way: per-core carbon
+    # always rewards less memory, but a memory-starved SKU needs *more
+    # servers* to host the same workload (memory binds in packing).  The
+    # workload-optimal ratio minimizes cluster carbon — the paper finds 8
+    # GB/core ("Baseline-Resized") optimal for its traces.
+    from repro.allocation.traces import TraceParams, VmTrace, generate_trace
+    from repro.gsf.sizing import right_size
+
+    raw = generate_trace(
+        seed=3, params=TraceParams(duration_days=7, mean_concurrent_vms=250)
+    )
+    # Full-node VMs request the standard baseline shape (768 GB) and pin
+    # dedicated servers regardless of the ratio under study; exclude them
+    # so the sweep prices the divisible workload.
+    trace = VmTrace(
+        name=raw.name,
+        params=raw.params,
+        vms=tuple(vm for vm in raw.vms if not vm.full_node),
+    )
+    ratio_rows = []
+    for dimms in (6, 8, 10, 12, 14):
+        sku = ServerSKU.build(
+            f"Genoa-{dimms}x64",
+            [
+                (catalog.GENOA, 1),
+                (catalog.DDR5_64GB, dimms),
+                (catalog.SSD_2TB_NEW, 6),
+            ]
+            + _platform_parts(),
+            generation=3,
+        )
+        servers = right_size(trace, sku)
+        per_server = model.assess(sku).per_server_total_kg
+        ratio_rows.append(
+            [
+                f"{sku.memory_per_core:.1f}",
+                model.assess(sku).total_per_core,
+                servers,
+                servers * per_server / 1000.0,
+            ]
+        )
+    print()
+    print(
+        render_table(
+            [
+                "memory:core (GB)",
+                "kgCO2e/core",
+                "servers for trace",
+                "cluster tCO2e",
+            ],
+            ratio_rows,
+            title="Workload-constrained memory:core sweep — below the "
+            "workload's demand, memory binds and the cluster grows; above "
+            "it, idle DIMM carbon accrues.  The optimum tracks the "
+            "trace's memory appetite (the paper's Azure traces: 8 "
+            "GB/core, its 'Baseline-Resized'; this synthetic default "
+            "mix: ~6.4)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

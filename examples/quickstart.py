@@ -1,0 +1,65 @@
+"""Quickstart: price a GreenSKU, reproduce the savings table, run GSF.
+
+Walks the three layers of the library in ~40 lines:
+
+1. the carbon model prices a single SKU to CO2e-per-core,
+2. the savings table reproduces the paper's Table VIII,
+3. the full GSF pipeline estimates cluster-level savings on a synthetic
+   Azure-like VM trace.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from repro import (
+    CarbonModel,
+    Gsf,
+    baseline_gen3,
+    generate_trace,
+    greensku_full,
+    paper_savings_table,
+)
+from repro.carbon import render_savings_table
+
+
+def main() -> None:
+    # 1. Price one SKU.
+    model = CarbonModel()
+    baseline = model.assess(baseline_gen3())
+    green = model.assess(greensku_full())
+    print("CO2e per core over a 6-year lifetime (kgCO2e):")
+    print(
+        f"  {baseline.sku_name:20s} {baseline.total_per_core:6.1f} "
+        f"(operational {baseline.operational_per_core:.1f} + "
+        f"embodied {baseline.embodied_per_core:.1f})"
+    )
+    print(
+        f"  {green.sku_name:20s} {green.total_per_core:6.1f} "
+        f"(operational {green.operational_per_core:.1f} + "
+        f"embodied {green.embodied_per_core:.1f})"
+    )
+    print()
+
+    # 2. The paper's headline savings table (Table VIII).
+    print(render_savings_table(paper_savings_table(), "Per-core savings"))
+    print()
+
+    # 3. End-to-end: how much does a *cluster* of GreenSKUs save once
+    #    adoption, VM scaling, packing, and growth buffers are accounted?
+    gsf = Gsf()
+    trace = generate_trace(seed=1)
+    evaluation = gsf.evaluate(greensku_full(), trace)
+    print(
+        f"GSF on trace {trace.name} ({len(trace.vms)} VMs): "
+        f"cluster savings {evaluation.cluster_savings:.1%}, "
+        f"net data-center savings {gsf.dc_savings(evaluation):.1%}"
+    )
+    print(
+        f"  cluster: {evaluation.sizing.baseline_only_servers} baseline-only"
+        f" -> {evaluation.sizing.mixed_baseline_servers} baseline + "
+        f"{evaluation.sizing.mixed_green_servers} GreenSKU "
+        f"(+{evaluation.buffer.baseline_buffer_servers} buffer)"
+    )
+
+
+if __name__ == "__main__":
+    main()

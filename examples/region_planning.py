@@ -1,0 +1,66 @@
+"""Region planning: pick the right GreenSKU for each data-center region.
+
+Fig. 11's punchline is that the best GreenSKU depends on the grid: where
+energy is clean (embodied-dominated), reuse-heavy designs win; where it is
+dirty, the efficient-CPU design catches up.  This example runs the GSF
+sweep over a workload trace and prints a per-region deployment
+recommendation, including what each region would lose by deploying a
+single fleet-wide design instead.
+
+Run with ``python examples/region_planning.py``.
+"""
+
+from repro import Gsf, TraceParams, generate_trace
+from repro.core.tables import render_table
+from repro.hardware.datacenter import AZURE_REGION_CI
+
+
+def main() -> None:
+    gsf = Gsf()
+    trace = generate_trace(
+        seed=5, params=TraceParams(mean_concurrent_vms=600)
+    )
+    intensities = sorted(AZURE_REGION_CI.values())
+    points = {
+        p.carbon_intensity: p
+        for p in gsf.intensity_sweep(trace, intensities)
+    }
+
+    rows = []
+    for region, ci in sorted(AZURE_REGION_CI.items(), key=lambda kv: kv[1]):
+        point = points[ci]
+        best_sku, best_savings = point.best_sku()
+        # Cost of deploying one fleet-wide design (GreenSKU-Full) instead.
+        full = point.savings_by_sku["GreenSKU-Full"]
+        rows.append(
+            [
+                region,
+                ci,
+                best_sku,
+                f"{best_savings:.1%}",
+                f"{full:.1%}",
+                f"{best_savings - full:.1%}",
+            ]
+        )
+    print(
+        render_table(
+            [
+                "region",
+                "CI kg/kWh",
+                "best GreenSKU",
+                "best savings",
+                "GreenSKU-Full savings",
+                "regret of fleet-wide Full",
+            ],
+            rows,
+            title="Per-region GreenSKU recommendation",
+        )
+    )
+    print(
+        "\nClean grids favour reuse (embodied dominates); dirty grids favour"
+        "\nthe efficient CPU (operational dominates) — Fig. 11's crossover."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""SLO scaling study: will *your* application run well on a GreenSKU?
+
+Shows how a service owner would use the performance component directly:
+define (or pick) an application profile, derive the SLO from the baseline
+generation you run on today, sweep the GreenSKU core counts, and read off
+the scaling factor and the adoption verdict.
+
+Run with ``python examples/slo_scaling_study.py``.
+"""
+
+from repro import CarbonModel, greensku_full
+from repro.core.tables import render_table
+from repro.gsf.adoption import AdoptionModel
+from repro.perf.apps import AppClass, ApplicationProfile, get_app
+from repro.perf.latency import derive_slo, meets_slo, peak_qps
+from repro.perf.scaling import CANDIDATE_CORES, scaling_factor
+
+#: A user-defined service: latency-critical, mildly frequency-sensitive,
+#: moderately memory-bound.  Swap the numbers for your own measurements.
+MY_SERVICE = ApplicationProfile(
+    name="my-checkout-api",
+    app_class=AppClass.WEB_APP,
+    base_service_ms=3.0,
+    speed={"gen1": 0.8, "gen2": 0.9, "gen3": 1.0, "bergamo": 0.88},
+    cxl_slowdown=1.07,
+    mem_boundedness=0.3,
+)
+
+
+def study(app, generation=3) -> None:
+    slo = derive_slo(app, generation)
+    print(
+        f"{app.name}: SLO = p95 <= {slo.latency_ms:.2f} ms at "
+        f"{slo.load_qps:.0f} QPS (90% of the 8-core Gen{generation} peak)"
+    )
+    rows = []
+    for cores in CANDIDATE_CORES:
+        rows.append(
+            [
+                cores,
+                f"{peak_qps(app, 'bergamo', cores):.0f}",
+                meets_slo(app, slo, cores),
+                meets_slo(app, slo, cores, cxl=True),
+            ]
+        )
+    print(
+        render_table(
+            ["GreenSKU cores", "peak QPS", "meets SLO", "meets SLO (CXL)"],
+            rows,
+        )
+    )
+    result = scaling_factor(app, generation)
+    adoption = AdoptionModel(
+        CarbonModel(), greensku_full(), apps=[app]
+    ).decide(app.name, generation)
+    print(
+        f"scaling factor: {result.display}; adopt GreenSKU-Full: "
+        f"{'YES' if adoption.adopt else 'NO'} "
+        f"(per-VM carbon {adoption.green_carbon_kg:.0f} vs "
+        f"{adoption.baseline_carbon_kg:.0f} kgCO2e)\n"
+    )
+
+
+def main() -> None:
+    study(MY_SERVICE)
+    # Two paper applications for contrast: one easy, one impossible.
+    study(get_app("Xapian"))
+    study(get_app("Silo"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""GSF VM allocation component: traces, scheduler, cluster simulation."""
+
+from .cluster import (
+    AdoptionPolicy,
+    ClusterSpec,
+    SimOutcome,
+    SnapshotStats,
+    adopt_everything,
+    adopt_nothing,
+    simulate,
+)
+from .io import load_trace, save_trace, trace_from_csv, trace_to_csv
+from .lifetimes import (
+    LifetimePredictor,
+    SegregationOutcome,
+    segregation_study,
+    stranded_capacity_fraction,
+)
+from .packing import PackingPoint, cdf, fraction_below, packing_point
+from .scheduler import BestFitScheduler, PlacementDecision, Server
+from .traces import TraceParams, VmTrace, generate_trace, production_trace_suite
+from .vm import VmRequest
+
+__all__ = [
+    "AdoptionPolicy",
+    "ClusterSpec",
+    "SimOutcome",
+    "SnapshotStats",
+    "adopt_everything",
+    "adopt_nothing",
+    "simulate",
+    "LifetimePredictor",
+    "SegregationOutcome",
+    "segregation_study",
+    "stranded_capacity_fraction",
+    "load_trace",
+    "save_trace",
+    "trace_from_csv",
+    "trace_to_csv",
+    "PackingPoint",
+    "cdf",
+    "fraction_below",
+    "packing_point",
+    "BestFitScheduler",
+    "PlacementDecision",
+    "Server",
+    "TraceParams",
+    "VmTrace",
+    "generate_trace",
+    "production_trace_suite",
+    "VmRequest",
+]

@@ -1,0 +1,289 @@
+"""Cluster simulation: replay a VM trace against a cluster of servers.
+
+This is GSF's VM allocation component.  Given a trace of VM
+arrivals/departures, a cluster configuration (how many baseline SKUs and
+GreenSKUs), and the adoption component's per-application decisions, the
+simulator replays the trace under the production scheduler's rules and
+reports:
+
+- whether the cluster hosts the workload without rejecting any VM,
+- packing densities of cores and memory on non-empty servers (Fig. 9),
+- the mean per-server maximum memory utilization (Fig. 10), used to
+  validate that untouched memory can be backed by CXL-attached DRAM.
+
+VMs whose application adopted the GreenSKU are scaled by the application's
+scaling factor and prefer GreenSKU capacity but may *fungibly* fall back
+to baseline SKUs (the paper's growth-buffer workaround); non-adopters and
+full-node VMs run only on baseline SKUs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.errors import CapacityError, ConfigError
+from ..hardware.sku import ServerSKU
+from ..perf.apps import APP_BY_NAME
+from ..perf.pond import plan_tiering
+from .scheduler import BestFitScheduler, Server
+from .traces import VmTrace
+
+#: An adoption policy maps (app_name, generation) to a scaling factor, or
+#: None when the application must stay on baseline SKUs.
+AdoptionPolicy = Callable[[str, int], Optional[float]]
+
+
+def adopt_nothing(app_name: str, generation: int) -> Optional[float]:
+    """Policy for baseline-only clusters: no VM adopts the GreenSKU."""
+    return None
+
+
+def adopt_everything(app_name: str, generation: int) -> Optional[float]:
+    """Naive policy (ablation): every VM adopts, unscaled."""
+    return 1.0
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A cluster configuration: counted SKUs.
+
+    The paper's clusters are logical units of hundreds of servers mixing
+    baseline SKUs and GreenSKUs.
+    """
+
+    skus: Tuple[Tuple[ServerSKU, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.skus:
+            raise ConfigError("a cluster needs at least one SKU entry")
+        for _sku, count in self.skus:
+            if count < 0:
+                raise ConfigError("server counts must be >= 0")
+
+    @classmethod
+    def of(cls, *pairs: Tuple[ServerSKU, int]) -> "ClusterSpec":
+        return cls(skus=tuple(pairs))
+
+    @property
+    def total_servers(self) -> int:
+        return sum(count for _s, count in self.skus)
+
+    @property
+    def baseline_servers(self) -> int:
+        return sum(c for s, c in self.skus if s.generation != 0)
+
+    @property
+    def green_servers(self) -> int:
+        return sum(c for s, c in self.skus if s.generation == 0)
+
+    def build_servers(self) -> List[Server]:
+        """Instantiate mutable server state for a simulation run."""
+        servers: List[Server] = []
+        next_id = 0
+        for sku, count in self.skus:
+            for _ in range(count):
+                servers.append(Server(next_id, sku))
+                next_id += 1
+        return servers
+
+
+@dataclass
+class SnapshotStats:
+    """Accumulated per-snapshot, per-server statistics."""
+
+    core_density_sum: float = 0.0
+    memory_density_sum: float = 0.0
+    touched_memory_sum: float = 0.0
+    cxl_utilization_sum: float = 0.0
+    samples: int = 0
+
+    def observe(self, server: Server) -> None:
+        self.core_density_sum += server.core_density
+        self.memory_density_sum += server.memory_density
+        self.touched_memory_sum += server.touched_memory_fraction
+        self.cxl_utilization_sum += server.cxl_utilization
+        self.samples += 1
+
+    @property
+    def mean_core_density(self) -> float:
+        return self.core_density_sum / self.samples if self.samples else 0.0
+
+    @property
+    def mean_memory_density(self) -> float:
+        return self.memory_density_sum / self.samples if self.samples else 0.0
+
+    @property
+    def mean_touched_memory(self) -> float:
+        return self.touched_memory_sum / self.samples if self.samples else 0.0
+
+    @property
+    def mean_cxl_utilization(self) -> float:
+        """Mean CXL-pool usage (Pond tiering) on the observed servers."""
+        return (
+            self.cxl_utilization_sum / self.samples if self.samples else 0.0
+        )
+
+
+@dataclass
+class SimOutcome:
+    """Result of replaying one trace against one cluster.
+
+    Attributes:
+        cluster: The configuration simulated.
+        placed_vms: Successfully hosted VMs.
+        rejected_vms: VMs no server could host (empty = feasible).
+        green_placements: VMs that landed on GreenSKU servers.
+        fallback_placements: Adopting VMs that fungibly fell back to a
+            baseline server for lack of GreenSKU capacity.
+        baseline_stats / green_stats: Snapshot statistics on non-empty
+            servers, split by server kind.
+    """
+
+    cluster: ClusterSpec
+    placed_vms: int = 0
+    rejected_vms: List[int] = field(default_factory=list)
+    green_placements: int = 0
+    fallback_placements: int = 0
+    baseline_stats: SnapshotStats = field(default_factory=SnapshotStats)
+    green_stats: SnapshotStats = field(default_factory=SnapshotStats)
+
+    @property
+    def feasible(self) -> bool:
+        """No VM was rejected."""
+        return not self.rejected_vms
+
+
+def simulate(
+    trace: VmTrace,
+    cluster: ClusterSpec,
+    adoption: AdoptionPolicy = adopt_nothing,
+    snapshot_hours: float = 6.0,
+    raise_on_reject: bool = False,
+    scheduler: Optional[BestFitScheduler] = None,
+) -> SimOutcome:
+    """Replay ``trace`` against ``cluster`` under ``adoption``.
+
+    Args:
+        trace: VM arrivals/departures.
+        cluster: Cluster configuration to test.
+        adoption: Adoption policy; maps (app, generation) to a scaling
+            factor or None.
+        snapshot_hours: Interval between packing-density snapshots.
+        raise_on_reject: Raise :class:`CapacityError` at the first
+            rejection instead of recording it (used by sizing searches to
+            exit early).
+        scheduler: Placement heuristic (default: production best-fit);
+            pass a first-fit/worst-fit scheduler for ablations.
+    """
+    if snapshot_hours <= 0:
+        raise ConfigError("snapshot interval must be > 0")
+    servers = cluster.build_servers()
+    green_pool = [s for s in servers if s.is_green]
+    base_pool = [s for s in servers if not s.is_green]
+    # Generation routing: when the cluster contains generation-specific
+    # baseline SKUs, a VM's baseline placements go to its own generation's
+    # pool (old VM images run on their own hardware generation); clusters
+    # with a single baseline generation behave as before.
+    base_by_gen: Dict[int, List[Server]] = {}
+    for server in base_pool:
+        base_by_gen.setdefault(server.sku.generation, []).append(server)
+
+    def baseline_pool_for(generation: int) -> List[Server]:
+        if len(base_by_gen) > 1 and generation in base_by_gen:
+            return base_by_gen[generation]
+        return base_pool
+
+    scheduler = scheduler or BestFitScheduler()
+    outcome = SimOutcome(cluster=cluster)
+
+    # Departures as a heap of (time, vm_id, server); arrivals in order.
+    departures: List[Tuple[float, int, Server]] = []
+    next_snapshot = snapshot_hours
+
+    def take_snapshots_until(now: float) -> None:
+        nonlocal next_snapshot
+        while next_snapshot <= now:
+            for server in servers:
+                if server.is_empty:
+                    continue
+                stats = (
+                    outcome.green_stats
+                    if server.is_green
+                    else outcome.baseline_stats
+                )
+                stats.observe(server)
+            next_snapshot += snapshot_hours
+
+    for vm in trace.vms:
+        # Release departures and take snapshots up to this arrival.
+        while departures and departures[0][0] <= vm.arrival_hours:
+            dep_time, vm_id, server = heapq.heappop(departures)
+            take_snapshots_until(dep_time)
+            server.remove(vm_id)
+        take_snapshots_until(vm.arrival_hours)
+
+        factor = None if vm.full_node else adoption(vm.app_name, vm.generation)
+        placed_server: Optional[Server] = None
+        cores, memory_gb = vm.cores, vm.memory_gb
+        if factor is not None and green_pool:
+            scaled = vm.scaled(factor)
+            placed_server = scheduler.choose(
+                vm, green_pool, scaled.cores, scaled.memory_gb
+            )
+            if placed_server is not None:
+                cores, memory_gb = scaled.cores, scaled.memory_gb
+        if placed_server is None:
+            # Non-adopters, full-node VMs, and fungible fallback.
+            placed_server = scheduler.choose(
+                vm, baseline_pool_for(vm.generation), cores, memory_gb
+            )
+            if placed_server is not None and factor is not None:
+                outcome.fallback_placements += 1
+        if placed_server is None:
+            if raise_on_reject:
+                raise CapacityError(
+                    f"VM {vm.vm_id} rejected by cluster "
+                    f"({cluster.total_servers} servers)"
+                )
+            outcome.rejected_vms.append(vm.vm_id)
+            continue
+
+        # Pond tiering: on CXL-equipped servers, place the VM's predicted-
+        # untouched memory (or, for tolerant apps, everything) on the CXL
+        # pool, bounded by the pool's remaining capacity.
+        cxl_gb = 0.0
+        if (
+            placed_server.is_green
+            and placed_server.total_cxl_gb > 0
+            and not vm.full_node
+        ):
+            app = APP_BY_NAME.get(vm.app_name)
+            if app is not None:
+                plan = plan_tiering(
+                    app,
+                    memory_gb,
+                    vm.max_memory_fraction,
+                    server_cxl_fraction=placed_server.sku.cxl_fraction,
+                )
+                cxl_gb = min(plan.cxl_gb, placed_server.free_cxl_gb)
+        placed_server.place(vm, cores, memory_gb, cxl_gb=cxl_gb)
+        outcome.placed_vms += 1
+        if placed_server.is_green:
+            outcome.green_placements += 1
+        if math.isfinite(vm.departure_hours):
+            heapq.heappush(
+                departures, (vm.departure_hours, vm.vm_id, placed_server)
+            )
+
+    # Drain remaining departures within the trace window for final
+    # snapshots.
+    end = trace.duration_hours
+    while departures and departures[0][0] <= end:
+        dep_time, vm_id, server = heapq.heappop(departures)
+        take_snapshots_until(dep_time)
+        server.remove(vm_id)
+    take_snapshots_until(end)
+    return outcome

@@ -1,0 +1,120 @@
+"""Trace serialization: save and load VM traces as CSV.
+
+Synthetic traces are cheap to regenerate, but persisted traces make runs
+shareable and let users feed *real* VM traces (e.g. preprocessed Azure
+Public Dataset traces) into the allocation simulator: one row per VM with
+the columns below.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+import pathlib
+from typing import List, Union
+
+from ..core.errors import ConfigError
+from .traces import TraceParams, VmTrace
+from .vm import VmRequest
+
+#: CSV column order.
+COLUMNS = (
+    "vm_id",
+    "arrival_hours",
+    "lifetime_hours",
+    "cores",
+    "memory_gb",
+    "generation",
+    "app_name",
+    "max_memory_fraction",
+    "full_node",
+)
+
+
+def trace_to_csv(trace: VmTrace) -> str:
+    """Serialize a trace to CSV text (``inf`` lifetimes as ``inf``)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(COLUMNS)
+    for vm in trace.vms:
+        writer.writerow(
+            [
+                vm.vm_id,
+                f"{vm.arrival_hours:.6g}",
+                "inf" if math.isinf(vm.lifetime_hours)
+                else f"{vm.lifetime_hours:.6g}",
+                vm.cores,
+                f"{vm.memory_gb:.6g}",
+                vm.generation,
+                vm.app_name,
+                f"{vm.max_memory_fraction:.6g}",
+                int(vm.full_node),
+            ]
+        )
+    return buffer.getvalue()
+
+
+def trace_from_csv(
+    text: str,
+    name: str = "loaded",
+    duration_days: float = 0.0,
+) -> VmTrace:
+    """Parse a trace from CSV text.
+
+    Args:
+        text: CSV content with the :data:`COLUMNS` header.
+        name: Name for the loaded trace.
+        duration_days: Trace window; 0 infers it from the last arrival
+            (rounded up to a whole day).
+    """
+    reader = csv.DictReader(io.StringIO(text))
+    if reader.fieldnames is None or set(COLUMNS) - set(reader.fieldnames):
+        missing = set(COLUMNS) - set(reader.fieldnames or ())
+        raise ConfigError(f"trace CSV is missing columns: {sorted(missing)}")
+    vms: List[VmRequest] = []
+    for line_no, row in enumerate(reader, start=2):
+        try:
+            vms.append(
+                VmRequest(
+                    vm_id=int(row["vm_id"]),
+                    arrival_hours=float(row["arrival_hours"]),
+                    lifetime_hours=float(row["lifetime_hours"]),
+                    cores=int(row["cores"]),
+                    memory_gb=float(row["memory_gb"]),
+                    generation=int(row["generation"]),
+                    app_name=row["app_name"],
+                    max_memory_fraction=float(row["max_memory_fraction"]),
+                    full_node=bool(int(row["full_node"])),
+                )
+            )
+        except (KeyError, ValueError) as exc:
+            raise ConfigError(
+                f"trace CSV line {line_no}: {exc}"
+            ) from exc
+    vms.sort(key=lambda vm: vm.arrival_hours)
+    if duration_days <= 0:
+        last = max((vm.arrival_hours for vm in vms), default=0.0)
+        duration_days = max(1.0, math.ceil(last / 24.0))
+    return VmTrace(
+        name=name,
+        params=TraceParams(duration_days=duration_days),
+        vms=tuple(vms),
+    )
+
+
+def save_trace(trace: VmTrace, path: Union[str, pathlib.Path]) -> None:
+    """Write a trace to a CSV file."""
+    pathlib.Path(path).write_text(trace_to_csv(trace))
+
+
+def load_trace(
+    path: Union[str, pathlib.Path], name: str = ""
+) -> VmTrace:
+    """Read a trace from a CSV file."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ConfigError(f"trace file not found: {path}")
+    return trace_from_csv(
+        path.read_text(), name=name or path.stem
+    )

@@ -1,0 +1,264 @@
+"""Best-fit VM scheduler with Azure production placement rules.
+
+The paper's VM allocation component uses a simulator capturing the key
+placement rules of Azure's production scheduler (Protean):
+
+1. best-fit placement heuristics that reduce resource fragmentation,
+2. a preference for placing VMs on non-empty nodes (empty nodes are kept
+   in reserve for full-node VMs and power efficiency),
+3. VM placement constraints (full-node VMs require a dedicated, empty
+   baseline server; GreenSKU eligibility comes from the adoption
+   component).
+
+This module provides the mutable :class:`Server` state and the
+:class:`BestFitScheduler` that ranks feasible servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..core.errors import ConfigError, SimulationError
+from ..hardware.sku import ServerSKU
+from .vm import VmRequest
+
+
+class Server:
+    """Mutable allocation state of one physical server.
+
+    Attributes:
+        server_id: Unique id within the cluster.
+        sku: The server's SKU (capacities derive from it).
+        is_green: True when the SKU is a GreenSKU (``generation == 0``).
+    """
+
+    __slots__ = (
+        "server_id",
+        "sku",
+        "is_green",
+        "total_cores",
+        "total_memory_gb",
+        "total_cxl_gb",
+        "free_cores",
+        "free_memory_gb",
+        "_vms",
+        "_touched_memory_gb",
+        "_cxl_used_gb",
+        "dedicated",
+    )
+
+    def __init__(self, server_id: int, sku: ServerSKU):
+        self.server_id = server_id
+        self.sku = sku
+        self.is_green = sku.generation == 0
+        self.total_cores = sku.cores
+        self.total_memory_gb = float(sku.memory_gb)
+        self.total_cxl_gb = float(sku.cxl_memory_gb)
+        self.free_cores = sku.cores
+        self.free_memory_gb = float(sku.memory_gb)
+        self._vms: Dict[int, Tuple[int, float, float, float]] = {}
+        self._touched_memory_gb = 0.0
+        self._cxl_used_gb = 0.0
+        self.dedicated = False  # held by a full-node VM
+
+    # -- capacity queries ---------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """No VMs placed."""
+        return not self._vms
+
+    @property
+    def vm_count(self) -> int:
+        """Number of VMs currently placed."""
+        return len(self._vms)
+
+    @property
+    def allocated_cores(self) -> int:
+        """Cores currently allocated to VMs."""
+        return self.total_cores - self.free_cores
+
+    @property
+    def allocated_memory_gb(self) -> float:
+        """Memory currently allocated to VMs."""
+        return self.total_memory_gb - self.free_memory_gb
+
+    @property
+    def core_density(self) -> float:
+        """Allocated over allocatable cores (the paper's packing density)."""
+        return self.allocated_cores / self.total_cores
+
+    @property
+    def memory_density(self) -> float:
+        """Allocated over allocatable memory."""
+        return self.allocated_memory_gb / self.total_memory_gb
+
+    @property
+    def touched_memory_fraction(self) -> float:
+        """Max memory its VMs ever touch, over server capacity (Fig. 10)."""
+        return self._touched_memory_gb / self.total_memory_gb
+
+    @property
+    def cxl_used_gb(self) -> float:
+        """Memory currently tiered onto CXL-attached DDR4 (Pond plans)."""
+        return self._cxl_used_gb
+
+    @property
+    def cxl_utilization(self) -> float:
+        """CXL-pool usage over CXL capacity (0 for CXL-less servers)."""
+        if self.total_cxl_gb == 0:
+            return 0.0
+        return self._cxl_used_gb / self.total_cxl_gb
+
+    @property
+    def free_cxl_gb(self) -> float:
+        """Remaining CXL-pool capacity for tiering decisions."""
+        return self.total_cxl_gb - self._cxl_used_gb
+
+    def fits(self, cores: int, memory_gb: float) -> bool:
+        """Whether a request fits the remaining capacity."""
+        return (
+            not self.dedicated
+            and cores <= self.free_cores
+            and memory_gb <= self.free_memory_gb + 1e-9
+        )
+
+    # -- mutation -------------------------------------------------------------
+
+    def place(
+        self,
+        vm: VmRequest,
+        cores: int,
+        memory_gb: float,
+        cxl_gb: float = 0.0,
+    ) -> None:
+        """Place a VM consuming ``cores``/``memory_gb`` (already scaled).
+
+        ``cxl_gb`` is the share of the VM's memory the Pond tiering plan
+        put on CXL-attached DDR4; it is bookkeeping within ``memory_gb``,
+        not additional capacity.
+        """
+        if vm.vm_id in self._vms:
+            raise SimulationError(f"VM {vm.vm_id} already on server")
+        if not self.fits(cores, memory_gb):
+            raise SimulationError(
+                f"VM {vm.vm_id} does not fit server {self.server_id}"
+            )
+        if cxl_gb < 0 or cxl_gb > memory_gb + 1e-9:
+            raise SimulationError(
+                f"VM {vm.vm_id}: CXL share {cxl_gb} outside [0, {memory_gb}]"
+            )
+        if cxl_gb > self.free_cxl_gb + 1e-9:
+            raise SimulationError(
+                f"VM {vm.vm_id}: CXL pool exhausted on server "
+                f"{self.server_id}"
+            )
+        touched = memory_gb * vm.max_memory_fraction
+        self._vms[vm.vm_id] = (cores, memory_gb, touched, cxl_gb)
+        self.free_cores -= cores
+        self.free_memory_gb -= memory_gb
+        self._touched_memory_gb += touched
+        self._cxl_used_gb += cxl_gb
+        if vm.full_node:
+            self.dedicated = True
+
+    def remove(self, vm_id: int) -> None:
+        """Remove a departed VM and release its resources."""
+        try:
+            cores, memory_gb, touched, cxl_gb = self._vms.pop(vm_id)
+        except KeyError:
+            raise SimulationError(
+                f"VM {vm_id} not on server {self.server_id}"
+            ) from None
+        self.free_cores += cores
+        self.free_memory_gb += memory_gb
+        self._touched_memory_gb -= touched
+        self._cxl_used_gb -= cxl_gb
+        self.dedicated = False if not self._vms else self.dedicated
+
+    def __repr__(self) -> str:
+        return (
+            f"Server({self.server_id}, {self.sku.name}, "
+            f"{self.allocated_cores}/{self.total_cores}c)"
+        )
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """Where a VM landed and at what (possibly scaled) size."""
+
+    server: Server
+    cores: int
+    memory_gb: float
+
+
+#: Placement heuristics selectable for ablation studies.  ``best-fit`` is
+#: the production rule set (and the paper's); the others exist to
+#: quantify how much the best-fit + prefer-non-empty rules buy.
+PLACEMENT_POLICIES = ("best-fit", "first-fit", "worst-fit")
+
+
+class BestFitScheduler:
+    """Ranks feasible servers under the production placement rules.
+
+    Args:
+        policy: ``"best-fit"`` (default, the production rules including
+            the prefer-non-empty preference), ``"first-fit"`` (lowest
+            server id that fits), or ``"worst-fit"`` (most remaining
+            cores) — the latter two for ablation studies.
+    """
+
+    def __init__(self, policy: str = "best-fit"):
+        if policy not in PLACEMENT_POLICIES:
+            raise ConfigError(
+                f"unknown placement policy {policy!r}; "
+                f"known: {PLACEMENT_POLICIES}"
+            )
+        self.policy = policy
+
+    def _rank_key(
+        self, server: Server, cores: int, memory_gb: float
+    ) -> Tuple:
+        if self.policy == "best-fit":
+            return (
+                1 if server.is_empty else 0,  # prefer non-empty (rule 2)
+                server.free_cores - cores,  # best fit by cores (rule 1)
+                server.free_memory_gb - memory_gb,  # tie-break by memory
+            )
+        if self.policy == "first-fit":
+            return (server.server_id,)
+        # worst-fit: most remaining cores first.
+        return (-(server.free_cores - cores), server.server_id)
+
+    def choose(
+        self,
+        vm: VmRequest,
+        servers: Iterable[Server],
+        cores: int,
+        memory_gb: float,
+    ) -> Optional[Server]:
+        """Pick a server for a request, or None when none fits.
+
+        Full-node VMs always require an entirely empty, non-GreenSKU
+        server (a hard production constraint, kept under every policy).
+        """
+        if cores <= 0 or memory_gb <= 0:
+            raise ConfigError("placement request must be positive")
+        best: Optional[Server] = None
+        best_key: Optional[Tuple] = None
+        for server in servers:
+            if vm.full_node:
+                if server.is_green or not server.is_empty:
+                    continue
+                if (
+                    cores > server.total_cores
+                    or memory_gb > server.total_memory_gb + 1e-9
+                ):
+                    continue
+            elif not server.fits(cores, memory_gb):
+                continue
+            key = self._rank_key(server, cores, memory_gb)
+            if best_key is None or key < best_key:
+                best, best_key = server, key
+        return best

@@ -1,0 +1,322 @@
+"""Synthetic Azure-like VM arrival/departure traces.
+
+The paper's packing study replays 35 production VM traces from multiple
+Azure data centers.  Those traces are proprietary; this generator
+synthesizes traces with the published marginals of Azure's workload
+(Resource Central, Protean):
+
+- VM core sizes concentrate on small power-of-two shapes (1-8 cores) with
+  a tail of 16/32-core VMs,
+- memory per core clusters around 4 GB/core (1, 2, 4, 8 GB/core mix),
+- lifetimes are heavy-tailed: most VMs live under a day, a minority live
+  for weeks and a few outlive the trace window,
+- arrivals are Poisson with diurnal modulation,
+- each VM targets a pre-defined baseline generation (old generations keep
+  receiving *new* deployments, as the paper observes),
+- a small share are long-living "full-node" VMs requiring dedicated
+  servers,
+- each VM reports the maximum fraction of its memory it ever touches
+  (most servers stay below 60% — Fig. 10's precondition for backing
+  untouched memory with CXL).
+
+A trace's applications are assigned the paper's way: sample a class from
+the fleet core-hour shares (Table III), then uniformly choose an
+application within the class.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.errors import ConfigError
+from ..core.rng import RngFactory
+from ..perf.apps import (
+    FLEET_CORE_HOUR_SHARE,
+    apps_in_class,
+)
+from .vm import VmRequest
+
+
+@dataclass(frozen=True)
+class TraceParams:
+    """Knobs of the synthetic trace generator.
+
+    Attributes:
+        duration_days: Trace window length.
+        mean_concurrent_vms: Target steady-state VM population.
+        core_sizes / core_size_weights: VM vCPU shape distribution.
+        memory_per_core_gb / memory_per_core_weights: GB-per-core mix.
+        short_lifetime_hours: Mean lifetime of the short-lived mode.
+        long_lifetime_hours: Mean lifetime of the long-lived mode.
+        long_lived_fraction: Probability a VM is long-lived.
+        generation_mix: Share of deployments targeting Gen1/2/3 (the
+            paper notes old generations keep growing).
+        full_node_fraction: Share of VMs that need a dedicated server.
+        diurnal_amplitude: Relative day/night arrival-rate swing.
+        mem_touch_alpha / mem_touch_beta: Beta-distribution parameters of
+            the max-touched-memory fraction (mean 0.55, matching Pond's
+            finding that untouched memory is almost half of a VM's
+            allocation).
+    """
+
+    duration_days: float = 14.0
+    mean_concurrent_vms: int = 350
+    core_sizes: Tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+    core_size_weights: Tuple[float, ...] = (0.22, 0.28, 0.25, 0.15, 0.07, 0.03)
+    memory_per_core_gb: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0)
+    memory_per_core_weights: Tuple[float, ...] = (0.05, 0.10, 0.40, 0.45)
+    short_lifetime_hours: float = 6.0
+    long_lifetime_hours: float = 24.0 * 21
+    long_lived_fraction: float = 0.12
+    generation_mix: Tuple[float, float, float] = (0.15, 0.30, 0.55)
+    full_node_fraction: float = 0.0005
+    full_node_lifetime_hours: float = 24.0 * 14
+    diurnal_amplitude: float = 0.3
+    mem_touch_alpha: float = 2.75
+    mem_touch_beta: float = 2.25
+
+    def __post_init__(self) -> None:
+        if self.duration_days <= 0 or self.mean_concurrent_vms <= 0:
+            raise ConfigError("duration and population must be > 0")
+        for weights, values, label in (
+            (self.core_size_weights, self.core_sizes, "core sizes"),
+            (
+                self.memory_per_core_weights,
+                self.memory_per_core_gb,
+                "memory per core",
+            ),
+        ):
+            if len(weights) != len(values):
+                raise ConfigError(f"{label}: weights/values length mismatch")
+            if abs(sum(weights) - 1.0) > 1e-6:
+                raise ConfigError(f"{label}: weights must sum to 1")
+        if abs(sum(self.generation_mix) - 1.0) > 1e-6:
+            raise ConfigError("generation mix must sum to 1")
+        if not 0 <= self.full_node_fraction < 1:
+            raise ConfigError("full-node fraction must be in [0, 1)")
+        if not 0 <= self.diurnal_amplitude < 1:
+            raise ConfigError("diurnal amplitude must be in [0, 1)")
+
+    @property
+    def mean_lifetime_hours(self) -> float:
+        """Population-mean VM lifetime."""
+        return (
+            (1 - self.long_lived_fraction) * self.short_lifetime_hours
+            + self.long_lived_fraction * self.long_lifetime_hours
+        )
+
+    @property
+    def arrival_rate_per_hour(self) -> float:
+        """Arrival rate sustaining the target population (Little's law)."""
+        return self.mean_concurrent_vms / self.mean_lifetime_hours
+
+
+@dataclass(frozen=True)
+class VmTrace:
+    """A generated trace: VM requests sorted by arrival time."""
+
+    name: str
+    params: TraceParams
+    vms: Tuple[VmRequest, ...]
+
+    @property
+    def duration_hours(self) -> float:
+        return self.params.duration_days * 24.0
+
+    def peak_concurrent_cores(self, step_hours: float = 2.0) -> int:
+        """Peak simultaneous requested cores (sizing lower bound)."""
+        times = np.arange(0.0, self.duration_hours + step_hours, step_hours)
+        peak = 0
+        for t in times:
+            live = sum(
+                vm.cores
+                for vm in self.vms
+                if vm.arrival_hours <= t < vm.departure_hours
+            )
+            peak = max(peak, live)
+        return peak
+
+
+def _assign_app(rng: np.random.Generator) -> str:
+    """Sample an application the paper's way: class share, then uniform."""
+    classes = list(FLEET_CORE_HOUR_SHARE.keys())
+    shares = np.array([FLEET_CORE_HOUR_SHARE[c] for c in classes])
+    shares = shares / shares.sum()
+    app_class = classes[rng.choice(len(classes), p=shares)]
+    members = apps_in_class(app_class)
+    return members[rng.integers(len(members))].name
+
+
+def generate_trace(
+    seed: int,
+    params: Optional[TraceParams] = None,
+    name: Optional[str] = None,
+) -> VmTrace:
+    """Generate one synthetic VM trace.
+
+    Identical ``(seed, params)`` always produce the identical trace.
+    """
+    params = params or TraceParams()
+    rngs = RngFactory(seed).child("vm-trace")
+    arr_rng = rngs.stream("arrivals")
+    size_rng = rngs.stream("sizes")
+    life_rng = rngs.stream("lifetimes")
+    meta_rng = rngs.stream("metadata")
+
+    duration_hours = params.duration_days * 24.0
+    base_rate = params.arrival_rate_per_hour
+    vms: List[VmRequest] = []
+    vm_id = 0
+
+    # Seed the steady-state population present at t=0.  At steady state a
+    # running VM is long-lived with probability proportional to lifetime
+    # (length-biasing), and exponential residual lifetimes are memoryless,
+    # so residuals draw from the same distributions.
+    initial_count = int(life_rng.poisson(params.mean_concurrent_vms))
+    p_long_present = (
+        params.long_lived_fraction
+        * params.long_lifetime_hours
+        / params.mean_lifetime_hours
+    )
+    for _ in range(initial_count):
+        cores = int(
+            params.core_sizes[
+                size_rng.choice(
+                    len(params.core_sizes), p=params.core_size_weights
+                )
+            ]
+        )
+        gb_per_core = params.memory_per_core_gb[
+            size_rng.choice(
+                len(params.memory_per_core_gb),
+                p=params.memory_per_core_weights,
+            )
+        ]
+        if life_rng.random() < p_long_present:
+            lifetime = life_rng.exponential(params.long_lifetime_hours)
+        else:
+            lifetime = life_rng.exponential(params.short_lifetime_hours)
+        vms.append(
+            VmRequest(
+                vm_id=vm_id,
+                arrival_hours=0.0,
+                lifetime_hours=max(lifetime, 0.05),
+                cores=cores,
+                memory_gb=cores * gb_per_core,
+                generation=int(
+                    1 + meta_rng.choice(3, p=list(params.generation_mix))
+                ),
+                app_name=_assign_app(meta_rng),
+                max_memory_fraction=float(
+                    meta_rng.beta(
+                        params.mem_touch_alpha, params.mem_touch_beta
+                    )
+                ),
+                full_node=False,
+            )
+        )
+        vm_id += 1
+
+    t = 0.0
+    while True:
+        # Thinning for the diurnal profile: propose at the peak rate,
+        # accept with the instantaneous relative intensity.
+        peak_rate = base_rate * (1.0 + params.diurnal_amplitude)
+        t += arr_rng.exponential(1.0 / peak_rate)
+        if t >= duration_hours:
+            break
+        intensity = 1.0 + params.diurnal_amplitude * math.sin(
+            2.0 * math.pi * t / 24.0
+        )
+        if arr_rng.random() > intensity / (1.0 + params.diurnal_amplitude):
+            continue
+
+        cores = int(
+            params.core_sizes[
+                size_rng.choice(
+                    len(params.core_sizes), p=params.core_size_weights
+                )
+            ]
+        )
+        gb_per_core = params.memory_per_core_gb[
+            size_rng.choice(
+                len(params.memory_per_core_gb),
+                p=params.memory_per_core_weights,
+            )
+        ]
+        generation = int(
+            1 + meta_rng.choice(3, p=list(params.generation_mix))
+        )
+        full_node = bool(meta_rng.random() < params.full_node_fraction)
+        if full_node:
+            # Long-living full-node VMs request their generation's whole
+            # server shape (Gen1/2: 64 cores; Gen3: 80 cores at 9.6
+            # GB/core) and hold it for weeks.
+            cores, gb_per_core = {
+                1: (64, 6.0),
+                2: (64, 8.0),
+                3: (80, 9.6),
+            }[generation]
+            lifetime = life_rng.exponential(params.full_node_lifetime_hours)
+        elif life_rng.random() < params.long_lived_fraction:
+            lifetime = life_rng.exponential(params.long_lifetime_hours)
+        else:
+            lifetime = life_rng.exponential(params.short_lifetime_hours)
+        lifetime = max(lifetime, 0.05)
+
+        vms.append(
+            VmRequest(
+                vm_id=vm_id,
+                arrival_hours=t,
+                lifetime_hours=lifetime,
+                cores=cores,
+                memory_gb=cores * gb_per_core,
+                generation=generation,
+                app_name=_assign_app(meta_rng),
+                max_memory_fraction=float(
+                    meta_rng.beta(params.mem_touch_alpha, params.mem_touch_beta)
+                ),
+                full_node=full_node,
+            )
+        )
+        vm_id += 1
+    return VmTrace(
+        name=name or f"trace-{seed}", params=params, vms=tuple(vms)
+    )
+
+
+def production_trace_suite(
+    count: int = 35,
+    base_seed: int = 100,
+    params: Optional[TraceParams] = None,
+) -> List[VmTrace]:
+    """The stand-in for the paper's 35 production traces.
+
+    Each trace uses a distinct seed and mild parameter jitter (population
+    and lifetime mix vary across data centers).
+    """
+    if count < 1:
+        raise ConfigError("need at least one trace")
+    base = params or TraceParams()
+    traces = []
+    jitter = RngFactory(base_seed).stream("suite-jitter")
+    for i in range(count):
+        scale = 0.75 + 0.5 * jitter.random()
+        long_frac = min(0.3, max(0.05, base.long_lived_fraction
+                                 * (0.7 + 0.6 * jitter.random())))
+        trace_params = dataclasses.replace(
+            base,
+            mean_concurrent_vms=max(60, int(base.mean_concurrent_vms * scale)),
+            long_lived_fraction=long_frac,
+        )
+        traces.append(
+            generate_trace(
+                seed=base_seed + i, params=trace_params, name=f"dc-{i:02d}"
+            )
+        )
+    return traces

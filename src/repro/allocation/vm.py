@@ -1,0 +1,92 @@
+"""VM request and lifecycle types for the allocation simulator.
+
+A VM request is what Azure's Protean-style allocator sees: an arrival time,
+a lifetime, a core count and memory size, plus trace-supplied metadata the
+paper's methodology relies on — the server generation the VM was deployed
+against, the maximum fraction of its allocated memory it ever touches
+(Fig. 10's memory-utilization analysis), and whether it is a long-living
+"full-node" VM that requires a dedicated server.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..core.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class VmRequest:
+    """One VM deployment in a trace.
+
+    Attributes:
+        vm_id: Unique id within the trace.
+        arrival_hours: Arrival time from trace start, in hours.
+        lifetime_hours: Time until departure (``math.inf`` = never departs
+            within the trace window).
+        cores: Requested virtual cores.
+        memory_gb: Requested memory.
+        generation: Baseline server generation (1, 2, 3) the VM targets;
+            pre-defined in the trace, as in the paper.
+        app_name: Representative application assigned to the VM (the
+            paper samples these from fleet core-hour shares because
+            production VMs are opaque).
+        max_memory_fraction: Largest fraction of allocated memory the VM
+            touches over its lifetime (drives Fig. 10).
+        full_node: True for long-living VMs that require a dedicated
+            server; the paper strictly assigns these to baseline SKUs.
+    """
+
+    vm_id: int
+    arrival_hours: float
+    lifetime_hours: float
+    cores: int
+    memory_gb: float
+    generation: int
+    app_name: str
+    max_memory_fraction: float = 0.5
+    full_node: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigError(f"VM {self.vm_id}: cores must be > 0")
+        if self.memory_gb <= 0:
+            raise ConfigError(f"VM {self.vm_id}: memory must be > 0")
+        if self.arrival_hours < 0 or self.lifetime_hours <= 0:
+            raise ConfigError(
+                f"VM {self.vm_id}: arrival must be >= 0 and lifetime > 0"
+            )
+        if self.generation not in (1, 2, 3):
+            raise ConfigError(
+                f"VM {self.vm_id}: generation must be 1, 2 or 3"
+            )
+        if not 0 <= self.max_memory_fraction <= 1:
+            raise ConfigError(
+                f"VM {self.vm_id}: max memory fraction must be in [0, 1]"
+            )
+
+    @property
+    def departure_hours(self) -> float:
+        """Departure time; ``inf`` for VMs that outlive the trace."""
+        return self.arrival_hours + self.lifetime_hours
+
+    def scaled(self, factor: float) -> "VmRequest":
+        """The VM resized for a GreenSKU placement.
+
+        The paper multiplies both the core count and the memory allocation
+        by the application's scaling factor (Section V; Section VIII notes
+        this proportional-memory assumption is pessimistic).  Cores round
+        up to stay whole.
+        """
+        if factor < 1.0 or not math.isfinite(factor):
+            raise ConfigError(
+                f"scaling factor must be a finite value >= 1, got {factor}"
+            )
+        if factor == 1.0:
+            return self
+        return replace(
+            self,
+            cores=int(math.ceil(self.cores * factor)),
+            memory_gb=self.memory_gb * factor,
+        )

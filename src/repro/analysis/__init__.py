@@ -1,0 +1,74 @@
+"""Section VII analyses: alternative strategies and TCO."""
+
+from .alternatives import (
+    EquivalenceReport,
+    efficiency_improvement_equivalent,
+    equivalence_report,
+    lifetime_extension_equivalent,
+    operational_share,
+    renewables_increase_equivalent,
+)
+from .ablations import (
+    AdoptionAblation,
+    BufferAblation,
+    CxlFractionAblation,
+    FipAblation,
+    PlacementAblation,
+    adoption_rule_ablation,
+    buffer_policy_ablation,
+    cxl_fraction_sweep,
+    fip_sweep,
+    placement_policy_ablation,
+)
+from .lifetime import LifetimePoint, LifetimeStudy, lifetime_study
+from .second_gen import (
+    SecondGenOption,
+    greensku_gen2_full,
+    greensku_gen2_lpddr,
+    greensku_gen2_nic,
+    lpddr_dimm,
+    second_generation_study,
+)
+from .tco import CostData, TcoAssessment, TcoModel, cost_efficient_sku
+from .transition import (
+    TransitionScenario,
+    TransitionStudy,
+    transition_scenario,
+    transition_study,
+)
+
+__all__ = [
+    "TransitionScenario",
+    "TransitionStudy",
+    "transition_scenario",
+    "transition_study",
+    "LifetimePoint",
+    "LifetimeStudy",
+    "lifetime_study",
+    "SecondGenOption",
+    "greensku_gen2_full",
+    "greensku_gen2_lpddr",
+    "greensku_gen2_nic",
+    "lpddr_dimm",
+    "second_generation_study",
+    "AdoptionAblation",
+    "BufferAblation",
+    "CxlFractionAblation",
+    "FipAblation",
+    "PlacementAblation",
+    "adoption_rule_ablation",
+    "buffer_policy_ablation",
+    "cxl_fraction_sweep",
+    "fip_sweep",
+    "placement_policy_ablation",
+    "EquivalenceReport",
+    "efficiency_improvement_equivalent",
+    "equivalence_report",
+    "lifetime_extension_equivalent",
+    "operational_share",
+    "renewables_increase_equivalent",
+    "CostData",
+    "TcoAssessment",
+    "TcoModel",
+    "cost_efficient_sku",
+]

@@ -1,0 +1,178 @@
+"""Section VII-B: GreenSKUs versus other carbon-reduction strategies.
+
+The paper asks what it would take for three conventional strategies to match
+GreenSKU-Full's data-center-wide savings:
+
+- **More renewables**: how many percentage points of additional
+  location-matched renewable energy (paper: +2.6%, against 1.2%/year of
+  actual grid progress).
+- **Better energy efficiency**: how much more energy-efficient every server
+  component must become, assuming (optimistically) no embodied cost and
+  uniform improvement (paper: 28%, roughly one two-year CPU generation).
+- **Longer lifetimes**: how far the 6-year server lifetime must stretch,
+  assuming (optimistically) no operational or maintenance growth
+  (paper: 6 -> 13 years).
+
+Each solver inverts the carbon model around the current operating point,
+so the answers track whatever facility parameters the caller configures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..carbon.intensity import EnergyMix, azure_average_mix
+from ..carbon.model import CarbonModel
+from ..core.errors import ConfigError
+from ..hardware.sku import ServerSKU, baseline_gen3
+
+
+@dataclass(frozen=True)
+class EquivalenceReport:
+    """What each alternative strategy needs to match a savings target.
+
+    Attributes:
+        target_savings: The data-center savings fraction to match.
+        renewables_increase: Additional renewable fraction (percentage
+            points / 100) required.
+        efficiency_improvement: Uniform component energy-efficiency
+            improvement required (fraction).
+        lifetime_years: Required server lifetime (from the 6-year base).
+    """
+
+    target_savings: float
+    renewables_increase: float
+    efficiency_improvement: float
+    lifetime_years: float
+
+
+def operational_share(
+    model: Optional[CarbonModel] = None,
+    sku: Optional[ServerSKU] = None,
+) -> float:
+    """Operational fraction of per-core lifetime emissions for a SKU."""
+    model = model or CarbonModel()
+    sku = sku or baseline_gen3()
+    return model.assess(sku).operational_share
+
+
+def renewables_increase_equivalent(
+    target_savings: float,
+    mix: Optional[EnergyMix] = None,
+    model: Optional[CarbonModel] = None,
+    sku: Optional[ServerSKU] = None,
+) -> float:
+    """Extra renewable fraction matching ``target_savings`` of DC emissions.
+
+    Increasing the renewable share from ``r`` to ``r + d`` lowers the
+    effective carbon intensity linearly, scaling operational emissions;
+    embodied emissions are untouched.  Solves for ``d``.
+
+    Raises :class:`ConfigError` when even 100% renewables cannot reach the
+    target (embodied emissions dominate beyond it).
+    """
+    if not 0 <= target_savings < 1:
+        raise ConfigError("target savings must be in [0, 1)")
+    mix = mix or azure_average_mix()
+    model = model or CarbonModel(
+        datacenter=CarbonModel().datacenter.with_carbon_intensity(
+            mix.effective_ci
+        )
+    )
+    sku = sku or baseline_gen3()
+    assessment = model.at_intensity(mix.effective_ci).assess(sku)
+    op, emb = assessment.operational_per_core, assessment.embodied_per_core
+    total = op + emb
+    # Operational scales with effective CI; find the CI meeting the target.
+    needed_op = op - target_savings * total
+    if needed_op < 0:
+        raise ConfigError(
+            "target exceeds what eliminating all operational emissions "
+            "could deliver"
+        )
+    needed_ci = mix.effective_ci * needed_op / op
+    # Invert the mix: effective_ci = r*ci_ren + (1-r)*ci_fossil.
+    denominator = mix.fossil_ci - mix.renewable_ci
+    needed_r = (mix.fossil_ci - needed_ci) / denominator
+    if needed_r > 1.0 + 1e-9:
+        raise ConfigError(
+            "target requires more than 100% renewable energy"
+        )
+    return max(0.0, needed_r - mix.renewable_fraction)
+
+
+def efficiency_improvement_equivalent(
+    target_savings: float,
+    model: Optional[CarbonModel] = None,
+    sku: Optional[ServerSKU] = None,
+) -> float:
+    """Uniform component efficiency gain matching ``target_savings``.
+
+    Follows the paper's optimistic assumptions: the gain applies to every
+    component equally and adds no embodied emissions, so operational
+    emissions scale by ``1 - e``:
+
+    ``e = target / operational_share``.
+    """
+    if not 0 <= target_savings < 1:
+        raise ConfigError("target savings must be in [0, 1)")
+    share = operational_share(model, sku)
+    if target_savings >= share:
+        raise ConfigError(
+            f"target {target_savings:.0%} exceeds the operational share "
+            f"{share:.0%}; efficiency alone cannot reach it"
+        )
+    return target_savings / share
+
+
+def lifetime_extension_equivalent(
+    target_savings: float,
+    model: Optional[CarbonModel] = None,
+    sku: Optional[ServerSKU] = None,
+    base_lifetime_years: float = 6.0,
+) -> float:
+    """Server lifetime matching ``target_savings`` in per-core-year terms.
+
+    Extending lifetime amortizes embodied emissions over more service
+    years; with the paper's simplifying assumption that operational
+    emissions per year do not grow, per-core-*year* emissions are
+    ``op_rate + emb / L``.  Solves for the lifetime whose per-core-year
+    emissions are ``(1 - target)`` of the 6-year base.
+    """
+    if not 0 <= target_savings < 1:
+        raise ConfigError("target savings must be in [0, 1)")
+    model = model or CarbonModel()
+    sku = sku or baseline_gen3()
+    assessment = model.with_lifetime(base_lifetime_years).assess(sku)
+    op_per_year = assessment.operational_per_core / base_lifetime_years
+    emb = assessment.embodied_per_core
+    base_rate = op_per_year + emb / base_lifetime_years
+    target_rate = (1.0 - target_savings) * base_rate
+    if target_rate <= op_per_year:
+        raise ConfigError(
+            "target exceeds what amortizing all embodied emissions could "
+            "deliver"
+        )
+    return emb / (target_rate - op_per_year)
+
+
+def equivalence_report(
+    target_savings: float,
+    mix: Optional[EnergyMix] = None,
+    model: Optional[CarbonModel] = None,
+    sku: Optional[ServerSKU] = None,
+) -> EquivalenceReport:
+    """All three Section VII-B equivalences for one savings target."""
+    return EquivalenceReport(
+        target_savings=target_savings,
+        renewables_increase=renewables_increase_equivalent(
+            target_savings, mix, model, sku
+        ),
+        efficiency_improvement=efficiency_improvement_equivalent(
+            target_savings, model, sku
+        ),
+        lifetime_years=lifetime_extension_equivalent(
+            target_savings, model, sku
+        ),
+    )

@@ -1,0 +1,162 @@
+"""Server lifetime extension, evaluated through GSF (paper Section VII-B).
+
+The paper's simple lifetime equivalence assumes extending lifetimes is
+free.  Its discussion then lists why it is not: maintenance becomes cost-
+prohibitive over long horizons (Hyrax), and older servers carry higher
+per-core operational emissions relative to newer hardware (ACT,
+GreenChip).  "GSF can evaluate server lifetime extension by considering
+such extension's impact on maintenance, performance, and emissions."
+
+This module does that evaluation: per-core-year emissions as a function of
+lifetime with three effects layered in —
+
+- embodied amortization (the benefit: emissions spread over more years),
+- wear-out maintenance (AFR grows past the design lifetime, adding
+  out-of-service capacity),
+- efficiency stagnation (each year on old hardware forgoes the fleet's
+  energy-efficiency progress, charged as an operational penalty).
+
+The output is the *effective optimal lifetime*: where the marginal benefit
+of amortization stops paying for the marginal operational/maintenance
+cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..carbon.model import CarbonModel
+from ..core.errors import ConfigError
+from ..hardware.sku import ServerSKU, baseline_gen3
+from ..reliability.afr import server_afr
+from ..reliability.maintenance import out_of_service_fraction
+
+
+@dataclass(frozen=True)
+class LifetimePoint:
+    """Per-core-year emissions at one candidate lifetime."""
+
+    lifetime_years: float
+    embodied_per_core_year: float
+    operational_per_core_year: float
+    maintenance_overhead_per_core_year: float
+
+    @property
+    def total_per_core_year(self) -> float:
+        return (
+            self.embodied_per_core_year
+            + self.operational_per_core_year
+            + self.maintenance_overhead_per_core_year
+        )
+
+
+@dataclass(frozen=True)
+class LifetimeStudy:
+    """A lifetime sweep with the effective optimum."""
+
+    points: List[LifetimePoint]
+
+    @property
+    def optimal_lifetime_years(self) -> float:
+        best = min(self.points, key=lambda p: p.total_per_core_year)
+        return best.lifetime_years
+
+    def savings_vs(self, base_lifetime: float = 6.0) -> float:
+        """Per-core-year savings of the optimum vs the base lifetime."""
+        base = next(
+            (
+                p
+                for p in self.points
+                if abs(p.lifetime_years - base_lifetime) < 1e-9
+            ),
+            None,
+        )
+        if base is None:
+            raise ConfigError(
+                f"base lifetime {base_lifetime} not in the sweep"
+            )
+        best = min(self.points, key=lambda p: p.total_per_core_year)
+        return 1.0 - best.total_per_core_year / base.total_per_core_year
+
+
+def lifetime_study(
+    sku: Optional[ServerSKU] = None,
+    model: Optional[CarbonModel] = None,
+    lifetimes: Sequence[float] = tuple(np.arange(3.0, 16.0, 1.0)),
+    wearout_onset_years: float = 7.0,
+    wearout_afr_growth_per_year: float = 2.0,
+    efficiency_progress_per_year: float = 0.08,
+    repair_time_days: float = 10.0,
+    replacement_embodied_fraction: float = 0.05,
+) -> LifetimeStudy:
+    """Sweep candidate lifetimes with maintenance and efficiency effects.
+
+    Args:
+        sku: Server design under study (default: Gen3 baseline).
+        model: Carbon model (facility parameters).
+        lifetimes: Candidate lifetimes in years.
+        wearout_onset_years: Age at which component wear-out begins to
+            raise the server AFR (SSD erasure-cycle exhaustion and fan /
+            PSU aging; DRAM stays flat per Fig. 2).
+        wearout_afr_growth_per_year: Added AFR (per 100 servers/year) for
+            each year past the onset — Hyrax's "maintenance can become
+            cost prohibitive over this time frame".
+        efficiency_progress_per_year: Fleet energy-efficiency progress an
+            old server forgoes (paper: Zen 3 -> Zen 4 improved 25% in two
+            years, ~12%/year; 8%/year reflects fleet-average progress).
+        repair_time_days: Repair turnaround for the out-of-service model.
+        replacement_embodied_fraction: Embodied carbon of the replacement
+            parts one repair consumes, as a fraction of the server's
+            embodied carbon.
+    """
+    if not lifetimes:
+        raise ConfigError("need at least one candidate lifetime")
+    sku = sku or baseline_gen3()
+    model = model or CarbonModel()
+    assessment = model.assess(sku)
+    base_afr = server_afr(sku)
+    points = []
+    for lifetime in lifetimes:
+        if lifetime <= 0:
+            raise ConfigError("lifetimes must be > 0")
+        embodied_rate = assessment.embodied_per_core / lifetime
+        op_rate = (
+            assessment.operational_per_core
+            / model.datacenter.lifetime_years
+        )
+        # Efficiency stagnation: average penalty over the lifetime vs a
+        # fleet refreshing on the default cadence.  Years beyond the
+        # default lifetime run hardware that is (progress * years-behind)
+        # less efficient than contemporary replacements would be.
+        extra_years = max(0.0, lifetime - model.datacenter.lifetime_years)
+        avg_years_behind = extra_years / 2.0
+        stagnation = (
+            op_rate * efficiency_progress_per_year * avg_years_behind
+        )
+        # Wear-out maintenance: average AFR over the lifetime.  The
+        # repairs cost (a) extra deployed capacity via Little's law and
+        # (b) the embodied carbon of replacement parts.
+        past_onset = max(0.0, lifetime - wearout_onset_years)
+        avg_extra_afr = (
+            wearout_afr_growth_per_year * past_onset**2 / (2.0 * lifetime)
+        )
+        avg_afr = base_afr.total + avg_extra_afr
+        oos = out_of_service_fraction(avg_afr, repair_time_days)
+        replacement = (
+            (avg_afr / 100.0)
+            * replacement_embodied_fraction
+            * assessment.embodied_per_core
+        )
+        maintenance = (op_rate + embodied_rate) * oos + replacement
+        points.append(
+            LifetimePoint(
+                lifetime_years=float(lifetime),
+                embodied_per_core_year=embodied_rate,
+                operational_per_core_year=op_rate + stagnation,
+                maintenance_overhead_per_core_year=maintenance,
+            )
+        )
+    return LifetimeStudy(points=points)

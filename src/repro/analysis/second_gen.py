@@ -1,0 +1,115 @@
+"""Second-generation GreenSKU candidates (paper Section III).
+
+"Other GreenSKU designs that reuse NICs or use low-power DRAM may be
+feasible, but yield low returns today.  These designs can help target
+residual emissions for a potential second-generation GreenSKU."
+
+This module quantifies those residual options on top of GreenSKU-Full,
+using the same carbon model — demonstrating that GSF "flexibly considers
+various such GreenSKU designs":
+
+- **reused NIC**: removes the NIC's embodied carbon (small: one NIC per
+  server vs 20 DIMMs),
+- **low-power DRAM**: LPDDR-class DIMMs at ~60% of DDR5 power but ~15%
+  higher embodied carbon (denser packaging, lower yields) and no ECC-DIMM
+  reuse path,
+- **both combined**.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..carbon.model import CarbonModel
+from ..hardware import catalog
+from ..hardware.components import Category, DramSpec
+from ..hardware.sku import ServerSKU, baseline_gen3, greensku_full
+
+#: Low-power DRAM characteristics relative to DDR5 (LPDDR5-class,
+#: soldered/CAMM packaging): much lower active+idle power, somewhat higher
+#: embodied carbon per GB.
+LPDDR_POWER_RATIO = 0.60
+LPDDR_EMBODIED_RATIO = 1.15
+
+
+def lpddr_dimm(base: DramSpec = catalog.DDR5_64GB) -> DramSpec:
+    """A low-power DRAM module derived from a DDR5 DIMM."""
+    return dataclasses.replace(
+        base,
+        name=base.name.replace("DDR5", "LPDDR"),
+        tdp_watts=base.tdp_watts * LPDDR_POWER_RATIO,
+        embodied_kg=base.embodied_kg * LPDDR_EMBODIED_RATIO,
+    )
+
+
+def _swap_parts(sku: ServerSKU, name: str, reuse_nic: bool,
+                lpddr: bool) -> ServerSKU:
+    parts = []
+    for spec, count in sku.parts:
+        if reuse_nic and spec.category == Category.NIC:
+            spec = spec.as_reused()
+        if (
+            lpddr
+            and isinstance(spec, DramSpec)
+            and not spec.via_cxl
+            and not spec.reused
+        ):
+            spec = lpddr_dimm(spec)
+        parts.append((spec, count))
+    return ServerSKU.build(name, parts, sku.form_factor_u, sku.generation)
+
+
+def greensku_gen2_nic() -> ServerSKU:
+    """GreenSKU-Full plus a reused NIC."""
+    return _swap_parts(greensku_full(), "GreenSKU-Gen2-NIC",
+                       reuse_nic=True, lpddr=False)
+
+
+def greensku_gen2_lpddr() -> ServerSKU:
+    """GreenSKU-Full with low-power DRAM for the local tier."""
+    return _swap_parts(greensku_full(), "GreenSKU-Gen2-LPDDR",
+                       reuse_nic=False, lpddr=True)
+
+
+def greensku_gen2_full() -> ServerSKU:
+    """GreenSKU-Full plus both residual options."""
+    return _swap_parts(greensku_full(), "GreenSKU-Gen2-Full",
+                       reuse_nic=True, lpddr=True)
+
+
+@dataclass(frozen=True)
+class SecondGenOption:
+    """Incremental value of one second-generation option."""
+
+    name: str
+    total_per_core: float
+    savings_vs_baseline: float
+    incremental_savings_vs_gen1_greensku: float
+
+
+def second_generation_study(
+    model: Optional[CarbonModel] = None,
+) -> List[SecondGenOption]:
+    """Quantify the residual options' returns (paper: low, today)."""
+    model = model or CarbonModel()
+    baseline = model.assess(baseline_gen3()).total_per_core
+    gen1 = model.assess(greensku_full()).total_per_core
+    options = []
+    for sku in (
+        greensku_full(),
+        greensku_gen2_nic(),
+        greensku_gen2_lpddr(),
+        greensku_gen2_full(),
+    ):
+        per_core = model.assess(sku).total_per_core
+        options.append(
+            SecondGenOption(
+                name=sku.name,
+                total_per_core=per_core,
+                savings_vs_baseline=1 - per_core / baseline,
+                incremental_savings_vs_gen1_greensku=1 - per_core / gen1,
+            )
+        )
+    return options

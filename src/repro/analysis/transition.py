@@ -1,0 +1,194 @@
+"""Fleet transition planning toward 2030 (paper Section I framing).
+
+"With a ~six-year lifetime for cloud servers, design choices made in the
+next two years directly affect the industry's 2030 carbon goals."
+
+This module turns that sentence into arithmetic: a fleet of N servers
+refreshes at 1/lifetime per year; each refresh cohort either buys the
+baseline SKU again or the GreenSKU.  The planner tracks the fleet's
+annual and cumulative emissions through a horizon year, so the cost of
+*delaying* GreenSKU adoption is a number rather than a slogan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..carbon.model import CarbonModel
+from ..core.errors import ConfigError
+from ..hardware.sku import ServerSKU, baseline_gen3, greensku_full
+
+
+@dataclass(frozen=True)
+class FleetYear:
+    """One year of a transition scenario."""
+
+    year: int
+    green_share: float
+    annual_kg: float
+    cumulative_kg: float
+
+
+@dataclass(frozen=True)
+class TransitionScenario:
+    """A transition trajectory under one adoption start year."""
+
+    name: str
+    years: List[FleetYear]
+
+    @property
+    def cumulative_kg(self) -> float:
+        return self.years[-1].cumulative_kg
+
+    def year_record(self, year: int) -> FleetYear:
+        for record in self.years:
+            if record.year == year:
+                return record
+        raise ConfigError(f"year {year} not in scenario {self.name}")
+
+
+def _annual_rates(
+    model: CarbonModel, sku: ServerSKU
+) -> "tuple[float, float]":
+    """(operational kg/server/year, embodied kg/server amortized/year)."""
+    assessment = model.assess(sku)
+    lifetime = model.datacenter.lifetime_years
+    per_server = assessment.per_server_total_kg
+    op = (
+        assessment.operational_per_core
+        * assessment.cores_per_server
+        / lifetime
+    )
+    emb = (
+        assessment.embodied_per_core
+        * assessment.cores_per_server
+        / lifetime
+    )
+    return op, emb
+
+
+def transition_scenario(
+    name: str,
+    adoption_start_year: Optional[int],
+    fleet_servers: int = 100_000,
+    start_year: int = 2024,
+    horizon_year: int = 2030,
+    baseline: Optional[ServerSKU] = None,
+    greensku: Optional[ServerSKU] = None,
+    model: Optional[CarbonModel] = None,
+    performance_scaling: float = 1.10,
+) -> TransitionScenario:
+    """Simulate one refresh policy.
+
+    Args:
+        adoption_start_year: First year refresh cohorts buy the GreenSKU
+            (None = never; the all-baseline reference).
+        fleet_servers: Constant serving capacity in baseline-server
+            equivalents.
+        performance_scaling: Extra GreenSKU capacity per replaced
+            baseline server from VM scaling (the adoption-weighted core
+            inflation; 1.10 = 10%).
+        model: Carbon model (grid intensity etc.).
+
+    Each year, ``1/lifetime`` of the fleet refreshes.  Emissions per year
+    are the fleet-share-weighted operational rates plus the amortized
+    embodied rate of each cohort's SKU.
+    """
+    if fleet_servers <= 0:
+        raise ConfigError("fleet must have servers")
+    if horizon_year < start_year:
+        raise ConfigError("horizon precedes start")
+    if performance_scaling < 1.0:
+        raise ConfigError("performance scaling must be >= 1")
+    model = model or CarbonModel()
+    baseline = baseline or baseline_gen3()
+    greensku = greensku or greensku_full()
+    base_op, base_emb = _annual_rates(model, baseline)
+    green_op, green_emb = _annual_rates(model, greensku)
+    # A GreenSKU replaces (baseline cores / green cores) * scaling servers.
+    servers_per_baseline = (
+        baseline.cores / greensku.cores
+    ) * performance_scaling
+
+    refresh_fraction = 1.0 / model.datacenter.lifetime_years
+    green_share = 0.0
+    cumulative = 0.0
+    years: List[FleetYear] = []
+    for year in range(start_year, horizon_year + 1):
+        if adoption_start_year is not None and year >= adoption_start_year:
+            green_share = min(1.0, green_share + refresh_fraction)
+        base_servers = fleet_servers * (1.0 - green_share)
+        green_servers = (
+            fleet_servers * green_share * servers_per_baseline
+        )
+        annual = base_servers * (base_op + base_emb) + green_servers * (
+            green_op + green_emb
+        )
+        cumulative += annual
+        years.append(
+            FleetYear(
+                year=year,
+                green_share=green_share,
+                annual_kg=annual,
+                cumulative_kg=cumulative,
+            )
+        )
+    return TransitionScenario(name=name, years=years)
+
+
+@dataclass(frozen=True)
+class TransitionStudy:
+    """Reference vs adoption-now vs adoption-delayed trajectories."""
+
+    reference: TransitionScenario
+    adopt_now: TransitionScenario
+    adopt_delayed: TransitionScenario
+
+    @property
+    def savings_by_2030_now(self) -> float:
+        return 1.0 - self.adopt_now.cumulative_kg / self.reference.cumulative_kg
+
+    @property
+    def savings_by_2030_delayed(self) -> float:
+        return (
+            1.0
+            - self.adopt_delayed.cumulative_kg
+            / self.reference.cumulative_kg
+        )
+
+    @property
+    def cost_of_delay_kg(self) -> float:
+        """Cumulative kgCO2e the delay forfeits by the horizon."""
+        return (
+            self.adopt_delayed.cumulative_kg - self.adopt_now.cumulative_kg
+        )
+
+
+def transition_study(
+    delay_years: int = 2,
+    **scenario_kwargs,
+) -> TransitionStudy:
+    """The Section I argument as three trajectories.
+
+    Compares never adopting, adopting at the start year, and adopting
+    ``delay_years`` later — quantifying "design choices made in the next
+    two years".
+    """
+    if delay_years < 0:
+        raise ConfigError("delay must be >= 0 years")
+    start = scenario_kwargs.get("start_year", 2024)
+    reference = transition_scenario(
+        "all-baseline", adoption_start_year=None, **scenario_kwargs
+    )
+    now = transition_scenario(
+        "adopt-now", adoption_start_year=start, **scenario_kwargs
+    )
+    delayed = transition_scenario(
+        f"adopt-in-{delay_years}y",
+        adoption_start_year=start + delay_years,
+        **scenario_kwargs,
+    )
+    return TransitionStudy(
+        reference=reference, adopt_now=now, adopt_delayed=delayed
+    )

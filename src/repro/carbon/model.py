@@ -1,0 +1,209 @@
+"""GSF's carbon model component (paper Section IV-A / Section V).
+
+Calculates a SKU's operational and embodied emissions at the server, rack,
+and data-center level, and amortizes them to a CO2e-per-core value — the
+common currency every other GSF component trades in.
+
+The model implements the paper's equations:
+
+- Eq. 1 (server power):   ``P_s = sum_i TDP_i * d_i * (1 + l_i)``
+- servers per rack:       ``N_s = min(floor(P_cap/P_s), N_s_cap)``
+- Eq. 2 (rack power):     ``P_r = N_s * P_s + P_rack_overhead``
+- Eq. 3 (rack embodied):  ``E_emb,r = N_s * E_emb,s + CO2e_rack_overhead``
+- operational emissions:  ``E_op = P * PUE * L * CI``
+- per-core carbon:        ``(E_op + E_emb) / N_cores``
+
+Reused components carry zero embodied carbon ("second life", following
+Switzer et al.) but their full operational footprint.
+
+The Section V worked example (GreenSKU-CXL with the open-source Table V
+data) is the model's calibration anchor; ``tests/carbon/test_worked_example``
+pins ``P_s ~= 403 W``, ``E_emb,s = 1644 kgCO2e``, ``N_s = 16``,
+``E_r ~= 63,351 kgCO2e`` and ``~31 kgCO2e/core``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..core.units import operational_carbon_kg
+from ..hardware.components import Category
+from ..hardware.datacenter import DataCenterConfig
+from ..hardware.rack import RackConfig
+from ..hardware.sku import ServerSKU
+
+
+@dataclass(frozen=True)
+class ServerEmissions:
+    """Server-level power and embodied carbon, with category attribution.
+
+    Attributes:
+        power_watts: Average server power ``P_s`` (Eq. 1).
+        embodied_kg: Server embodied carbon ``E_emb,s`` (new parts only).
+        power_by_category: ``P_s`` attribution per component category.
+        embodied_by_category: ``E_emb,s`` attribution per category.
+    """
+
+    power_watts: float
+    embodied_kg: float
+    power_by_category: Dict[Category, float] = field(default_factory=dict)
+    embodied_by_category: Dict[Category, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SkuAssessment:
+    """Full carbon assessment of one SKU under one facility configuration.
+
+    All ``*_per_core`` values are lifetime emissions amortized over the
+    cores in a rack (including rack- and DC-level overheads), in kgCO2e.
+    """
+
+    sku_name: str
+    cores_per_server: int
+    server: ServerEmissions
+    servers_per_rack: int
+    space_bound: bool
+    rack_power_watts: float
+    rack_operational_kg: float
+    rack_embodied_kg: float
+    dc_embodied_overhead_kg: float
+    cores_per_rack: int
+    operational_per_core: float
+    embodied_per_core: float
+
+    @property
+    def total_per_core(self) -> float:
+        """Lifetime kgCO2e per core: operational plus embodied."""
+        return self.operational_per_core + self.embodied_per_core
+
+    @property
+    def rack_total_kg(self) -> float:
+        """Rack-level lifetime emissions ``E_r`` (Section V example)."""
+        return self.rack_operational_kg + self.rack_embodied_kg
+
+    @property
+    def operational_share(self) -> float:
+        """Fraction of per-core emissions that is operational."""
+        total = self.total_per_core
+        return self.operational_per_core / total if total else 0.0
+
+    @property
+    def per_server_total_kg(self) -> float:
+        """Lifetime emissions attributable to one server, overheads included.
+
+        Used by the maintenance component, which weights repair rates by
+        per-server emissions (``E_s`` in the paper's C_OOS calculation).
+        """
+        return self.total_per_core * self.cores_per_server
+
+
+class CarbonModel:
+    """Evaluates SKUs to CO2e-per-core under a facility configuration.
+
+    Example::
+
+        model = CarbonModel(DataCenterConfig(), RackConfig())
+        assessment = model.assess(baseline_gen3())
+        print(assessment.total_per_core)
+    """
+
+    def __init__(
+        self,
+        datacenter: Optional[DataCenterConfig] = None,
+        rack: Optional[RackConfig] = None,
+    ):
+        self.datacenter = datacenter or DataCenterConfig()
+        self.rack = rack or RackConfig()
+
+    # -- server level -------------------------------------------------------
+
+    def server_power_watts(self, sku: ServerSKU) -> float:
+        """Average server power ``P_s`` per Eq. 1."""
+        return self.server_emissions(sku).power_watts
+
+    def server_embodied_kg(self, sku: ServerSKU) -> float:
+        """Server embodied carbon ``E_emb,s`` (reused parts count zero)."""
+        return self.server_emissions(sku).embodied_kg
+
+    def server_emissions(self, sku: ServerSKU) -> ServerEmissions:
+        """Server power and embodied carbon with category attribution."""
+        derate = self.datacenter.derate_factor
+        power_by_cat: Dict[Category, float] = {}
+        emb_by_cat: Dict[Category, float] = {}
+        for spec, count in sku.iter_parts():
+            watts = spec.powered_watts(derate) * count
+            emb = spec.effective_embodied_kg * count
+            power_by_cat[spec.category] = (
+                power_by_cat.get(spec.category, 0.0) + watts
+            )
+            emb_by_cat[spec.category] = (
+                emb_by_cat.get(spec.category, 0.0) + emb
+            )
+        return ServerEmissions(
+            power_watts=sum(power_by_cat.values()),
+            embodied_kg=sum(emb_by_cat.values()),
+            power_by_category=power_by_cat,
+            embodied_by_category=emb_by_cat,
+        )
+
+    def server_operational_kg(self, sku: ServerSKU) -> float:
+        """Lifetime operational kgCO2e of one server, PUE included."""
+        dc = self.datacenter
+        return operational_carbon_kg(
+            self.server_power_watts(sku) * dc.pue,
+            dc.lifetime_years,
+            dc.carbon_intensity_kg_per_kwh,
+        )
+
+    # -- rack + data-center level -------------------------------------------
+
+    def assess(self, sku: ServerSKU) -> SkuAssessment:
+        """Full assessment: power, rack fit, per-core lifetime emissions."""
+        dc = self.datacenter
+        server = self.server_emissions(sku)
+        n_s = self.rack.servers_per_rack(
+            server.power_watts, sku.form_factor_u
+        )
+        space_bound = self.rack.is_space_bound(
+            server.power_watts, sku.form_factor_u
+        )
+        rack_power = self.rack.rack_power_watts(server.power_watts, n_s)
+        rack_operational = operational_carbon_kg(
+            rack_power * dc.pue,
+            dc.lifetime_years,
+            dc.carbon_intensity_kg_per_kwh,
+        )
+        rack_embodied = (
+            n_s * server.embodied_kg + self.rack.overhead_embodied_kg
+        )
+        cores_per_rack = n_s * sku.cores
+        dc_overhead = dc.dc_embodied_per_rack_kg
+        operational_per_core = rack_operational / cores_per_rack
+        embodied_per_core = (rack_embodied + dc_overhead) / cores_per_rack
+        return SkuAssessment(
+            sku_name=sku.name,
+            cores_per_server=sku.cores,
+            server=server,
+            servers_per_rack=n_s,
+            space_bound=space_bound,
+            rack_power_watts=rack_power,
+            rack_operational_kg=rack_operational,
+            rack_embodied_kg=rack_embodied,
+            dc_embodied_overhead_kg=dc_overhead,
+            cores_per_rack=cores_per_rack,
+            operational_per_core=operational_per_core,
+            embodied_per_core=embodied_per_core,
+        )
+
+    def co2e_per_core(self, sku: ServerSKU) -> float:
+        """Shorthand for ``assess(sku).total_per_core``."""
+        return self.assess(sku).total_per_core
+
+    def at_intensity(self, ci: float) -> "CarbonModel":
+        """A copy of this model at a different grid carbon intensity."""
+        return CarbonModel(self.datacenter.with_carbon_intensity(ci), self.rack)
+
+    def with_lifetime(self, years: float) -> "CarbonModel":
+        """A copy of this model with a different server lifetime."""
+        return CarbonModel(self.datacenter.with_lifetime(years), self.rack)

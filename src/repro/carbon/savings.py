@@ -1,0 +1,168 @@
+"""Per-core carbon savings tables (paper Table IV / Table VIII).
+
+Given a baseline SKU and candidate SKUs, compute operational, embodied, and
+total per-core savings percentages relative to the baseline — the rows of
+the paper's headline tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.tables import render_table
+from ..hardware.sku import ServerSKU, paper_skus
+from .model import CarbonModel, SkuAssessment
+
+
+def _savings(baseline: float, candidate: float) -> float:
+    """Savings fraction; zero when the baseline bucket is itself zero
+    (e.g. operational emissions at zero carbon intensity)."""
+    if baseline == 0:
+        return 0.0
+    return (baseline - candidate) / baseline
+
+
+@dataclass(frozen=True)
+class SavingsRow:
+    """One row of a savings table.
+
+    Savings are fractions (0.28 = 28%); the baseline row holds ``None``.
+    """
+
+    sku_name: str
+    cores: int
+    memory_desc: str
+    storage_desc: str
+    operational_savings: Optional[float]
+    embodied_savings: Optional[float]
+    total_savings: Optional[float]
+    assessment: SkuAssessment
+
+    def percent_row(self) -> List:
+        """Cells formatted the way the paper's table reports them."""
+
+        def pct(x: Optional[float]) -> Optional[str]:
+            return None if x is None else f"{round(100 * x)}%"
+
+        return [
+            self.sku_name,
+            self.cores,
+            self.memory_desc,
+            self.storage_desc,
+            pct(self.operational_savings),
+            pct(self.embodied_savings),
+            pct(self.total_savings),
+        ]
+
+
+def _memory_desc(sku: ServerSKU) -> str:
+    """Describe DIMM population like the paper: ``12x64 + 8x32 CXL``."""
+    local: Dict[int, int] = {}
+    cxl: Dict[int, int] = {}
+    for spec, count in sku.iter_parts():
+        if spec.category.value != "dram":
+            continue
+        bucket = cxl if getattr(spec, "via_cxl", False) else local
+        cap = spec.capacity_gb
+        bucket[cap] = bucket.get(cap, 0) + count
+    parts = [f"{n}x{cap}" for cap, n in sorted(local.items(), reverse=True)]
+    parts += [
+        f"{n}x{cap} CXL" for cap, n in sorted(cxl.items(), reverse=True)
+    ]
+    return " + ".join(parts)
+
+
+def _storage_desc(sku: ServerSKU) -> str:
+    """Describe SSD population like the paper: ``2x4 + 12x1 Reuse``."""
+    new: Dict[float, int] = {}
+    reused: Dict[float, int] = {}
+    for spec, count in sku.iter_parts():
+        if spec.category.value != "ssd":
+            continue
+        bucket = reused if spec.reused else new
+        cap = spec.capacity_tb
+        bucket[cap] = bucket.get(cap, 0) + count
+    parts = [f"{n}x{cap:g}" for cap, n in sorted(new.items(), reverse=True)]
+    parts += [
+        f"{n}x{cap:g} Reuse" for cap, n in sorted(reused.items(), reverse=True)
+    ]
+    return " + ".join(parts)
+
+
+def savings_table(
+    model: CarbonModel,
+    baseline: ServerSKU,
+    candidates: Sequence[ServerSKU],
+) -> List[SavingsRow]:
+    """Per-core savings of each candidate relative to ``baseline``.
+
+    The baseline itself is the first row (savings = None), matching the
+    layout of Table IV / Table VIII.
+    """
+    base = model.assess(baseline)
+    rows = [
+        SavingsRow(
+            sku_name=baseline.name,
+            cores=baseline.cores,
+            memory_desc=_memory_desc(baseline),
+            storage_desc=_storage_desc(baseline),
+            operational_savings=None,
+            embodied_savings=None,
+            total_savings=None,
+            assessment=base,
+        )
+    ]
+    for sku in candidates:
+        assessment = model.assess(sku)
+        rows.append(
+            SavingsRow(
+                sku_name=sku.name,
+                cores=sku.cores,
+                memory_desc=_memory_desc(sku),
+                storage_desc=_storage_desc(sku),
+                operational_savings=_savings(
+                    base.operational_per_core, assessment.operational_per_core
+                ),
+                embodied_savings=_savings(
+                    base.embodied_per_core, assessment.embodied_per_core
+                ),
+                total_savings=_savings(
+                    base.total_per_core, assessment.total_per_core
+                ),
+                assessment=assessment,
+            )
+        )
+    return rows
+
+
+def paper_savings_table(
+    model: Optional[CarbonModel] = None,
+) -> List[SavingsRow]:
+    """Table VIII: the five paper configurations under the default model."""
+    model = model or CarbonModel()
+    skus = paper_skus()
+    baseline = skus.pop("Baseline")
+    order = [
+        "Baseline-Resized",
+        "GreenSKU-Efficient",
+        "GreenSKU-CXL",
+        "GreenSKU-Full",
+    ]
+    return savings_table(model, baseline, [skus[name] for name in order])
+
+
+def render_savings_table(rows: Iterable[SavingsRow], title: str = "") -> str:
+    """Render savings rows as the paper's table layout."""
+    headers = [
+        "SKU Config.",
+        "# Cores",
+        "# x DIMM (GB)",
+        "# x SSD (TB)",
+        "Operational Savings",
+        "Embodied Savings",
+        "Total Savings",
+    ]
+    return render_table(
+        headers, [row.percent_row() for row in rows], title=title or None
+    )

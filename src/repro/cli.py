@@ -1,0 +1,230 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``list`` — list the reproducible paper experiments.
+- ``run <id>`` — run one experiment and print its rendered rows/series.
+- ``run-all`` — run every experiment (the full paper reproduction).
+- ``price <sku>`` — carbon-price one SKU (CO2e per core, power, rack fit).
+- ``savings`` — the Table VIII per-core savings table.
+- ``evaluate`` — end-to-end GSF on a synthetic trace.
+- ``trace`` — generate a synthetic VM trace and write it to CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .allocation.io import save_trace
+from .allocation.traces import TraceParams, generate_trace
+from .carbon.model import CarbonModel
+from .carbon.savings import paper_savings_table, render_savings_table
+from .core.errors import ConfigError, ReproError
+from .experiments.registry import EXPERIMENTS, get_experiment
+from .gsf.framework import Gsf
+from .hardware.datacenter import DataCenterConfig
+from .hardware.sku import paper_skus
+
+
+def _model(args: argparse.Namespace) -> CarbonModel:
+    dc = DataCenterConfig().with_carbon_intensity(args.ci)
+    if getattr(args, "lifetime", None):
+        dc = dc.with_lifetime(args.lifetime)
+    return CarbonModel(dc)
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    width = max(len(k) for k in EXPERIMENTS)
+    for exp in EXPERIMENTS.values():
+        print(f"{exp.experiment_id.ljust(width)}  {exp.title}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    experiment = get_experiment(args.experiment)
+    experiment.module.main()
+    return 0
+
+
+def cmd_run_all(args: argparse.Namespace) -> int:
+    from .experiments.registry import run_all
+
+    run_all(verbose=True)
+    return 0
+
+
+def cmd_price(args: argparse.Namespace) -> int:
+    skus = paper_skus()
+    if args.sku not in skus:
+        raise ConfigError(
+            f"unknown SKU {args.sku!r}; known: {sorted(skus)}"
+        )
+    sku = skus[args.sku]
+    assessment = _model(args).assess(sku)
+    print(f"{sku.name}: {sku.cores} cores, {sku.memory_gb} GB memory "
+          f"({sku.cxl_memory_gb} GB via CXL), {sku.storage_tb:g} TB SSD")
+    print(f"  server power:        {assessment.server.power_watts:8.1f} W")
+    print(f"  server embodied:     {assessment.server.embodied_kg:8.1f} kg")
+    print(f"  servers per rack:    {assessment.servers_per_rack:8d} "
+          f"({'space' if assessment.space_bound else 'power'}-bound)")
+    print(f"  operational/core:    {assessment.operational_per_core:8.1f} kg")
+    print(f"  embodied/core:       {assessment.embodied_per_core:8.1f} kg")
+    print(f"  total/core:          {assessment.total_per_core:8.1f} kg")
+    return 0
+
+
+def cmd_savings(args: argparse.Namespace) -> int:
+    rows = paper_savings_table(_model(args))
+    print(
+        render_savings_table(
+            rows,
+            title=f"Per-core savings at CI = {args.ci} kgCO2e/kWh",
+        )
+    )
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    skus = paper_skus()
+    if args.sku not in skus:
+        raise ConfigError(
+            f"unknown SKU {args.sku!r}; known: {sorted(skus)}"
+        )
+    gsf = Gsf().at_intensity(args.ci)
+    trace = generate_trace(
+        seed=args.seed,
+        params=TraceParams(mean_concurrent_vms=args.vms, duration_days=args.days),
+    )
+    evaluation = gsf.evaluate(skus[args.sku], trace)
+    print(f"trace: {len(trace.vms)} VMs over {args.days:g} days "
+          f"(seed {args.seed})")
+    print(f"sizing: {evaluation.sizing.baseline_only_servers} baseline-only"
+          f" -> {evaluation.sizing.mixed_baseline_servers} baseline + "
+          f"{evaluation.sizing.mixed_green_servers} {args.sku} "
+          f"(+{evaluation.buffer.baseline_buffer_servers} buffer)")
+    print(f"cluster savings:      {evaluation.cluster_savings:.1%}")
+    print(f"net DC savings:       {gsf.dc_savings(evaluation):.1%}")
+    print(f"adopted core-hours:   {evaluation.adopted_core_hour_share:.0%}")
+    if args.report:
+        from .gsf.report import evaluation_markdown
+
+        adoption = gsf.adoption_model(skus[args.sku])
+        import pathlib
+
+        pathlib.Path(args.report).write_text(
+            evaluation_markdown(
+                evaluation,
+                compute_share=gsf.config.datacenter.compute_share_of_dc,
+                adoption=adoption,
+            )
+            + "\n"
+        )
+        print(f"report written to {args.report}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    trace = generate_trace(
+        seed=args.seed,
+        params=TraceParams(
+            mean_concurrent_vms=args.vms, duration_days=args.days
+        ),
+    )
+    save_trace(trace, args.out)
+    print(f"wrote {len(trace.vms)} VMs to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "GreenSKU/GSF: evaluate low-carbon cloud server designs "
+            "(reproduction of Wang et al., ISCA 2024)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list paper experiments").set_defaults(
+        func=cmd_list
+    )
+
+    run = sub.add_parser("run", help="run one paper experiment")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.set_defaults(func=cmd_run)
+
+    sub.add_parser("run-all", help="run every experiment").set_defaults(
+        func=cmd_run_all
+    )
+
+    price = sub.add_parser("price", help="carbon-price one SKU")
+    price.add_argument("sku", help="SKU name (e.g. GreenSKU-Full)")
+    price.add_argument("--ci", type=float, default=0.1,
+                       help="grid carbon intensity, kgCO2e/kWh")
+    price.add_argument("--lifetime", type=float, default=None,
+                       help="server lifetime, years")
+    price.set_defaults(func=cmd_price)
+
+    savings = sub.add_parser("savings", help="Table VIII savings table")
+    savings.add_argument("--ci", type=float, default=0.1)
+    savings.set_defaults(func=cmd_savings)
+
+    evaluate = sub.add_parser("evaluate", help="end-to-end GSF evaluation")
+    evaluate.add_argument("--sku", default="GreenSKU-Full")
+    evaluate.add_argument("--seed", type=int, default=1)
+    evaluate.add_argument("--vms", type=int, default=500,
+                          help="mean concurrent VMs")
+    evaluate.add_argument("--days", type=float, default=14.0)
+    evaluate.add_argument("--ci", type=float, default=0.1)
+    evaluate.add_argument(
+        "--report", default=None,
+        help="write a Markdown evaluation report to this path",
+    )
+    evaluate.set_defaults(func=cmd_evaluate)
+
+    trace = sub.add_parser("trace", help="generate a VM trace CSV")
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument("--vms", type=int, default=350)
+    trace.add_argument("--days", type=float, default=14.0)
+    trace.add_argument("--out", required=True)
+    trace.set_defaults(func=cmd_trace)
+
+    export = sub.add_parser(
+        "export", help="write experiment artifacts to a directory"
+    )
+    export.add_argument("--out", required=True)
+    export.add_argument(
+        "--all",
+        action="store_true",
+        help="include the heavy trace-driven experiments",
+    )
+    export.set_defaults(func=cmd_export)
+    return parser
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from .experiments.export import FAST_EXPERIMENT_IDS, export_experiments
+
+    ids = list(EXPERIMENTS) if args.all else list(FAST_EXPERIMENT_IDS)
+    written = export_experiments(args.out, ids)
+    total = sum(len(files) for files in written.values())
+    print(f"exported {len(written)} experiments ({total} files) to "
+          f"{args.out}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Core utilities: units, errors, deterministic RNG streams, table output."""
+
+from .errors import (
+    CapacityError,
+    CarbonModelError,
+    ConfigError,
+    ReproError,
+    SimulationError,
+    SizingError,
+    UnitError,
+)
+from .rng import DEFAULT_SEED, RngFactory, derive_seed, stream
+from .tables import render_csv, render_table
+from .units import (
+    HOURS_PER_YEAR,
+    energy_kwh,
+    hours_to_years,
+    operational_carbon_kg,
+    percent,
+    savings_fraction,
+    watts_to_kw,
+    years_to_hours,
+)
+
+__all__ = [
+    "CapacityError",
+    "CarbonModelError",
+    "ConfigError",
+    "ReproError",
+    "SimulationError",
+    "SizingError",
+    "UnitError",
+    "DEFAULT_SEED",
+    "RngFactory",
+    "derive_seed",
+    "stream",
+    "render_csv",
+    "render_table",
+    "HOURS_PER_YEAR",
+    "energy_kwh",
+    "hours_to_years",
+    "operational_carbon_kg",
+    "percent",
+    "savings_fraction",
+    "watts_to_kw",
+    "years_to_hours",
+]

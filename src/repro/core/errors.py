@@ -1,0 +1,37 @@
+"""Exception hierarchy for the GreenSKU/GSF reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures without also catching unrelated Python
+errors.  Subclasses signal which layer failed: configuration validation,
+carbon modeling, simulation, or capacity search.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """An input (SKU design, datacenter parameter, trace, ...) is invalid."""
+
+
+class UnitError(ConfigError):
+    """A quantity was supplied in the wrong unit or with a nonsensical value."""
+
+
+class CarbonModelError(ReproError):
+    """The carbon model could not evaluate a SKU (e.g. it fits no rack)."""
+
+
+class SimulationError(ReproError):
+    """A discrete-event or allocation simulation reached an invalid state."""
+
+
+class CapacityError(SimulationError):
+    """A cluster cannot host the requested workload (VM rejected)."""
+
+
+class SizingError(ReproError):
+    """The cluster-sizing search failed to converge to a feasible cluster."""

@@ -1,0 +1,61 @@
+"""Deterministic random-number streams for reproducible simulations.
+
+Every stochastic component (VM trace generation, queueing simulation,
+failure traces) draws from a named stream derived from a single root seed.
+Deriving streams by name means adding a new consumer never perturbs the
+draws seen by existing consumers, which keeps regression baselines stable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+#: Default root seed used by harnesses when the caller does not supply one.
+DEFAULT_SEED = 20240624
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a 32-bit child seed from a root seed and a stream name.
+
+    The derivation hashes the name so that streams are statistically
+    independent and stable across runs and platforms.
+
+    >>> derive_seed(1, "a") != derive_seed(1, "b")
+    True
+    >>> derive_seed(1, "a") == derive_seed(1, "a")
+    True
+    """
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def stream(root_seed: int, name: str) -> np.random.Generator:
+    """Return a numpy Generator for the named stream under ``root_seed``."""
+    return np.random.default_rng(derive_seed(root_seed, name))
+
+
+class RngFactory:
+    """Factory that hands out named, independent RNG streams.
+
+    Example::
+
+        rngs = RngFactory(seed=7)
+        arrivals = rngs.stream("arrivals")
+        lifetimes = rngs.stream("lifetimes")
+    """
+
+    def __init__(self, seed: int = DEFAULT_SEED):
+        self.seed = int(seed)
+
+    def stream(self, name: str) -> np.random.Generator:
+        """A fresh generator for ``name``; same name -> same sequence."""
+        return stream(self.seed, name)
+
+    def child(self, name: str) -> "RngFactory":
+        """A derived factory, for nesting (e.g. per-trace sub-streams)."""
+        return RngFactory(derive_seed(self.seed, name))
+
+    def __repr__(self) -> str:
+        return f"RngFactory(seed={self.seed})"

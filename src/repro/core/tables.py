@@ -1,0 +1,72 @@
+"""Plain-text table rendering for experiment harness output.
+
+The benchmark harnesses print the same rows the paper's tables report.  This
+module renders lists of rows as aligned monospace tables without pulling in a
+third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_cell(value: Cell, float_fmt: str = "{:.2f}") -> str:
+    """Render a single cell: floats via ``float_fmt``, None as ``-``."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return float_fmt.format(value)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+-----
+    1 | 2.50
+    """
+    str_rows: List[List[str]] = [
+        [format_cell(cell, float_fmt) for cell in row] for row in rows
+    ]
+    header_row = [str(h) for h in headers]
+    widths = [len(h) for h in header_row]
+    for row in str_rows:
+        if len(row) != len(header_row):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(header_row)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    separator = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(header_row))
+    lines.append(separator)
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_csv(
+    headers: Sequence[str], rows: Iterable[Sequence[Cell]]
+) -> str:
+    """Render rows as simple CSV (no quoting; callers avoid commas in cells)."""
+    lines = [",".join(str(h) for h in headers)]
+    for row in rows:
+        lines.append(",".join(format_cell(c, "{:.6g}") for c in row))
+    return "\n".join(lines)

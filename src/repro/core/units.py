@@ -1,0 +1,122 @@
+"""Unit helpers and conversions used throughout the carbon model.
+
+The carbon model mixes power (watts), energy (kilowatt-hours), time
+(hours/years) and carbon mass (kilograms of CO2-equivalent).  Bugs in carbon
+accounting are very often unit bugs, so all conversions live here, are named
+explicitly, and are validated.
+
+Conventions used across the library:
+
+- power:   watts (W)
+- energy:  kilowatt-hours (kWh)
+- time:    hours (h) for durations, years for lifetimes
+- carbon:  kilograms of CO2-equivalent (kgCO2e)
+- carbon intensity: kgCO2e per kWh
+- memory:  gibibyte-like "GB" as the paper uses it (capacity bookkeeping)
+- storage: terabytes (TB)
+"""
+
+from __future__ import annotations
+
+from .errors import UnitError
+
+#: Hours in one year, matching the paper's 6-year lifetime of 52,560 hours.
+HOURS_PER_YEAR = 8760.0
+
+#: Watts per kilowatt.
+WATTS_PER_KW = 1000.0
+
+
+def years_to_hours(years: float) -> float:
+    """Convert a duration in years to hours (8,760 h/year).
+
+    >>> years_to_hours(6)
+    52560.0
+    """
+    if years < 0:
+        raise UnitError(f"duration must be non-negative, got {years} years")
+    return years * HOURS_PER_YEAR
+
+
+def hours_to_years(hours: float) -> float:
+    """Convert a duration in hours to years."""
+    if hours < 0:
+        raise UnitError(f"duration must be non-negative, got {hours} hours")
+    return hours / HOURS_PER_YEAR
+
+
+def watts_to_kw(watts: float) -> float:
+    """Convert power in watts to kilowatts."""
+    return watts / WATTS_PER_KW
+
+
+def energy_kwh(power_watts: float, duration_hours: float) -> float:
+    """Energy (kWh) drawn by a constant ``power_watts`` load over a duration.
+
+    >>> energy_kwh(1000, 10)
+    10.0
+    """
+    if power_watts < 0:
+        raise UnitError(f"power must be non-negative, got {power_watts} W")
+    if duration_hours < 0:
+        raise UnitError(
+            f"duration must be non-negative, got {duration_hours} h"
+        )
+    return watts_to_kw(power_watts) * duration_hours
+
+
+def operational_carbon_kg(
+    power_watts: float,
+    lifetime_years: float,
+    carbon_intensity_kg_per_kwh: float,
+) -> float:
+    """Operational kgCO2e of a constant load over a lifetime.
+
+    This is the paper's ``E_op = P * L * CI`` with explicit units: the
+    power is in watts, the lifetime in years, and the carbon intensity in
+    kgCO2e/kWh.
+
+    >>> round(operational_carbon_kg(6953, 6, 0.1))
+    36545
+    """
+    if carbon_intensity_kg_per_kwh < 0:
+        raise UnitError(
+            "carbon intensity must be non-negative, got "
+            f"{carbon_intensity_kg_per_kwh} kg/kWh"
+        )
+    kwh = energy_kwh(power_watts, years_to_hours(lifetime_years))
+    return kwh * carbon_intensity_kg_per_kwh
+
+
+def grams_to_kg(grams: float) -> float:
+    """Convert grams to kilograms."""
+    return grams / 1000.0
+
+
+def tonnes_to_kg(tonnes: float) -> float:
+    """Convert metric tonnes to kilograms."""
+    return tonnes * 1000.0
+
+
+def percent(value: float, total: float) -> float:
+    """``value`` as a percentage of ``total``; 0 when ``total`` is 0.
+
+    >>> percent(25, 100)
+    25.0
+    """
+    if total == 0:
+        return 0.0
+    return 100.0 * value / total
+
+
+def savings_fraction(baseline: float, candidate: float) -> float:
+    """Fractional savings of ``candidate`` relative to ``baseline``.
+
+    Positive values mean the candidate emits less than the baseline.
+
+    >>> savings_fraction(100.0, 72.0)
+    0.28
+    """
+    if baseline == 0:
+        raise UnitError("baseline value must be nonzero to compute savings")
+    return (baseline - candidate) / baseline

@@ -1,0 +1,66 @@
+"""Export experiment artifacts to a directory.
+
+The equivalent of the paper artifact's ``figures/generated_figures``
+output: run experiments from the registry, render each one's rows/series,
+and write ``<id>.txt`` (plus ``<id>.csv`` where the harness exports series
+data) under an output directory.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Iterable, List, Optional, Union
+
+from .registry import EXPERIMENTS, get_experiment
+
+#: Experiments cheap enough for the default export set (< ~2 s each).
+FAST_EXPERIMENT_IDS = (
+    "fig1",
+    "fig2",
+    "table1",
+    "fig7",
+    "table2",
+    "table3",
+    "fig8",
+    "table4",
+    "sec5-maintenance",
+    "sec7-alternatives",
+    "sec7-tco",
+    "validation",
+)
+
+
+def export_experiments(
+    out_dir: Union[str, pathlib.Path],
+    experiment_ids: Optional[Iterable[str]] = None,
+) -> Dict[str, List[pathlib.Path]]:
+    """Run experiments and write their artifacts.
+
+    Args:
+        out_dir: Directory to write into (created if missing).
+        experiment_ids: Which experiments to export (default: the fast
+            set; pass ``EXPERIMENTS`` keys for everything).
+
+    Returns:
+        Experiment id -> list of files written.
+    """
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    ids = list(experiment_ids) if experiment_ids else list(
+        FAST_EXPERIMENT_IDS
+    )
+    written: Dict[str, List[pathlib.Path]] = {}
+    for experiment_id in ids:
+        experiment = get_experiment(experiment_id)
+        module = experiment.module
+        result = module.run()
+        files: List[pathlib.Path] = []
+        text_path = out / f"{experiment_id}.txt"
+        text_path.write_text(module.render(result) + "\n")
+        files.append(text_path)
+        if hasattr(module, "to_csv"):
+            csv_path = out / f"{experiment_id}.csv"
+            csv_path.write_text(module.to_csv(result) + "\n")
+            files.append(csv_path)
+        written[experiment_id] = files
+    return written

@@ -1,0 +1,98 @@
+"""Experiment index: paper artifact id -> harness module.
+
+Every table and figure in the paper's evaluation maps to one module with a
+``run()`` returning a structured result and a ``render()`` producing the
+rows/series the paper reports.  ``python -m repro.experiments.<module>``
+runs any of them standalone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import ModuleType
+from typing import Dict, List
+
+from ..core.errors import ConfigError
+from . import (
+    end_to_end,
+    fig1_breakdown,
+    fig2_failures,
+    fig7_latency,
+    fig8_cxl,
+    fig9_packing,
+    fig10_memutil,
+    fig11_cluster_savings,
+    section5_maintenance,
+    section7_alternatives,
+    section7_tco,
+    table1_cpus,
+    table2_devops,
+    table3_scaling,
+    table4_savings,
+    validation,
+)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible paper artifact."""
+
+    experiment_id: str
+    title: str
+    module: ModuleType
+
+
+_EXPERIMENTS: List[Experiment] = [
+    Experiment("fig1", "Carbon breakdown of Azure data centers",
+               fig1_breakdown),
+    Experiment("fig2", "DDR4 DIMM failure rates over 7 years",
+               fig2_failures),
+    Experiment("table1", "Baseline CPUs vs efficient Bergamo", table1_cpus),
+    Experiment("fig7", "Tail latency vs load per app class", fig7_latency),
+    Experiment("table2", "DevOps build slowdowns", table2_devops),
+    Experiment("table3", "GreenSKU-Efficient scaling factors",
+               table3_scaling),
+    Experiment("fig8", "CXL latency impact (Moses vs HAProxy)", fig8_cxl),
+    Experiment("fig9", "VM packing density CDFs", fig9_packing),
+    Experiment("fig10", "Per-server max memory utilization CDF",
+               fig10_memutil),
+    Experiment("table4", "Per-core carbon savings (Table IV/VIII)",
+               table4_savings),
+    Experiment("fig11", "Cluster savings vs carbon intensity (Fig 11/12)",
+               fig11_cluster_savings),
+    Experiment("sec5-maintenance", "AFR / FIP / C_OOS accounting",
+               section5_maintenance),
+    Experiment("sec7-alternatives", "Equivalent alternative strategies",
+               section7_alternatives),
+    Experiment("sec7-tco", "Cost vs carbon efficiency", section7_tco),
+    Experiment("end-to-end", "28% -> 15% -> 8% savings chain", end_to_end),
+    Experiment("validation", "All fast calibration anchors, PASS/FAIL",
+               validation),
+]
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    e.experiment_id: e for e in _EXPERIMENTS
+}
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up an experiment, with a helpful error."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ConfigError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def run_all(verbose: bool = True) -> Dict[str, object]:
+    """Run every experiment's ``main()``; returns id -> result."""
+    results = {}
+    for exp in _EXPERIMENTS:
+        if verbose:
+            print(f"=== {exp.experiment_id}: {exp.title} ===")
+        results[exp.experiment_id] = exp.module.main()
+        if verbose:
+            print()
+    return results

@@ -1,0 +1,62 @@
+"""Experiment Section VII-B: what alternatives need to match GreenSKU-Full.
+
+Computes, for the measured data-center savings target, the equivalent
+renewable-energy increase, uniform component-efficiency improvement, and
+server-lifetime extension.  The paper's reference answers (for its internal
+8% DC savings): +2.6 points of renewables, 28% component efficiency, and
+6 -> 13 year lifetimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..analysis.alternatives import EquivalenceReport, equivalence_report
+from ..carbon.intensity import EnergyMix
+
+
+@dataclass(frozen=True)
+class AlternativesResult:
+    report: EquivalenceReport
+
+
+def run(
+    target_savings: float = 0.15,
+    mix: Optional[EnergyMix] = None,
+) -> AlternativesResult:
+    """Equivalences for a savings target.
+
+    Defaults to 0.15 — the paper's performance-adjusted cluster savings,
+    which its efficiency equivalence visibly targets (28% efficiency at a
+    ~55% operational share implies a ~15% target).
+    """
+    return AlternativesResult(
+        report=equivalence_report(target_savings, mix=mix)
+    )
+
+
+def render(result: AlternativesResult) -> str:
+    r = result.report
+    return "\n".join(
+        [
+            "Section VII-B: matching GreenSKU-Full's data-center savings "
+            f"({r.target_savings:.0%}) requires:",
+            f"  +{100 * r.renewables_increase:.1f} points more renewable "
+            "energy (paper: +2.6 points; actual grids add ~1.2/yr)",
+            f"  {r.efficiency_improvement:.0%} better energy efficiency in "
+            "every component (paper: 28%, ~one CPU generation)",
+            f"  server lifetimes of {r.lifetime_years:.1f} years, up from 6 "
+            "(paper: 13 years)",
+        ]
+    )
+
+
+def main() -> AlternativesResult:
+    result = run()
+    print(render(result))
+    return result
+
+
+if __name__ == "__main__":
+    main()

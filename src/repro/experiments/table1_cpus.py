@@ -1,0 +1,46 @@
+"""Experiment Table I: baseline AMD CPUs vs the efficient Bergamo CPU."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.tables import render_table
+from ..hardware.catalog import table1_rows
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """The table rows in the paper's layout."""
+
+    rows: List[Tuple]
+
+
+def run() -> Table1Result:
+    return Table1Result(rows=list(table1_rows()))
+
+
+def render(result: Table1Result) -> str:
+    headers = [
+        "CPU Characteristic",
+        "Bergamo",
+        "Rome (Gen 1)",
+        "Milan (Gen 2)",
+        "Genoa (Gen 3)",
+    ]
+    return render_table(
+        headers,
+        result.rows,
+        title="Table I: baseline AMD CPUs vs the efficient Bergamo CPU",
+        float_fmt="{:g}",
+    )
+
+
+def main() -> Table1Result:
+    result = run()
+    print(render(result))
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Experiment Table II: DevOps build slowdowns vs baseline generations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..perf.devops import DevOpsRow, render_table2, table2_rows
+
+#: The slowdowns the paper reports (app -> gen1, gen2, gen3, eff, cxl).
+PAPER_TABLE2 = {
+    "Build-PHP": (1.27, 1.11, 1.00, 1.17, 1.38),
+    "Build-Python": (1.28, 1.13, 1.00, 1.15, 1.21),
+    "Build-Wasm": (1.34, 1.19, 1.00, 1.15, 1.28),
+}
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    rows: List[DevOpsRow]
+
+    def max_abs_error(self) -> float:
+        """Largest deviation from the paper's published cells."""
+        worst = 0.0
+        for row in self.rows:
+            expected = PAPER_TABLE2[row.app_name]
+            got = [
+                row.slowdowns[c]
+                for c in ("gen1", "gen2", "gen3", "efficient", "cxl")
+            ]
+            worst = max(
+                worst, max(abs(g - e) for g, e in zip(got, expected))
+            )
+        return worst
+
+
+def run() -> Table2Result:
+    return Table2Result(rows=table2_rows())
+
+
+def render(result: Table2Result) -> str:
+    return (
+        "Table II: DevOps slowdowns normalized to Gen3 (8 cores)\n"
+        + render_table2(result.rows)
+        + f"\nmax deviation from the paper's cells: "
+        f"{result.max_abs_error():.3f}"
+    )
+
+
+def main() -> Table2Result:
+    result = run()
+    print(render(result))
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Experiment Table IV / Table VIII: per-core carbon savings of the SKUs.
+
+Regenerates the headline savings table.  With the open-source component
+data (Table V/VI of the paper's artifact appendix) the targets are the
+paper's Table VIII cells; Table IV's internal-data cells are listed for
+reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..carbon.model import CarbonModel
+from ..carbon.savings import SavingsRow, paper_savings_table, render_savings_table
+
+#: Table VIII (open-source data): SKU -> (operational, embodied, total)
+#: savings percentages.
+PAPER_TABLE8: Dict[str, Tuple[int, int, int]] = {
+    "Baseline-Resized": (6, 10, 8),
+    "GreenSKU-Efficient": (16, 14, 15),
+    "GreenSKU-CXL": (15, 32, 24),
+    "GreenSKU-Full": (14, 38, 26),
+}
+
+#: Table IV (Azure-internal data), for reference comparison only.
+PAPER_TABLE4: Dict[str, Tuple[int, int, int]] = {
+    "Baseline-Resized": (3, 6, 4),
+    "GreenSKU-Efficient": (29, 14, 23),
+    "GreenSKU-CXL": (23, 25, 24),
+    "GreenSKU-Full": (17, 43, 28),
+}
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    """Computed savings rows plus per-cell deviations from Table VIII."""
+
+    rows: List[SavingsRow]
+
+    def deviations(self) -> Dict[str, Tuple[int, int, int]]:
+        """Per SKU: (op, emb, total) deviation in percentage points."""
+        out = {}
+        for row in self.rows:
+            if row.sku_name not in PAPER_TABLE8:
+                continue
+            expected = PAPER_TABLE8[row.sku_name]
+            got = (
+                round(100 * row.operational_savings),
+                round(100 * row.embodied_savings),
+                round(100 * row.total_savings),
+            )
+            out[row.sku_name] = tuple(g - e for g, e in zip(got, expected))
+        return out
+
+    @property
+    def max_abs_deviation_points(self) -> int:
+        """Largest |deviation| across all 12 compared cells."""
+        return max(
+            abs(d) for devs in self.deviations().values() for d in devs
+        )
+
+
+def run(model: Optional[CarbonModel] = None) -> Table4Result:
+    return Table4Result(rows=paper_savings_table(model))
+
+
+def render(result: Table4Result) -> str:
+    table = render_savings_table(
+        result.rows,
+        title=(
+            "Table VIII: per-core savings vs the Gen3 baseline "
+            "(open-source data, CI = 0.1 kgCO2e/kWh)"
+        ),
+    )
+    dev_lines = [
+        f"  {sku}: deviation (op, emb, total) = {devs} points"
+        for sku, devs in result.deviations().items()
+    ]
+    return "\n".join(
+        [table, "vs the paper's Table VIII:"]
+        + dev_lines
+        + [
+            f"max |deviation|: {result.max_abs_deviation_points} point(s)",
+        ]
+    )
+
+
+def main() -> Table4Result:
+    result = run()
+    print(render(result))
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,139 @@
+"""Validation report: every fast quantitative anchor, PASS/FAIL.
+
+The equivalent of the paper artifact's expected-results check: runs the
+calibration anchors that take under a second each (the Section V worked
+example, Table VIII, Tables II/III, maintenance, headline claims) and
+prints a line per claim.  Heavier artifacts (Figs. 9-11) are validated by
+their own benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from ..carbon.model import CarbonModel
+from ..carbon.savings import paper_savings_table
+from ..hardware.datacenter import appendix_config
+from ..hardware.sku import baseline_gen3, greensku_cxl, greensku_full
+from ..perf.apps import APPLICATIONS, cxl_tolerant_core_hour_share
+from ..perf.pond import mitigated_share
+from ..perf.scaling import factors_by_app
+from ..reliability.afr import server_afr
+from ..reliability.maintenance import paper_maintenance_comparison
+
+
+@dataclass(frozen=True)
+class Check:
+    """One validated claim."""
+
+    claim: str
+    expected: str
+    measured: str
+    passed: bool
+
+
+def _close(value: float, target: float, abs_tol: float) -> bool:
+    return abs(value - target) <= abs_tol
+
+
+def run() -> List[Check]:
+    """Run every fast anchor check."""
+    checks: List[Check] = []
+
+    def add(claim: str, expected: str, measured: str, passed: bool) -> None:
+        checks.append(Check(claim, expected, measured, passed))
+
+    # Section V worked example.
+    a = CarbonModel(appendix_config()).assess(greensku_cxl(appendix_data=True))
+    add("worked example: server power", "403 W",
+        f"{a.server.power_watts:.1f} W",
+        _close(a.server.power_watts, 403, 1))
+    add("worked example: server embodied", "1644 kg",
+        f"{a.server.embodied_kg:.0f} kg",
+        _close(a.server.embodied_kg, 1644, 1))
+    add("worked example: servers per rack", "16",
+        str(a.servers_per_rack), a.servers_per_rack == 16)
+    add("worked example: rack total", "63,351 kg",
+        f"{a.rack_total_kg:,.0f} kg",
+        _close(a.rack_total_kg, 63_351, 150))
+    add("worked example: per-core", "~31 kg",
+        f"{a.total_per_core:.1f} kg", _close(a.total_per_core, 31, 0.3))
+
+    # Table VIII.
+    table8 = {
+        "Baseline-Resized": (6, 10, 8),
+        "GreenSKU-Efficient": (16, 14, 15),
+        "GreenSKU-CXL": (15, 32, 24),
+        "GreenSKU-Full": (14, 38, 26),
+    }
+    for row in paper_savings_table():
+        if row.sku_name not in table8:
+            continue
+        op, emb, total = table8[row.sku_name]
+        got = (
+            round(100 * row.operational_savings),
+            round(100 * row.embodied_savings),
+            round(100 * row.total_savings),
+        )
+        add(
+            f"Table VIII: {row.sku_name}",
+            f"{op}/{emb}/{total}%",
+            f"{got[0]}/{got[1]}/{got[2]}%",
+            all(abs(g - e) <= 1.5 for g, e in zip(got, (op, emb, total))),
+        )
+
+    # Table III head-counts.
+    factors = factors_by_app(generation=3)
+    n1 = sum(1 for f in factors.values() if f == 1.0)
+    n125 = sum(1 for f in factors.values() if f == 1.25)
+    add("Table III: apps needing no scaling vs Gen3", "7", str(n1), n1 == 7)
+    add("Table III: apps needing 25% scaling", "9", str(n125), n125 == 9)
+    add("Table III: Silo cannot adopt", ">1.5",
+        ">1.5" if math.isinf(factors["Silo"]) else str(factors["Silo"]),
+        math.isinf(factors["Silo"]))
+
+    # Maintenance chain.
+    add("maintenance: baseline AFR", "4.8",
+        f"{server_afr(baseline_gen3()).total:.1f}",
+        _close(server_afr(baseline_gen3()).total, 4.8, 0.01))
+    add("maintenance: GreenSKU-Full AFR", "7.2",
+        f"{server_afr(greensku_full()).total:.1f}",
+        _close(server_afr(greensku_full()).total, 7.2, 0.01))
+    base, green = paper_maintenance_comparison()
+    add("maintenance: C_OOS delta negligible", "~0",
+        f"{green.c_oos - base.c_oos:+.2f}",
+        abs(green.c_oos - base.c_oos) < 0.1)
+
+    # CXL behaviour.
+    add("CXL-tolerant core-hour share", "20.2%",
+        f"{cxl_tolerant_core_hour_share():.1%}",
+        _close(cxl_tolerant_core_hour_share(), 0.202, 0.02))
+    add("Pond: apps within 5% CXL slowdown", ">=95% (paper: 98%)",
+        f"{mitigated_share(APPLICATIONS):.0%}",
+        mitigated_share(APPLICATIONS) >= 0.95)
+
+    return checks
+
+
+def render(checks: List[Check]) -> str:
+    passed = sum(1 for c in checks if c.passed)
+    lines = [f"Validation: {passed}/{len(checks)} anchors pass"]
+    for c in checks:
+        mark = "PASS" if c.passed else "FAIL"
+        lines.append(
+            f"  [{mark}] {c.claim}: expected {c.expected}, "
+            f"measured {c.measured}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> List[Check]:
+    checks = run()
+    print(render(checks))
+    return checks
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Human-readable reports for GSF evaluations.
+
+Renders a :class:`~repro.gsf.results.GsfEvaluation` as Markdown — the
+artifact a capacity planner or sustainability team would circulate: the
+deployment plan, the savings chain, the adoption picture, and the
+assumptions that produced them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.errors import ConfigError
+from .adoption import AdoptionModel
+from .results import GsfEvaluation
+
+
+def evaluation_markdown(
+    evaluation: GsfEvaluation,
+    compute_share: float = 0.5,
+    adoption: Optional[AdoptionModel] = None,
+) -> str:
+    """Render one evaluation as a Markdown report.
+
+    Args:
+        evaluation: The framework's output.
+        compute_share: Compute's share of DC emissions (for net savings).
+        adoption: Optionally the adoption model, to list the applications
+            that were kept off the GreenSKU and why.
+    """
+    if not 0 < compute_share <= 1:
+        raise ConfigError("compute share must be in (0, 1]")
+    ev = evaluation
+    sizing = ev.sizing
+    lines: List[str] = [
+        f"# GSF evaluation: {ev.greensku_name}",
+        "",
+        f"Workload: trace `{ev.trace_name}`; grid carbon intensity "
+        f"{ev.carbon_intensity} kgCO2e/kWh.",
+        "",
+        "## Savings",
+        "",
+        f"- per-core: baseline {ev.baseline_assessment.total_per_core:.1f}"
+        f" kg -> {ev.green_assessment.total_per_core:.1f} kg "
+        f"({1 - ev.green_assessment.total_per_core / ev.baseline_assessment.total_per_core:.1%})",
+        f"- cluster (adoption + packing + buffer): "
+        f"{ev.cluster_savings:.1%}",
+        f"- net data-center (x{compute_share:.0%} compute share): "
+        f"{ev.dc_savings(compute_share):.1%}",
+        "",
+        "## Deployment plan",
+        "",
+        "| item | count |",
+        "|---|---|",
+        f"| all-baseline reference | {sizing.baseline_only_servers} |",
+        f"| baseline SKUs (serving) | {sizing.mixed_baseline_servers} |",
+        f"| {ev.greensku_name} (serving) | {sizing.mixed_green_servers} |",
+        f"| growth buffer (baseline SKUs) | "
+        f"{ev.buffer.baseline_buffer_servers} |",
+        f"| out-of-service headroom | "
+        f"{sizing.oos_overhead_baseline:.2%} baseline / "
+        f"{sizing.oos_overhead_green:.2%} GreenSKU |",
+        "",
+        f"Adopted fleet core-hours: {ev.adopted_core_hour_share:.0%}.",
+    ]
+    if adoption is not None:
+        rejected = [
+            d
+            for d in adoption.decisions()
+            if d.generation == 3 and not d.adopt
+        ]
+        if rejected:
+            lines += [
+                "",
+                "## Applications kept on baseline SKUs (vs Gen3)",
+                "",
+                "| application | scaling factor | reason |",
+                "|---|---|---|",
+            ]
+            for d in sorted(rejected, key=lambda d: d.app_name):
+                import math
+
+                if not math.isfinite(d.scaling_factor):
+                    reason = "cannot meet SLO at any evaluated scale"
+                    factor = ">1.5"
+                else:
+                    reason = (
+                        "scaled carbon exceeds baseline "
+                        f"({d.green_carbon_kg:.0f} vs "
+                        f"{d.baseline_carbon_kg:.0f} kg)"
+                    )
+                    factor = f"{d.scaling_factor:g}"
+                lines.append(f"| {d.app_name} | {factor} | {reason} |")
+    lines += [
+        "",
+        "## Assumptions",
+        "",
+        "- Lifetime emissions over a 6-year deployment; reused parts "
+        "carry zero embodied carbon.",
+        "- SLOs: baseline p95 at 90% of peak; scaling candidates "
+        "8/10/12 cores.",
+        "- Growth buffer held on baseline SKUs only (no GreenSKU demand "
+        "history).",
+    ]
+    return "\n".join(lines)

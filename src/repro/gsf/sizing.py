@@ -1,0 +1,330 @@
+"""GSF's cluster sizing component (Section IV-D / V).
+
+Determines how many baseline SKUs and GreenSKUs a cluster needs to host a
+VM workload with no rejections:
+
+1. Right-size a baseline-only cluster: the minimum server count that
+   hosts every VM in the trace (the reference the savings are measured
+   against).
+2. Replace baseline SKUs with GreenSKUs: the paper incrementally swaps
+   baseline servers for enough GreenSKUs until no more can be replaced —
+   the fixed point is a cluster where baseline SKUs host exactly the VMs
+   that cannot adopt (plus full-node VMs) and GreenSKUs host the rest.
+   We reach the same fixed point directly by right-sizing each side of
+   that partition, then verifying the mixed cluster end to end with the
+   allocation simulator (adding GreenSKUs if fungible interleaving
+   changed the picture).
+
+Out-of-service maintenance overhead inflates each side's server count
+(failed servers await repair, so extra capacity is deployed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..allocation.cluster import (
+    AdoptionPolicy,
+    ClusterSpec,
+    adopt_nothing,
+    simulate,
+)
+from ..allocation.traces import VmTrace
+from ..core.errors import ConfigError, SizingError
+from ..hardware.sku import ServerSKU
+
+#: Hard cap on sizing searches; a trace needing more servers than this is
+#: misconfigured for the simulator's scale.
+MAX_SERVERS = 20_000
+
+
+@dataclass(frozen=True)
+class ClusterSizing:
+    """Output of the sizing search.
+
+    Attributes:
+        baseline_only_servers: Right-sized all-baseline cluster.
+        mixed_baseline_servers: Baseline SKUs in the mixed cluster.
+        mixed_green_servers: GreenSKUs in the mixed cluster.
+        oos_overhead_baseline / oos_overhead_green: Out-of-service server
+            fractions applied on top of the counts when computing carbon.
+    """
+
+    baseline_only_servers: int
+    mixed_baseline_servers: int
+    mixed_green_servers: int
+    oos_overhead_baseline: float = 0.0
+    oos_overhead_green: float = 0.0
+
+    @property
+    def mixed_total(self) -> int:
+        return self.mixed_baseline_servers + self.mixed_green_servers
+
+    @property
+    def deployed_baseline_only(self) -> float:
+        """Baseline-only servers including out-of-service overhead."""
+        return self.baseline_only_servers * (1 + self.oos_overhead_baseline)
+
+    @property
+    def deployed_mixed(self) -> Tuple[float, float]:
+        """(baseline, green) deployed counts including OOS overhead."""
+        return (
+            self.mixed_baseline_servers * (1 + self.oos_overhead_baseline),
+            self.mixed_green_servers * (1 + self.oos_overhead_green),
+        )
+
+
+def _feasible(
+    trace: VmTrace, cluster: ClusterSpec, adoption: AdoptionPolicy
+) -> bool:
+    outcome = simulate(trace, cluster, adoption=adoption, snapshot_hours=1e9)
+    return outcome.feasible
+
+
+def right_size(
+    trace: VmTrace,
+    sku: ServerSKU,
+    adoption: AdoptionPolicy = adopt_nothing,
+    lower: int = 1,
+) -> int:
+    """Minimum count of ``sku`` servers hosting ``trace`` with no rejection.
+
+    Binary search on the server count (rejections are monotone in cluster
+    size under best-fit for all practical traces), then a downward linear
+    verification pass to guard against non-monotonicity at the boundary.
+    """
+    if lower < 0:
+        raise ConfigError("lower bound must be >= 0")
+
+    def feasible(n: int) -> bool:
+        if n == 0:
+            return len(trace.vms) == 0
+        return _feasible(trace, ClusterSpec.of((sku, n)), adoption)
+
+    if not trace.vms:
+        return 0
+    # Exponential bracket.
+    hi = max(lower, 1)
+    while not feasible(hi):
+        hi *= 2
+        if hi > MAX_SERVERS:
+            raise SizingError(
+                f"trace {trace.name} does not fit {MAX_SERVERS} "
+                f"{sku.name} servers"
+            )
+    lo = hi // 2 if hi > 1 else 0
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if feasible(mid):
+            hi = mid
+        else:
+            lo = mid
+    # Downward verification: ensure hi-1 truly infeasible.
+    while hi > 1 and feasible(hi - 1):
+        hi -= 1
+    return hi
+
+
+def _split_trace(
+    trace: VmTrace, adoption: AdoptionPolicy
+) -> Tuple[VmTrace, VmTrace]:
+    """Partition a trace into (adopters scaled implicitly later, rest)."""
+    adopters = []
+    rest = []
+    for vm in trace.vms:
+        if not vm.full_node and adoption(vm.app_name, vm.generation) is not None:
+            adopters.append(vm)
+        else:
+            rest.append(vm)
+    green_trace = VmTrace(
+        name=f"{trace.name}-adopters", params=trace.params, vms=tuple(adopters)
+    )
+    base_trace = VmTrace(
+        name=f"{trace.name}-rest", params=trace.params, vms=tuple(rest)
+    )
+    return green_trace, base_trace
+
+
+def size_mixed_cluster(
+    trace: VmTrace,
+    baseline: ServerSKU,
+    greensku: ServerSKU,
+    adoption: AdoptionPolicy,
+    oos_overhead_baseline: float = 0.0,
+    oos_overhead_green: float = 0.0,
+    verify: bool = True,
+) -> ClusterSizing:
+    """Size both the all-baseline reference and the mixed cluster.
+
+    The mixed sizing starts from the per-partition right-sizes (adopters
+    on GreenSKUs, the rest on baselines), verifies the combined cluster
+    end to end, and then greedily trims servers while the full trace still
+    fits — mirroring the paper's incremental baseline-replacement search,
+    which keeps the statistical multiplexing that fungible fallback
+    placement (adopters overflowing onto idle baseline capacity) buys.
+
+    Args:
+        trace: The VM workload.
+        baseline: Baseline SKU (reference and non-adopter host).
+        greensku: The GreenSKU under evaluation.
+        adoption: The adoption component's policy.
+        oos_overhead_baseline / oos_overhead_green: Out-of-service server
+            fractions (maintenance component output).
+        verify: Run the end-to-end verification + trim passes (disable
+            only for unit tests of the partition sizing itself).
+    """
+    n_reference = right_size(trace, baseline, adopt_nothing)
+    green_trace, base_trace = _split_trace(trace, adoption)
+    n_base = right_size(base_trace, baseline) if base_trace.vms else 0
+    n_green = (
+        right_size(green_trace, greensku, adoption) if green_trace.vms else 0
+    )
+    if verify and (n_base or n_green):
+
+        def feasible(nb: int, ng: int) -> bool:
+            if nb + ng == 0:
+                return not trace.vms
+            return _feasible(
+                trace,
+                ClusterSpec.of((baseline, nb), (greensku, ng)),
+                adoption,
+            )
+
+        while not feasible(n_base, n_green):
+            n_green += 1
+            if n_base + n_green > MAX_SERVERS:
+                raise SizingError(
+                    f"mixed sizing for {trace.name} exceeded {MAX_SERVERS}"
+                )
+        # Greedy trim: prefer dropping baseline SKUs (the replacement the
+        # paper's search performs), then try dropping GreenSKUs.
+        trimmed = True
+        while trimmed:
+            trimmed = False
+            while n_base > 0 and feasible(n_base - 1, n_green):
+                n_base -= 1
+                trimmed = True
+            while n_green > 0 and feasible(n_base, n_green - 1):
+                n_green -= 1
+                trimmed = True
+    return ClusterSizing(
+        baseline_only_servers=n_reference,
+        mixed_baseline_servers=n_base,
+        mixed_green_servers=n_green,
+        oos_overhead_baseline=oos_overhead_baseline,
+        oos_overhead_green=oos_overhead_green,
+    )
+
+
+@dataclass(frozen=True)
+class GenerationAwareSizing:
+    """Sizing output when the reference fleet is generation-aware.
+
+    The paper's traces pre-assign each VM to a baseline generation; a
+    generation-aware reference hosts Gen-g VMs on Gen-g SKUs (old VM
+    images keep running on their own hardware generation), and the mixed
+    cluster keeps per-generation baseline pools for the non-adopters.
+
+    Attributes:
+        reference_by_gen: Generation -> servers in the all-baseline fleet.
+        mixed_baselines_by_gen: Generation -> baseline servers kept in the
+            mixed deployment.
+        mixed_green_servers: GreenSKUs in the mixed deployment.
+    """
+
+    reference_by_gen: "dict[int, int]"
+    mixed_baselines_by_gen: "dict[int, int]"
+    mixed_green_servers: int
+
+    @property
+    def reference_total(self) -> int:
+        return sum(self.reference_by_gen.values())
+
+    @property
+    def mixed_baseline_total(self) -> int:
+        return sum(self.mixed_baselines_by_gen.values())
+
+
+def size_generation_aware(
+    trace: VmTrace,
+    baselines: "dict[int, ServerSKU]",
+    greensku: ServerSKU,
+    adoption: AdoptionPolicy,
+    verify: bool = True,
+) -> GenerationAwareSizing:
+    """Size reference and mixed clusters with per-generation pools.
+
+    The reference hosts each generation's VMs on that generation's SKU;
+    the mixed cluster adds GreenSKUs for adopters and trims greedily on
+    the full trace with generation routing active.
+    """
+    generations = sorted(baselines)
+    # Reference: per-generation right-size on that generation's sub-trace.
+    reference: "dict[int, int]" = {}
+    for gen in generations:
+        sub = VmTrace(
+            name=f"{trace.name}-g{gen}",
+            params=trace.params,
+            vms=tuple(vm for vm in trace.vms if vm.generation == gen),
+        )
+        reference[gen] = (
+            right_size(sub, baselines[gen]) if sub.vms else 0
+        )
+
+    # Mixed: non-adopters per generation + greens for adopters.
+    green_trace, base_trace = _split_trace(trace, adoption)
+    mixed: "dict[int, int]" = {}
+    for gen in generations:
+        sub = VmTrace(
+            name=f"{trace.name}-rest-g{gen}",
+            params=trace.params,
+            vms=tuple(
+                vm for vm in base_trace.vms if vm.generation == gen
+            ),
+        )
+        mixed[gen] = right_size(sub, baselines[gen]) if sub.vms else 0
+    n_green = (
+        right_size(green_trace, greensku, adoption) if green_trace.vms else 0
+    )
+
+    if verify:
+
+        def spec(mixed_counts: "dict[int, int]", ng: int) -> ClusterSpec:
+            pairs = [
+                (baselines[gen], count)
+                for gen, count in mixed_counts.items()
+            ]
+            pairs.append((greensku, ng))
+            return ClusterSpec.of(*pairs)
+
+        def feasible(mixed_counts: "dict[int, int]", ng: int) -> bool:
+            return _feasible(trace, spec(mixed_counts, ng), adoption)
+
+        while not feasible(mixed, n_green):
+            n_green += 1
+            if sum(mixed.values()) + n_green > MAX_SERVERS:
+                raise SizingError(
+                    f"generation-aware sizing for {trace.name} exceeded "
+                    f"{MAX_SERVERS}"
+                )
+        trimmed = True
+        while trimmed:
+            trimmed = False
+            for gen in generations:
+                while mixed[gen] > 0:
+                    candidate = dict(mixed)
+                    candidate[gen] -= 1
+                    if feasible(candidate, n_green):
+                        mixed = candidate
+                        trimmed = True
+                    else:
+                        break
+            while n_green > 0 and feasible(mixed, n_green - 1):
+                n_green -= 1
+                trimmed = True
+    return GenerationAwareSizing(
+        reference_by_gen=reference,
+        mixed_baselines_by_gen=mixed,
+        mixed_green_servers=n_green,
+    )

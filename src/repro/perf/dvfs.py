@@ -1,0 +1,153 @@
+"""CPU frequency tuning on GreenSKUs (paper Section VIII).
+
+"Tuning CPU configurations (e.g., frequency) can also help a GreenSKU
+adapt to application changes post-deployment."
+
+A DVFS model over the queueing substrate: per-core speed scales with
+frequency through the application's frequency sensitivity (memory-bound
+work does not speed up with clocks), while core power follows the classic
+``P = P_static + P_dynamic * (f/f0)^3`` voltage-frequency relation.  The
+planner picks the lowest frequency whose tail latency still meets the SLO
+at the offered load — energy headroom an operator can harvest at low
+load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.errors import ConfigError
+from .apps import ApplicationProfile
+from .latency import Slo, derive_slo
+from .mmc import response_percentile_ms
+
+
+@dataclass(frozen=True)
+class DvfsModel:
+    """Frequency-scaling behaviour of one application on one CPU.
+
+    Attributes:
+        static_power_fraction: Share of core power that does not scale
+            with frequency (leakage, uncore).
+        freq_sensitivity: How much of the application's service time
+            scales with frequency (1 = fully clock-bound; Moses-like
+            memory-bound apps sit near 0.4).
+        f_min / f_max: Frequency range as fractions of nominal.
+    """
+
+    static_power_fraction: float = 0.3
+    freq_sensitivity: float = 0.8
+    f_min: float = 0.6
+    f_max: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.static_power_fraction < 1:
+            raise ConfigError("static power fraction must be in [0, 1)")
+        if not 0 <= self.freq_sensitivity <= 1:
+            raise ConfigError("frequency sensitivity must be in [0, 1]")
+        if not 0 < self.f_min <= self.f_max:
+            raise ConfigError("need 0 < f_min <= f_max")
+
+    def speed_at(self, f: float) -> float:
+        """Relative per-core speed at frequency fraction ``f``.
+
+        The clock-bound share scales with ``f``; the rest (memory waits)
+        does not:  ``1 / (s/f + (1-s))`` with ``s`` the sensitivity.
+        """
+        self._check(f)
+        s = self.freq_sensitivity
+        return 1.0 / (s / f + (1.0 - s))
+
+    def power_at(self, f: float) -> float:
+        """Relative core power at frequency fraction ``f`` (cubic dynamic
+        term from the voltage-frequency relation)."""
+        self._check(f)
+        p_static = self.static_power_fraction
+        return p_static + (1.0 - p_static) * f**3
+
+    def _check(self, f: float) -> None:
+        if not self.f_min - 1e-9 <= f <= self.f_max + 1e-9:
+            raise ConfigError(
+                f"frequency {f} outside [{self.f_min}, {self.f_max}]"
+            )
+
+
+@dataclass(frozen=True)
+class DvfsPlan:
+    """The planner's choice at one load point."""
+
+    load_qps: float
+    frequency: float
+    power_fraction: float
+    meets_slo: bool
+
+    @property
+    def power_savings(self) -> float:
+        """Relative core-power saving vs running at nominal frequency."""
+        return 1.0 - self.power_fraction
+
+
+def plan_frequency(
+    app: ApplicationProfile,
+    load_qps: float,
+    slo: Slo,
+    cores: int,
+    platform: str = "bergamo",
+    model: Optional[DvfsModel] = None,
+    steps: int = 9,
+) -> DvfsPlan:
+    """Lowest frequency meeting the SLO at ``load_qps`` on ``cores``.
+
+    Falls back to nominal frequency (and reports ``meets_slo`` honestly)
+    when even full clocks miss the SLO.
+    """
+    if load_qps <= 0:
+        raise ConfigError("load must be > 0")
+    model = model or DvfsModel()
+    base_speed = app.speed_on(platform)
+    for f in np.linspace(model.f_min, model.f_max, steps):
+        speed = base_speed * model.speed_at(float(f))
+        mu = speed * 1000.0 / app.base_service_ms
+        if load_qps >= cores * mu:
+            continue
+        latency = response_percentile_ms(0.95, load_qps, mu, cores)
+        if latency <= slo.latency_ms * (1 + 1e-9):
+            return DvfsPlan(
+                load_qps=load_qps,
+                frequency=float(f),
+                power_fraction=model.power_at(float(f)),
+                meets_slo=True,
+            )
+    # Nominal frequency as the fallback.
+    f = model.f_max
+    speed = base_speed * model.speed_at(f)
+    mu = speed * 1000.0 / app.base_service_ms
+    meets = load_qps < cores * mu and response_percentile_ms(
+        0.95, load_qps, mu, cores
+    ) <= slo.latency_ms * (1 + 1e-9)
+    return DvfsPlan(
+        load_qps=load_qps,
+        frequency=f,
+        power_fraction=model.power_at(f),
+        meets_slo=meets,
+    )
+
+
+def frequency_sweep(
+    app: ApplicationProfile,
+    cores: int,
+    generation: int = 3,
+    load_fractions: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 0.9),
+    model: Optional[DvfsModel] = None,
+) -> List[DvfsPlan]:
+    """DVFS plans across a load range (low load -> deep frequency cuts)."""
+    slo = derive_slo(app, generation)
+    return [
+        plan_frequency(
+            app, frac * slo.baseline_peak_qps, slo, cores, model=model
+        )
+        for frac in load_fractions
+    ]

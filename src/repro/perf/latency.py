@@ -1,0 +1,253 @@
+"""Latency-versus-load curves and SLO derivation (GSF performance component).
+
+The paper's methodology (Section VI):
+
+- For each application, sweep offered load (QPS) and record 95th-percentile
+  tail latency on an 8-core VM on the baseline SKU and on 8/10/12-core VMs
+  on the GreenSKU (Fig. 7).
+- The SLO is the baseline's p95 latency at 90% of its peak saturation
+  throughput (following PARTIES/TimeTrader-style methodology).
+- "Low load" is 30% of peak throughput; low-load latency is a secondary
+  metric (the paper reports the GreenSKU's median low-load latency 16%
+  above Gen3).
+
+Curves can be produced by the exact analytic M/M/c model (default; fast
+and deterministic) or the discrete-event simulator (for non-exponential
+service or validation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import ConfigError
+from .apps import ApplicationProfile, platform_for_generation
+from .mmc import response_percentile_ms
+from .queueing import simulate_fcfs
+
+#: The paper sets the SLO at the tail latency reached at 90% of peak load.
+SLO_LOAD_FRACTION = 0.9
+
+#: The paper defines "low load" as 30% of peak throughput.
+LOW_LOAD_FRACTION = 0.3
+
+#: Tail percentile used throughout (the paper also checks p99).
+TAIL_QUANTILE = 0.95
+
+
+@dataclass(frozen=True)
+class LatencyCurve:
+    """A tail-latency-versus-load sweep for one (app, platform, cores).
+
+    Attributes:
+        label: Human-readable curve label (e.g. ``"Gen3 (8 cores)"``).
+        cores: VM cores serving the load.
+        peak_qps: Saturation throughput (requests/second).
+        qps: Offered loads swept.
+        p95_ms: Tail latency at each load; ``inf`` past saturation.
+    """
+
+    label: str
+    cores: int
+    peak_qps: float
+    qps: Tuple[float, ...]
+    p95_ms: Tuple[float, ...]
+
+    def latency_at(self, load_qps: float) -> float:
+        """Tail latency at the swept point nearest ``load_qps``."""
+        idx = int(np.argmin(np.abs(np.asarray(self.qps) - load_qps)))
+        return self.p95_ms[idx]
+
+    def max_load_meeting(self, slo_ms: float) -> float:
+        """Highest swept load whose tail latency meets ``slo_ms`` (0 if none)."""
+        best = 0.0
+        for q, lat in zip(self.qps, self.p95_ms):
+            if lat <= slo_ms and q > best:
+                best = q
+        return best
+
+
+def peak_qps(app: ApplicationProfile, platform: str, cores: int,
+             cxl: bool = False) -> float:
+    """Saturation throughput: ``cores / mean service time``."""
+    service_s = app.service_ms_on(platform, cxl=cxl) / 1000.0
+    return cores / service_s
+
+
+def tail_latency_ms(
+    app: ApplicationProfile,
+    platform: str,
+    cores: int,
+    load_qps: float,
+    cxl: bool = False,
+    quantile: float = TAIL_QUANTILE,
+    method: str = "analytic",
+    seed: int = 0,
+) -> float:
+    """Tail latency of ``app`` on (platform, cores) at ``load_qps``.
+
+    Returns ``inf`` when the load saturates the configuration.
+
+    Args:
+        method: ``"analytic"`` (exact M/M/c, default) or ``"sim"``
+            (discrete-event M/G/c with the app's service-time CV).
+    """
+    if load_qps <= 0:
+        raise ConfigError("load must be > 0 QPS")
+    service_ms = app.service_ms_on(platform, cxl=cxl)
+    mu_per_core = 1000.0 / service_ms
+    if load_qps >= cores * mu_per_core:
+        return math.inf
+    if method == "analytic":
+        return response_percentile_ms(quantile, load_qps, mu_per_core, cores)
+    if method == "sim":
+        result = simulate_fcfs(
+            load_qps, cores, service_ms, cv=app.service_cv, seed=seed
+        )
+        return {0.5: result.p50_ms, 0.95: result.p95_ms, 0.99: result.p99_ms}[
+            round(quantile, 2)
+        ]
+    raise ConfigError(f"unknown method {method!r}; use 'analytic' or 'sim'")
+
+
+def latency_curve(
+    app: ApplicationProfile,
+    platform: str,
+    cores: int,
+    cxl: bool = False,
+    load_fractions: Optional[Sequence[float]] = None,
+    reference_peak_qps: Optional[float] = None,
+    label: Optional[str] = None,
+    method: str = "analytic",
+    seed: int = 0,
+) -> LatencyCurve:
+    """Sweep offered load and record tail latency.
+
+    Args:
+        load_fractions: Fractions of the *reference* peak to sweep
+            (default: 0.1..0.98).  Points past this configuration's own
+            saturation report ``inf`` — the hockey-stick in Fig. 7.
+        reference_peak_qps: Peak the fractions refer to.  Fig. 7 sweeps
+            all configurations over the *baseline's* load axis; defaults
+            to this configuration's own peak.
+    """
+    if load_fractions is None:
+        load_fractions = tuple(np.arange(0.1, 1.0, 0.05))
+    own_peak = peak_qps(app, platform, cores, cxl=cxl)
+    ref_peak = reference_peak_qps if reference_peak_qps else own_peak
+    qps_points = [f * ref_peak for f in load_fractions]
+    latencies = [
+        tail_latency_ms(
+            app, platform, cores, q, cxl=cxl, method=method, seed=seed + i
+        )
+        for i, q in enumerate(qps_points)
+    ]
+    return LatencyCurve(
+        label=label or f"{app.name} on {platform} ({cores} cores)",
+        cores=cores,
+        peak_qps=own_peak,
+        qps=tuple(qps_points),
+        p95_ms=tuple(latencies),
+    )
+
+
+@dataclass(frozen=True)
+class Slo:
+    """A baseline-derived service-level objective.
+
+    Attributes:
+        app_name: Application the SLO belongs to.
+        generation: Baseline generation the SLO was derived from.
+        latency_ms: Tail-latency bound (baseline p95 at 90% of peak).
+        load_qps: The absolute load at which the SLO must be met.
+        baseline_peak_qps: The baseline configuration's saturation load.
+    """
+
+    app_name: str
+    generation: int
+    latency_ms: float
+    load_qps: float
+    baseline_peak_qps: float
+
+
+def derive_slo(
+    app: ApplicationProfile,
+    generation: int,
+    baseline_cores: int = 8,
+    method: str = "analytic",
+) -> Slo:
+    """The paper's SLO: baseline p95 at 90% of the baseline's peak load."""
+    platform = platform_for_generation(generation)
+    base_peak = peak_qps(app, platform, baseline_cores)
+    slo_load = SLO_LOAD_FRACTION * base_peak
+    latency = tail_latency_ms(
+        app, platform, baseline_cores, slo_load, method=method
+    )
+    return Slo(
+        app_name=app.name,
+        generation=generation,
+        latency_ms=latency,
+        load_qps=slo_load,
+        baseline_peak_qps=base_peak,
+    )
+
+
+def meets_slo(
+    app: ApplicationProfile,
+    slo: Slo,
+    cores: int,
+    platform: str = "bergamo",
+    cxl: bool = False,
+    method: str = "analytic",
+) -> bool:
+    """Whether (platform, cores) meets the SLO at the SLO's load."""
+    latency = tail_latency_ms(
+        app, platform, cores, slo.load_qps, cxl=cxl, method=method
+    )
+    # Tiny relative tolerance: an app with identical per-core speed on both
+    # platforms meets its own SLO exactly.
+    return latency <= slo.latency_ms * (1.0 + 1e-9)
+
+
+def low_load_latency_ms(
+    app: ApplicationProfile,
+    platform: str,
+    cores: int,
+    cxl: bool = False,
+    method: str = "analytic",
+) -> float:
+    """Tail latency at the paper's "low load" (30% of own peak)."""
+    load = LOW_LOAD_FRACTION * peak_qps(app, platform, cores, cxl=cxl)
+    return tail_latency_ms(app, platform, cores, load, cxl=cxl, method=method)
+
+
+def low_load_comparison(
+    apps: Sequence[ApplicationProfile],
+    scaled_cores: "dict[str, int]",
+    generation: int,
+    baseline_cores: int = 8,
+) -> List[float]:
+    """Per-app low-load latency ratios, GreenSKU (scaled) over baseline.
+
+    Mirrors the paper's analysis that finds GreenSKU-Efficient's median
+    low-load latency 16% above Gen3 (and below Gen1/Gen2).
+
+    Args:
+        scaled_cores: App name -> cores used on the GreenSKU (the scaling
+            factor already applied).  Apps missing from the map use the
+            baseline core count.
+    """
+    platform = platform_for_generation(generation)
+    ratios = []
+    for app in apps:
+        if not app.latency_critical:
+            continue
+        green_cores = scaled_cores.get(app.name, baseline_cores)
+        base = low_load_latency_ms(app, platform, baseline_cores)
+        green = low_load_latency_ms(app, "bergamo", green_cores)
+        ratios.append(green / base)
+    return ratios

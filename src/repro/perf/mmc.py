@@ -1,0 +1,130 @@
+"""Analytic M/M/c queueing model (Erlang C) with response-time percentiles.
+
+The scaling-factor search (Table III) needs thousands of latency
+evaluations; the analytic model answers each in microseconds and is exact
+for exponential service.  The discrete-event simulator in
+:mod:`repro.perf.queueing` cross-validates it (see the test suite).
+
+For an M/M/c queue with arrival rate ``lam`` and per-core service rate
+``mu`` (both per second):
+
+- Erlang-C waiting probability ``P_w``,
+- waiting time ``W``: an atom at 0 with mass ``1 - P_w`` plus an
+  exponential tail with rate ``theta = c*mu - lam``,
+- response time ``R = W + S`` with ``S ~ Exp(mu)`` independent, giving a
+  closed-form ``P(R > t)`` that we invert numerically for percentiles.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.errors import SimulationError
+
+
+def erlang_c(cores: int, offered_load: float) -> float:
+    """Erlang-C probability that an arrival must wait.
+
+    Args:
+        cores: Number of servers ``c``.
+        offered_load: ``A = lam/mu`` in Erlangs; must satisfy ``A < c``.
+
+    Computed in a numerically stable recurrence (no factorials).
+    """
+    if cores < 1:
+        raise SimulationError("cores must be >= 1")
+    if offered_load <= 0:
+        return 0.0
+    if offered_load >= cores:
+        raise SimulationError(
+            f"offered load {offered_load} must be < cores {cores} "
+            "for a stable queue"
+        )
+    # Erlang-B recurrence: B(0) = 1; B(k) = A*B(k-1) / (k + A*B(k-1)).
+    b = 1.0
+    for k in range(1, cores + 1):
+        b = offered_load * b / (k + offered_load * b)
+    rho = offered_load / cores
+    return b / (1.0 - rho + rho * b)
+
+
+def response_tail_probability(
+    t_ms: float, lam_qps: float, mu_per_core_qps: float, cores: int
+) -> float:
+    """``P(R > t)`` for the M/M/c response time ``R``.
+
+    Args:
+        t_ms: Threshold in milliseconds.
+        lam_qps: Arrival rate, requests/second.
+        mu_per_core_qps: Per-core service rate, requests/second.
+        cores: Number of cores.
+    """
+    if t_ms < 0:
+        return 1.0
+    a = lam_qps / mu_per_core_qps
+    pw = erlang_c(cores, a)
+    mu = mu_per_core_qps / 1000.0  # per millisecond
+    theta = (cores * mu_per_core_qps - lam_qps) / 1000.0
+    no_wait = (1.0 - pw) * math.exp(-mu * t_ms)
+    if abs(theta - mu) < 1e-12 * mu:
+        waited = pw * math.exp(-mu * t_ms) * (1.0 + mu * t_ms)
+    else:
+        waited = (
+            pw
+            * (theta * math.exp(-mu * t_ms) - mu * math.exp(-theta * t_ms))
+            / (theta - mu)
+        )
+    return no_wait + waited
+
+
+def response_percentile_ms(
+    quantile: float, lam_qps: float, mu_per_core_qps: float, cores: int
+) -> float:
+    """The ``quantile`` (e.g. 0.95) of M/M/c response time, in ms.
+
+    Inverted by bisection on the closed-form tail probability.
+    """
+    if not 0 < quantile < 1:
+        raise SimulationError("quantile must be in (0, 1)")
+    if lam_qps >= cores * mu_per_core_qps:
+        return math.inf
+    target = 1.0 - quantile
+    # Bracket: mean response time scales the upper bound.
+    mean_ms = mean_response_ms(lam_qps, mu_per_core_qps, cores)
+    lo, hi = 0.0, max(10.0 * mean_ms, 1.0)
+    while response_tail_probability(hi, lam_qps, mu_per_core_qps, cores) > target:
+        hi *= 2.0
+        if hi > 1e12:
+            raise SimulationError("percentile bisection failed to bracket")
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if response_tail_probability(mid, lam_qps, mu_per_core_qps, cores) > target:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < 1e-9 * (1.0 + hi):
+            break
+    return 0.5 * (lo + hi)
+
+
+def mean_wait_ms(
+    lam_qps: float, mu_per_core_qps: float, cores: int
+) -> float:
+    """Mean queueing delay (excluding service), in milliseconds."""
+    if lam_qps <= 0:
+        return 0.0
+    if lam_qps >= cores * mu_per_core_qps:
+        return math.inf
+    a = lam_qps / mu_per_core_qps
+    pw = erlang_c(cores, a)
+    return 1000.0 * pw / (cores * mu_per_core_qps - lam_qps)
+
+
+def mean_response_ms(
+    lam_qps: float, mu_per_core_qps: float, cores: int
+) -> float:
+    """Mean response time (wait plus service), in milliseconds."""
+    wait = mean_wait_ms(lam_qps, mu_per_core_qps, cores)
+    if math.isinf(wait):
+        return math.inf
+    return wait + 1000.0 / mu_per_core_qps

@@ -1,0 +1,166 @@
+"""Scaling-factor computation (GSF performance component output).
+
+The performance component's output is, per application and per baseline
+generation, a *scaling factor*: how many GreenSKU cores are needed per
+baseline core for a VM to meet the application's performance goal
+(Table III).
+
+Methodology, following the paper:
+
+- Latency-critical applications: scale an 8-core baseline VM to 8, 10, or
+  12 GreenSKU cores (factors 1, 1.25, 1.5) and accept the smallest count
+  that meets the baseline-derived SLO (p95 at 90% of baseline peak).  When
+  even 12 cores fail, the factor is reported as ">1.5" (``math.inf``) —
+  the adoption component will reject such applications.
+- Throughput applications (DevOps builds): the factor is the measured
+  slowdown rounded up to the {1, 1.25, 1.5} grid, since build throughput
+  scales with cores.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..core.errors import ConfigError
+from .apps import (
+    APPLICATIONS,
+    ApplicationProfile,
+    platform_for_generation,
+    table3_apps,
+)
+from .latency import Slo, derive_slo, meets_slo
+
+#: Core counts the paper evaluates on the GreenSKU for an 8-core baseline VM.
+CANDIDATE_CORES: Tuple[int, ...] = (8, 10, 12)
+
+#: Baseline VM core count the candidates are compared against.
+BASELINE_CORES = 8
+
+#: Grid of reportable scaling factors; beyond the last the paper reports
+#: ">1.5".
+FACTOR_GRID: Tuple[float, ...] = (1.0, 1.25, 1.5)
+
+#: Tolerance when rounding throughput slowdowns onto the factor grid:
+#: Table III reports all Build-* at factor 1 vs Gen2 even though Table II
+#: shows the GreenSKU up to 5.4% slower (Build-PHP: 1.17 vs 1.11), so a
+#: build within 6% of a grid point counts as that grid point.
+THROUGHPUT_GRID_TOLERANCE = 0.06
+
+
+@dataclass(frozen=True)
+class ScalingResult:
+    """Scaling outcome for one application against one baseline generation.
+
+    Attributes:
+        app_name: Application.
+        generation: Baseline generation compared against.
+        factor: Scaling factor on the {1, 1.25, 1.5} grid, or ``math.inf``
+            when 12 GreenSKU cores cannot meet the SLO (">1.5").
+        cores: GreenSKU cores corresponding to the factor (None for inf).
+        slo: The SLO used (None for throughput applications).
+    """
+
+    app_name: str
+    generation: int
+    factor: float
+    cores: Optional[int]
+    slo: Optional[Slo] = None
+
+    @property
+    def adoptable_performance(self) -> bool:
+        """Whether the app can meet its goal on the GreenSKU at all."""
+        return math.isfinite(self.factor)
+
+    @property
+    def display(self) -> str:
+        """Table III's cell text: ``1``, ``1.25``, ``1.5`` or ``>1.5``."""
+        if not math.isfinite(self.factor):
+            return ">1.5"
+        if self.factor == int(self.factor):
+            return str(int(self.factor))
+        return f"{self.factor:g}"
+
+
+def _snap_to_grid(ratio: float) -> float:
+    """Round a throughput slowdown up to the factor grid (with tolerance)."""
+    for factor in FACTOR_GRID:
+        if ratio <= factor * (1.0 + THROUGHPUT_GRID_TOLERANCE):
+            return factor
+    return math.inf
+
+
+def scaling_factor(
+    app: ApplicationProfile,
+    generation: int,
+    platform: str = "bergamo",
+    cxl: bool = False,
+    method: str = "analytic",
+) -> ScalingResult:
+    """Scaling factor of ``app`` on the GreenSKU vs an 8-core baseline VM.
+
+    Args:
+        app: Application profile.
+        generation: Baseline generation (1, 2, or 3).
+        platform: GreenSKU CPU platform (``"bergamo"``).
+        cxl: Evaluate with CXL-backed memory (GreenSKU-CXL/Full).
+        method: Latency model, ``"analytic"`` or ``"sim"``.
+    """
+    if generation not in (1, 2, 3):
+        raise ConfigError(f"generation must be 1, 2 or 3, got {generation}")
+    if not app.latency_critical:
+        base_platform = platform_for_generation(generation)
+        slowdown = app.speed_on(base_platform) / app.speed_on(
+            platform, cxl=cxl
+        )
+        factor = _snap_to_grid(slowdown)
+        cores = (
+            int(round(BASELINE_CORES * factor))
+            if math.isfinite(factor)
+            else None
+        )
+        return ScalingResult(app.name, generation, factor, cores)
+
+    slo = derive_slo(app, generation, BASELINE_CORES, method=method)
+    for cores in CANDIDATE_CORES:
+        if meets_slo(app, slo, cores, platform=platform, cxl=cxl,
+                     method=method):
+            return ScalingResult(
+                app.name,
+                generation,
+                cores / BASELINE_CORES,
+                cores,
+                slo,
+            )
+    return ScalingResult(app.name, generation, math.inf, None, slo)
+
+
+def scaling_table(
+    apps: Optional[Sequence[ApplicationProfile]] = None,
+    generations: Sequence[int] = (1, 2, 3),
+    cxl: bool = False,
+    method: str = "analytic",
+) -> Dict[str, Dict[int, ScalingResult]]:
+    """Table III: scaling factors for every app against every generation."""
+    apps = list(apps) if apps is not None else table3_apps()
+    table: Dict[str, Dict[int, ScalingResult]] = {}
+    for app in apps:
+        table[app.name] = {
+            gen: scaling_factor(app, gen, cxl=cxl, method=method)
+            for gen in generations
+        }
+    return table
+
+
+def factors_by_app(
+    generation: int = 3,
+    cxl: bool = False,
+    apps: Optional[Sequence[ApplicationProfile]] = None,
+) -> Dict[str, float]:
+    """App name -> scaling factor against one generation (inf = cannot)."""
+    apps = list(apps) if apps is not None else list(APPLICATIONS)
+    return {
+        app.name: scaling_factor(app, generation, cxl=cxl).factor
+        for app in apps
+    }

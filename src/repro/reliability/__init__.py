@@ -1,0 +1,33 @@
+"""GSF maintenance component: AFRs, Fail-In-Place, failure telemetry."""
+
+from .afr import DEFAULT_FIP_EFFECTIVENESS, AfrBreakdown, server_afr
+from .maintenance import (
+    DEFAULT_REPAIR_TIME_DAYS,
+    MaintenanceAssessment,
+    assess_maintenance,
+    out_of_service_fraction,
+    paper_maintenance_comparison,
+)
+from .traces import (
+    FailureTraceParams,
+    expected_rate,
+    moving_average,
+    steady_state_slope,
+    synthesize_failure_trace,
+)
+
+__all__ = [
+    "DEFAULT_FIP_EFFECTIVENESS",
+    "AfrBreakdown",
+    "server_afr",
+    "DEFAULT_REPAIR_TIME_DAYS",
+    "MaintenanceAssessment",
+    "assess_maintenance",
+    "out_of_service_fraction",
+    "paper_maintenance_comparison",
+    "FailureTraceParams",
+    "expected_rate",
+    "moving_average",
+    "steady_state_slope",
+    "synthesize_failure_trace",
+]

@@ -1,0 +1,141 @@
+"""Edge-case tests for the cluster simulator."""
+
+import math
+
+import pytest
+
+from repro.allocation.cluster import (
+    ClusterSpec,
+    adopt_everything,
+    adopt_nothing,
+    simulate,
+)
+from repro.allocation.traces import TraceParams, VmTrace
+from repro.allocation.vm import VmRequest
+from repro.hardware.sku import baseline_gen3, greensku_cxl
+
+
+def make_vm(vm_id, app="Redis", **kw):
+    base = dict(
+        vm_id=vm_id,
+        arrival_hours=0.0,
+        lifetime_hours=5.0,
+        cores=8,
+        memory_gb=32.0,
+        generation=3,
+        app_name=app,
+    )
+    base.update(kw)
+    return VmRequest(**base)
+
+
+def trace_of(vms, days=1.0):
+    return VmTrace(
+        name="edge", params=TraceParams(duration_days=days), vms=tuple(vms)
+    )
+
+
+class TestEmptyAndTiny:
+    def test_empty_trace_feasible(self):
+        out = simulate(trace_of([]), ClusterSpec.of((baseline_gen3(), 1)))
+        assert out.feasible
+        assert out.placed_vms == 0
+
+    def test_single_vm(self):
+        out = simulate(
+            trace_of([make_vm(1)]), ClusterSpec.of((baseline_gen3(), 1))
+        )
+        assert out.placed_vms == 1
+
+    def test_vm_larger_than_any_server_rejected(self):
+        vm = make_vm(1, cores=81, memory_gb=32.0)
+        out = simulate(trace_of([vm]), ClusterSpec.of((baseline_gen3(), 3)))
+        assert out.rejected_vms == [1]
+
+    def test_memory_larger_than_any_server_rejected(self):
+        vm = make_vm(1, cores=4, memory_gb=10_000.0)
+        out = simulate(trace_of([vm]), ClusterSpec.of((baseline_gen3(), 3)))
+        assert out.rejected_vms == [1]
+
+
+class TestUnknownApps:
+    def test_unknown_app_still_places(self):
+        """Trace apps outside the profiled 20 (e.g. real traces) place
+        fine; they just get no Pond tiering plan."""
+        vm = make_vm(1, app="some-internal-service")
+        spec = ClusterSpec.of((greensku_cxl(), 1))
+        out = simulate(trace_of([vm]), spec, adoption=adopt_everything)
+        assert out.feasible
+        assert out.green_placements == 1
+
+
+class TestBoundaryTimes:
+    def test_vm_departing_exactly_at_next_arrival(self):
+        vms = [
+            make_vm(1, cores=80, memory_gb=768.0, lifetime_hours=2.0),
+            make_vm(
+                2,
+                cores=80,
+                memory_gb=768.0,
+                arrival_hours=2.0,
+                lifetime_hours=2.0,
+            ),
+        ]
+        out = simulate(trace_of(vms), ClusterSpec.of((baseline_gen3(), 1)))
+        assert out.feasible
+
+    def test_infinite_lifetime_vm_never_releases(self):
+        vms = [
+            make_vm(1, cores=80, memory_gb=768.0, lifetime_hours=math.inf),
+            make_vm(
+                2,
+                cores=80,
+                memory_gb=768.0,
+                arrival_hours=5.0,
+            ),
+        ]
+        out = simulate(trace_of(vms), ClusterSpec.of((baseline_gen3(), 1)))
+        assert out.rejected_vms == [2]
+
+    def test_zero_capacity_green_pool(self):
+        """A cluster spec may carry a zero-count SKU entry."""
+        spec = ClusterSpec.of((baseline_gen3(), 1), (greensku_cxl(), 0))
+        out = simulate(
+            trace_of([make_vm(1)]), spec, adoption=adopt_everything
+        )
+        assert out.feasible
+        assert out.green_placements == 0
+        assert out.fallback_placements == 1
+
+
+class TestAdoptionPolicyContracts:
+    def test_policy_exceptions_propagate(self):
+        def broken(app, gen):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            simulate(
+                trace_of([make_vm(1)]),
+                ClusterSpec.of(
+                    (baseline_gen3(), 1), (greensku_cxl(), 1)
+                ),
+                adoption=broken,
+            )
+
+    def test_full_node_bypasses_policy(self):
+        calls = []
+
+        def recording(app, gen):
+            calls.append(app)
+            return 1.0
+
+        vm = make_vm(
+            1, cores=80, memory_gb=768.0, full_node=True,
+            lifetime_hours=10.0,
+        )
+        simulate(
+            trace_of([vm]),
+            ClusterSpec.of((baseline_gen3(), 1)),
+            adoption=recording,
+        )
+        assert calls == []  # full-node VMs never consult adoption

@@ -1,0 +1,131 @@
+"""Property-based fuzzing of the allocation substrate.
+
+Hypothesis drives random placement/removal sequences and random traces
+against the invariants the simulator must never violate: capacity
+conservation, non-negative free resources, and idempotent accounting.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allocation.cluster import ClusterSpec, adopt_everything, simulate
+from repro.allocation.scheduler import BestFitScheduler, Server
+from repro.allocation.traces import TraceParams, VmTrace
+from repro.allocation.vm import VmRequest
+from repro.hardware.sku import baseline_gen3, greensku_cxl
+
+
+def make_vm(vm_id, cores, memory_gb, touch=0.5):
+    return VmRequest(
+        vm_id=vm_id,
+        arrival_hours=0.0,
+        lifetime_hours=1.0,
+        cores=cores,
+        memory_gb=memory_gb,
+        generation=3,
+        app_name="Redis",
+        max_memory_fraction=touch,
+    )
+
+
+vm_shapes = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=16),  # cores
+        st.floats(min_value=1.0, max_value=128.0),  # memory
+        st.floats(min_value=0.0, max_value=1.0),  # touch fraction
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestServerInvariants:
+    @given(shapes=vm_shapes)
+    @settings(deadline=None, max_examples=60)
+    def test_place_remove_conserves_capacity(self, shapes):
+        server = Server(0, baseline_gen3())
+        placed = []
+        for i, (cores, memory, touch) in enumerate(shapes):
+            vm = make_vm(i, cores, memory, touch)
+            if server.fits(cores, memory):
+                server.place(vm, cores, memory)
+                placed.append(vm)
+            # Invariants hold after every operation.
+            assert 0 <= server.free_cores <= server.total_cores
+            assert -1e-9 <= server.free_memory_gb <= server.total_memory_gb
+            assert server.allocated_cores == sum(v.cores for v in placed)
+        for vm in placed:
+            server.remove(vm.vm_id)
+        assert server.is_empty
+        assert server.free_cores == server.total_cores
+        assert server.free_memory_gb == pytest.approx(
+            server.total_memory_gb
+        )
+        assert server.touched_memory_fraction == pytest.approx(0.0)
+
+    @given(shapes=vm_shapes)
+    @settings(deadline=None, max_examples=30)
+    def test_cxl_pool_conserved(self, shapes):
+        server = Server(0, greensku_cxl())
+        placed = []
+        for i, (cores, memory, touch) in enumerate(shapes):
+            vm = make_vm(i, cores, memory, touch)
+            cxl = min(memory * 0.25, server.free_cxl_gb)
+            if server.fits(cores, memory):
+                server.place(vm, cores, memory, cxl_gb=cxl)
+                placed.append(vm.vm_id)
+            assert -1e-9 <= server.cxl_used_gb <= server.total_cxl_gb + 1e-9
+            assert 0 <= server.cxl_utilization <= 1 + 1e-9
+        for vm_id in placed:
+            server.remove(vm_id)
+        assert server.cxl_used_gb == pytest.approx(0.0)
+
+
+class TestSchedulerInvariants:
+    @given(
+        shapes=vm_shapes,
+        policy=st.sampled_from(["best-fit", "first-fit", "worst-fit"]),
+    )
+    @settings(deadline=None, max_examples=40)
+    def test_chosen_server_always_fits(self, shapes, policy):
+        servers = [Server(i, baseline_gen3()) for i in range(3)]
+        scheduler = BestFitScheduler(policy)
+        for i, (cores, memory, touch) in enumerate(shapes):
+            vm = make_vm(i, cores, memory, touch)
+            chosen = scheduler.choose(vm, servers, cores, memory)
+            if chosen is not None:
+                assert chosen.fits(cores, memory)
+                chosen.place(vm, cores, memory)
+
+
+class TestSimulationInvariants:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(deadline=None, max_examples=10)
+    def test_placed_plus_rejected_equals_arrivals(self, seed):
+        from repro.allocation.traces import generate_trace
+
+        trace = generate_trace(
+            seed=seed,
+            params=TraceParams(duration_days=2, mean_concurrent_vms=40),
+        )
+        spec = ClusterSpec.of((baseline_gen3(), 5))
+        outcome = simulate(trace, spec)
+        assert outcome.placed_vms + len(outcome.rejected_vms) == len(
+            trace.vms
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(deadline=None, max_examples=8)
+    def test_more_servers_never_more_rejections(self, seed):
+        from repro.allocation.traces import generate_trace
+
+        trace = generate_trace(
+            seed=seed,
+            params=TraceParams(duration_days=2, mean_concurrent_vms=40),
+        )
+        small = simulate(trace, ClusterSpec.of((baseline_gen3(), 4)))
+        large = simulate(trace, ClusterSpec.of((baseline_gen3(), 8)))
+        assert len(large.rejected_vms) <= len(small.rejected_vms)

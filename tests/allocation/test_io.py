@@ -1,0 +1,94 @@
+"""Trace serialization tests."""
+
+import math
+
+import pytest
+
+from repro.allocation.io import (
+    load_trace,
+    save_trace,
+    trace_from_csv,
+    trace_to_csv,
+)
+from repro.allocation.traces import TraceParams, generate_trace
+from repro.core.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(
+        seed=13, params=TraceParams(duration_days=3, mean_concurrent_vms=50)
+    )
+
+
+class TestRoundTrip:
+    def test_vm_count_preserved(self, trace):
+        loaded = trace_from_csv(trace_to_csv(trace))
+        assert len(loaded.vms) == len(trace.vms)
+
+    def test_fields_preserved(self, trace):
+        loaded = trace_from_csv(trace_to_csv(trace))
+        for a, b in zip(trace.vms, loaded.vms):
+            assert a.vm_id == b.vm_id
+            assert a.cores == b.cores
+            assert a.generation == b.generation
+            assert a.app_name == b.app_name
+            assert a.full_node == b.full_node
+            assert a.arrival_hours == pytest.approx(
+                b.arrival_hours, rel=1e-5
+            )
+            assert a.memory_gb == pytest.approx(b.memory_gb, rel=1e-5)
+
+    def test_infinite_lifetime_roundtrip(self, trace):
+        csv_text = (
+            "vm_id,arrival_hours,lifetime_hours,cores,memory_gb,"
+            "generation,app_name,max_memory_fraction,full_node\n"
+            "1,0,inf,80,768,3,Redis,0.5,1\n"
+        )
+        loaded = trace_from_csv(csv_text)
+        assert math.isinf(loaded.vms[0].lifetime_hours)
+
+    def test_file_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == "trace"
+        assert len(loaded.vms) == len(trace.vms)
+
+
+class TestValidation:
+    def test_missing_columns_rejected(self):
+        with pytest.raises(ConfigError):
+            trace_from_csv("vm_id,cores\n1,4\n")
+
+    def test_bad_value_reports_line(self):
+        csv_text = (
+            "vm_id,arrival_hours,lifetime_hours,cores,memory_gb,"
+            "generation,app_name,max_memory_fraction,full_node\n"
+            "1,0,5,not-a-number,16,3,Redis,0.5,0\n"
+        )
+        with pytest.raises(ConfigError, match="line 2"):
+            trace_from_csv(csv_text)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_trace(tmp_path / "nope.csv")
+
+    def test_arrivals_sorted_after_load(self):
+        csv_text = (
+            "vm_id,arrival_hours,lifetime_hours,cores,memory_gb,"
+            "generation,app_name,max_memory_fraction,full_node\n"
+            "1,10,5,4,16,3,Redis,0.5,0\n"
+            "2,3,5,4,16,3,Redis,0.5,0\n"
+        )
+        loaded = trace_from_csv(csv_text)
+        assert [vm.vm_id for vm in loaded.vms] == [2, 1]
+
+    def test_duration_inferred(self):
+        csv_text = (
+            "vm_id,arrival_hours,lifetime_hours,cores,memory_gb,"
+            "generation,app_name,max_memory_fraction,full_node\n"
+            "1,30,5,4,16,3,Redis,0.5,0\n"
+        )
+        loaded = trace_from_csv(csv_text)
+        assert loaded.params.duration_days == 2.0

@@ -1,0 +1,61 @@
+"""Packing metrics tests."""
+
+import numpy as np
+import pytest
+
+from repro.allocation.cluster import ClusterSpec, adopt_nothing, simulate
+from repro.allocation.packing import cdf, fraction_below, packing_point
+from repro.allocation.traces import TraceParams, generate_trace
+from repro.core.errors import ConfigError
+from repro.hardware.sku import baseline_gen3
+
+
+class TestCdf:
+    def test_sorted_output(self):
+        xs, ps = cdf([0.5, 0.1, 0.9])
+        assert list(xs) == [0.1, 0.5, 0.9]
+        assert list(ps) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_single_value(self):
+        xs, ps = cdf([0.4])
+        assert list(ps) == [1.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            cdf([])
+
+
+class TestFractionBelow:
+    def test_basic(self):
+        assert fraction_below([0.2, 0.5, 0.9], 0.6) == pytest.approx(2 / 3)
+
+    def test_all_below(self):
+        assert fraction_below([0.1, 0.2], 0.6) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            fraction_below([], 0.5)
+
+
+class TestPackingPoint:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        trace = generate_trace(
+            seed=4, params=TraceParams(duration_days=2, mean_concurrent_vms=40)
+        )
+        return simulate(
+            trace, ClusterSpec.of((baseline_gen3(), 12)), adoption=adopt_nothing
+        )
+
+    def test_baseline_point(self, outcome):
+        point = packing_point(outcome, "t", kind="baseline")
+        assert 0 < point.mean_core_density <= 1
+        assert 0 <= point.mean_memory_density <= 1
+
+    def test_green_point_empty_cluster(self, outcome):
+        point = packing_point(outcome, "t", kind="green")
+        assert point.mean_core_density == 0.0
+
+    def test_unknown_kind_rejected(self, outcome):
+        with pytest.raises(ConfigError):
+            packing_point(outcome, "t", kind="mixed")

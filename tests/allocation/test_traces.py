@@ -1,0 +1,154 @@
+"""Synthetic VM trace generator tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.allocation.traces import (
+    TraceParams,
+    generate_trace,
+    production_trace_suite,
+)
+from repro.core.errors import ConfigError
+from repro.perf.apps import APP_BY_NAME
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(
+        seed=11, params=TraceParams(duration_days=7, mean_concurrent_vms=150)
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self, trace):
+        again = generate_trace(
+            seed=11,
+            params=TraceParams(duration_days=7, mean_concurrent_vms=150),
+        )
+        assert len(again.vms) == len(trace.vms)
+        assert all(
+            a.arrival_hours == b.arrival_hours and a.cores == b.cores
+            for a, b in zip(trace.vms, again.vms)
+        )
+
+    def test_different_seeds_differ(self, trace):
+        other = generate_trace(
+            seed=12,
+            params=TraceParams(duration_days=7, mean_concurrent_vms=150),
+        )
+        assert len(other.vms) != len(trace.vms) or any(
+            a.cores != b.cores for a, b in zip(trace.vms, other.vms)
+        )
+
+
+class TestShape:
+    def test_arrivals_sorted(self, trace):
+        arrivals = [vm.arrival_hours for vm in trace.vms]
+        assert arrivals == sorted(arrivals)
+
+    def test_arrivals_within_window(self, trace):
+        assert all(
+            0 <= vm.arrival_hours < trace.duration_hours for vm in trace.vms
+        )
+
+    def test_vm_ids_unique(self, trace):
+        ids = [vm.vm_id for vm in trace.vms]
+        assert len(set(ids)) == len(ids)
+
+    def test_population_near_target(self, trace):
+        """Little's law: mean concurrent VMs ~ target (loosely)."""
+        times = np.linspace(12, trace.duration_hours - 12, 12)
+        pops = [
+            sum(
+                1
+                for vm in trace.vms
+                if vm.arrival_hours <= t < vm.departure_hours
+            )
+            for t in times
+        ]
+        assert np.mean(pops) == pytest.approx(150, rel=0.5)
+
+    def test_core_sizes_from_menu(self, trace):
+        menu = set(trace.params.core_sizes) | {80}  # full-node shape
+        assert all(vm.cores in menu for vm in trace.vms)
+
+    def test_apps_are_known(self, trace):
+        assert all(vm.app_name in APP_BY_NAME for vm in trace.vms)
+
+    def test_generations_valid(self, trace):
+        assert all(vm.generation in (1, 2, 3) for vm in trace.vms)
+
+    def test_gen3_dominates(self, trace):
+        gen3 = sum(1 for vm in trace.vms if vm.generation == 3)
+        assert gen3 > len(trace.vms) * 0.4
+
+    def test_full_node_vms_have_server_shape(self, trace):
+        for vm in trace.vms:
+            if vm.full_node:
+                assert vm.cores == 80
+                assert vm.memory_gb == pytest.approx(80 * 9.6)
+
+    def test_memory_fractions_in_unit_interval(self, trace):
+        assert all(0 <= vm.max_memory_fraction <= 1 for vm in trace.vms)
+
+    def test_peak_concurrent_cores_positive(self, trace):
+        assert trace.peak_concurrent_cores(step_hours=6) > 0
+
+
+class TestParams:
+    def test_mean_lifetime(self):
+        p = TraceParams(
+            short_lifetime_hours=4,
+            long_lifetime_hours=100,
+            long_lived_fraction=0.5,
+        )
+        assert p.mean_lifetime_hours == pytest.approx(52.0)
+
+    def test_arrival_rate_littles_law(self):
+        p = TraceParams(mean_concurrent_vms=100)
+        assert p.arrival_rate_per_hour == pytest.approx(
+            100 / p.mean_lifetime_hours
+        )
+
+    def test_weight_validation(self):
+        with pytest.raises(ConfigError):
+            TraceParams(core_size_weights=(1.0,))
+
+    def test_weight_sum_validation(self):
+        with pytest.raises(ConfigError):
+            TraceParams(
+                core_sizes=(1, 2),
+                core_size_weights=(0.5, 0.6),
+            )
+
+    def test_generation_mix_validation(self):
+        with pytest.raises(ConfigError):
+            TraceParams(generation_mix=(0.5, 0.5, 0.5))
+
+
+class TestSuite:
+    def test_suite_count(self):
+        suite = production_trace_suite(
+            count=5, params=TraceParams(duration_days=3, mean_concurrent_vms=60)
+        )
+        assert len(suite) == 5
+
+    def test_suite_names_unique(self):
+        suite = production_trace_suite(
+            count=4, params=TraceParams(duration_days=3, mean_concurrent_vms=60)
+        )
+        names = [t.name for t in suite]
+        assert len(set(names)) == 4
+
+    def test_suite_traces_vary(self):
+        suite = production_trace_suite(
+            count=3, params=TraceParams(duration_days=3, mean_concurrent_vms=60)
+        )
+        sizes = [len(t.vms) for t in suite]
+        assert len(set(sizes)) > 1
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ConfigError):
+            production_trace_suite(count=0)

@@ -1,0 +1,95 @@
+"""VM request tests."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.allocation.vm import VmRequest
+from repro.core.errors import ConfigError
+
+
+def make_vm(**overrides):
+    base = dict(
+        vm_id=1,
+        arrival_hours=0.0,
+        lifetime_hours=10.0,
+        cores=4,
+        memory_gb=16.0,
+        generation=3,
+        app_name="Redis",
+    )
+    base.update(overrides)
+    return VmRequest(**base)
+
+
+class TestValidation:
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ConfigError):
+            make_vm(cores=0)
+
+    def test_zero_memory_rejected(self):
+        with pytest.raises(ConfigError):
+            make_vm(memory_gb=0)
+
+    def test_bad_generation_rejected(self):
+        with pytest.raises(ConfigError):
+            make_vm(generation=0)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ConfigError):
+            make_vm(arrival_hours=-1)
+
+    def test_memory_fraction_bounds(self):
+        with pytest.raises(ConfigError):
+            make_vm(max_memory_fraction=1.5)
+
+
+class TestDeparture:
+    def test_departure_time(self):
+        vm = make_vm(arrival_hours=5.0, lifetime_hours=10.0)
+        assert vm.departure_hours == 15.0
+
+    def test_infinite_lifetime(self):
+        vm = make_vm(lifetime_hours=math.inf)
+        assert math.isinf(vm.departure_hours)
+
+
+class TestScaling:
+    def test_factor_one_is_identity(self):
+        vm = make_vm()
+        assert vm.scaled(1.0) is vm
+
+    def test_factor_125(self):
+        # The paper scales cores AND memory by the factor; cores round up.
+        vm = make_vm(cores=8, memory_gb=32.0)
+        scaled = vm.scaled(1.25)
+        assert scaled.cores == 10
+        assert scaled.memory_gb == pytest.approx(40.0)
+
+    def test_cores_round_up(self):
+        vm = make_vm(cores=2)
+        assert vm.scaled(1.25).cores == 3  # ceil(2.5)
+
+    def test_factor_below_one_rejected(self):
+        with pytest.raises(ConfigError):
+            make_vm().scaled(0.8)
+
+    def test_infinite_factor_rejected(self):
+        with pytest.raises(ConfigError):
+            make_vm().scaled(math.inf)
+
+    @given(st.floats(min_value=1.0, max_value=3.0))
+    def test_scaled_never_shrinks(self, factor):
+        vm = make_vm(cores=8, memory_gb=32.0)
+        scaled = vm.scaled(factor)
+        assert scaled.cores >= vm.cores
+        assert scaled.memory_gb >= vm.memory_gb
+
+    def test_scaling_preserves_identity_fields(self):
+        vm = make_vm()
+        scaled = vm.scaled(1.5)
+        assert scaled.vm_id == vm.vm_id
+        assert scaled.app_name == vm.app_name
+        assert scaled.arrival_hours == vm.arrival_hours

@@ -1,0 +1,107 @@
+"""Ablation study tests."""
+
+import pytest
+
+from repro.analysis.ablations import (
+    adoption_rule_ablation,
+    buffer_policy_ablation,
+    cxl_fraction_sweep,
+    fip_sweep,
+    placement_policy_ablation,
+)
+from repro.allocation.scheduler import BestFitScheduler
+from repro.core.errors import ConfigError
+
+
+class TestPlacementAblation:
+    @pytest.fixture(scope="class")
+    def results(self, small_trace):
+        return {
+            r.policy: r for r in placement_policy_ablation(small_trace)
+        }
+
+    def test_three_policies(self, results):
+        assert set(results) == {"best-fit", "first-fit", "worst-fit"}
+
+    def test_best_fit_never_worse_than_worst_fit(self, results):
+        assert (
+            results["best-fit"].servers_needed
+            <= results["worst-fit"].servers_needed
+        )
+
+    def test_density_ordering(self, results):
+        assert (
+            results["best-fit"].mean_core_density
+            >= results["worst-fit"].mean_core_density
+        )
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            BestFitScheduler("random-fit")
+
+
+class TestFipSweep:
+    def test_paper_point(self):
+        results = {r.effectiveness: r for r in fip_sweep()}
+        assert results[0.75].baseline_repair_rate == pytest.approx(3.0)
+        assert results[0.75].greensku_repair_rate == pytest.approx(3.6)
+
+    def test_overhead_shrinks_with_effectiveness(self):
+        results = fip_sweep()
+        overheads = [r.greensku_overhead for r in results]
+        assert overheads == sorted(overheads, reverse=True)
+
+    def test_perfect_fip_equalizes(self):
+        perfect = fip_sweep(effectiveness_levels=[1.0])[0]
+        assert perfect.greensku_overhead == pytest.approx(0.0)
+
+
+class TestAdoptionAblation:
+    @pytest.fixture(scope="class")
+    def results(self, small_trace):
+        return {r.rule: r for r in adoption_rule_ablation(small_trace)}
+
+    def test_three_rules(self, results):
+        assert set(results) == {"carbon-aware", "performance-only", "always"}
+
+    def test_carbon_aware_positive(self, results):
+        assert results["carbon-aware"].cluster_savings > 0
+
+    def test_always_uses_most_greens(self, results):
+        assert (
+            results["always"].green_servers
+            >= results["carbon-aware"].green_servers
+        )
+
+    def test_carbon_aware_at_least_performance_only(self, results):
+        # Dropping carbon-negative adopters can only help savings.
+        assert (
+            results["carbon-aware"].cluster_savings
+            >= results["performance-only"].cluster_savings - 1e-9
+        )
+
+
+class TestBufferAblation:
+    def test_single_buffer_costs_more(self):
+        single, dual = buffer_policy_ablation(20, 20)
+        assert single.buffer_carbon_kg >= dual.buffer_carbon_kg
+
+    def test_single_buffer_is_baseline_only(self):
+        single, _dual = buffer_policy_ablation(20, 20)
+        assert single.green_buffer_servers == 0
+
+
+class TestCxlSweep:
+    def test_savings_grow_with_reuse(self):
+        results = cxl_fraction_sweep()
+        savings = [r.savings_vs_baseline for r in results]
+        assert savings == sorted(savings)
+
+    def test_greensku_cxl_point(self):
+        # 8 DIMMs = 25% of memory behind CXL, matching GreenSKU-CXL.
+        point = next(r for r in cxl_fraction_sweep() if r.cxl_dimms == 8)
+        assert point.cxl_fraction == pytest.approx(0.25)
+
+    def test_odd_dimm_count_rejected(self):
+        with pytest.raises(ConfigError):
+            cxl_fraction_sweep(dimm_counts=[3])

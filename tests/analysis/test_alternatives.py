@@ -1,0 +1,100 @@
+"""Section VII-B alternative-strategy equivalence tests."""
+
+import pytest
+
+from repro.analysis.alternatives import (
+    efficiency_improvement_equivalent,
+    equivalence_report,
+    lifetime_extension_equivalent,
+    operational_share,
+    renewables_increase_equivalent,
+)
+from repro.carbon.intensity import EnergyMix
+from repro.carbon.model import CarbonModel
+from repro.core.errors import ConfigError
+
+
+class TestOperationalShare:
+    def test_share_in_unit_interval(self):
+        assert 0 < operational_share() < 1
+
+    def test_cleaner_grid_lower_share(self):
+        dirty = operational_share(CarbonModel().at_intensity(0.3))
+        clean = operational_share(CarbonModel().at_intensity(0.03))
+        assert clean < dirty
+
+
+class TestEfficiency:
+    def test_target_over_share(self):
+        share = operational_share()
+        assert efficiency_improvement_equivalent(0.10) == pytest.approx(
+            0.10 / share
+        )
+
+    def test_paper_scale(self):
+        # Paper: ~28% component efficiency matches GreenSKU-Full's
+        # performance-adjusted savings (15%).
+        e = efficiency_improvement_equivalent(0.15)
+        assert 0.2 < e < 0.4
+
+    def test_target_beyond_operational_rejected(self):
+        with pytest.raises(ConfigError):
+            efficiency_improvement_equivalent(0.99)
+
+    def test_zero_target(self):
+        assert efficiency_improvement_equivalent(0.0) == 0.0
+
+
+class TestLifetime:
+    def test_extension_direction(self):
+        # More savings -> longer required lifetimes.
+        l_small = lifetime_extension_equivalent(0.05)
+        l_big = lifetime_extension_equivalent(0.15)
+        assert 6 < l_small < l_big
+
+    def test_paper_scale(self):
+        # Paper: matching the savings needs lifetimes well past 6 years
+        # (13 with internal data).
+        years = lifetime_extension_equivalent(0.15)
+        assert 8 < years < 20
+
+    def test_zero_target_is_base_lifetime(self):
+        assert lifetime_extension_equivalent(0.0) == pytest.approx(6.0)
+
+    def test_unreachable_target_rejected(self):
+        with pytest.raises(ConfigError):
+            lifetime_extension_equivalent(0.9)
+
+
+class TestRenewables:
+    def test_increase_positive(self):
+        mix = EnergyMix(0.6)
+        model = CarbonModel().at_intensity(mix.effective_ci)
+        delta = renewables_increase_equivalent(0.05, mix=mix, model=model)
+        assert delta > 0
+
+    def test_more_savings_more_renewables(self):
+        mix = EnergyMix(0.6)
+        model = CarbonModel().at_intensity(mix.effective_ci)
+        d1 = renewables_increase_equivalent(0.03, mix=mix, model=model)
+        d2 = renewables_increase_equivalent(0.08, mix=mix, model=model)
+        assert d2 > d1
+
+    def test_unreachable_target_rejected(self):
+        mix = EnergyMix(0.6)
+        model = CarbonModel().at_intensity(mix.effective_ci)
+        with pytest.raises(ConfigError):
+            renewables_increase_equivalent(0.95, mix=mix, model=model)
+
+    def test_invalid_target(self):
+        with pytest.raises(ConfigError):
+            renewables_increase_equivalent(1.2)
+
+
+class TestReport:
+    def test_report_consistency(self):
+        report = equivalence_report(0.07)
+        assert report.target_savings == 0.07
+        assert report.renewables_increase > 0
+        assert report.efficiency_improvement > 0
+        assert report.lifetime_years > 6

@@ -1,0 +1,72 @@
+"""Lifetime-extension study tests."""
+
+import pytest
+
+from repro.analysis.lifetime import LifetimeStudy, lifetime_study
+from repro.core.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def study():
+    return lifetime_study()
+
+
+class TestSweep:
+    def test_embodied_rate_decreases_with_lifetime(self, study):
+        rates = [p.embodied_per_core_year for p in study.points]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_operational_rate_grows_past_default(self, study):
+        by_l = {p.lifetime_years: p for p in study.points}
+        assert (
+            by_l[12.0].operational_per_core_year
+            > by_l[6.0].operational_per_core_year
+        )
+
+    def test_maintenance_grows_past_wearout(self, study):
+        by_l = {p.lifetime_years: p for p in study.points}
+        assert (
+            by_l[14.0].maintenance_overhead_per_core_year
+            > by_l[6.0].maintenance_overhead_per_core_year
+        )
+
+    def test_optimum_is_interior(self, study):
+        # Too short wastes embodied carbon; too long pays stagnation and
+        # wear-out.  The optimum sits strictly inside the sweep.
+        lifetimes = [p.lifetime_years for p in study.points]
+        assert lifetimes[0] < study.optimal_lifetime_years < lifetimes[-1]
+
+    def test_extension_beyond_six_years_saves(self, study):
+        # Consistent with the paper's lifetime-extension literature: some
+        # extension past 6 years is carbon-positive even with costs.
+        assert study.optimal_lifetime_years > 6.0
+        assert study.savings_vs(6.0) > 0
+
+    def test_free_extension_assumption_overstates(self):
+        # With the costs disabled (the paper's simplifying assumption),
+        # longer is always better — showing what the assumption hides.
+        free = lifetime_study(
+            wearout_afr_growth_per_year=0.0,
+            efficiency_progress_per_year=0.0,
+        )
+        totals = [p.total_per_core_year for p in free.points]
+        assert totals == sorted(totals, reverse=True)
+        costed = lifetime_study()
+        assert (
+            costed.optimal_lifetime_years
+            < free.points[-1].lifetime_years
+        )
+
+
+class TestValidation:
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ConfigError):
+            lifetime_study(lifetimes=())
+
+    def test_negative_lifetime_rejected(self):
+        with pytest.raises(ConfigError):
+            lifetime_study(lifetimes=(-1.0,))
+
+    def test_missing_base_rejected(self, study):
+        with pytest.raises(ConfigError):
+            study.savings_vs(6.5)

@@ -1,0 +1,83 @@
+"""Second-generation GreenSKU option tests."""
+
+import pytest
+
+from repro.analysis.second_gen import (
+    greensku_gen2_full,
+    greensku_gen2_lpddr,
+    greensku_gen2_nic,
+    lpddr_dimm,
+    second_generation_study,
+)
+from repro.hardware import catalog
+from repro.hardware.components import Category
+
+
+class TestLpddr:
+    def test_power_and_embodied_ratios(self):
+        lp = lpddr_dimm()
+        assert lp.tdp_watts == pytest.approx(
+            0.6 * catalog.DDR5_64GB.tdp_watts
+        )
+        assert lp.embodied_kg == pytest.approx(
+            1.15 * catalog.DDR5_64GB.embodied_kg
+        )
+
+    def test_capacity_unchanged(self):
+        assert lpddr_dimm().capacity_gb == 64
+
+
+class TestSkuVariants:
+    def test_nic_variant_reuses_nic(self):
+        sku = greensku_gen2_nic()
+        nics = [s for s, _n in sku.iter_parts() if s.category == Category.NIC]
+        assert all(nic.reused for nic in nics)
+
+    def test_lpddr_variant_keeps_cxl_dimms(self):
+        sku = greensku_gen2_lpddr()
+        assert sku.cxl_memory_gb == 256  # reused DDR4 untouched
+
+    def test_full_variant_same_shape(self):
+        sku = greensku_gen2_full()
+        assert sku.cores == 128
+        assert sku.memory_gb == 1024
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def options(self):
+        return {o.name: o for o in second_generation_study()}
+
+    def test_four_options(self, options):
+        assert len(options) == 4
+
+    def test_every_option_beats_baseline(self, options):
+        for option in options.values():
+            assert option.savings_vs_baseline > 0.2
+
+    def test_incremental_returns_low_today(self, options):
+        # The paper's point: NIC reuse and LPDDR "yield low returns today"
+        # — single-digit increments on top of GreenSKU-Full.
+        for name, option in options.items():
+            if name == "GreenSKU-Full":
+                continue
+            assert (
+                0
+                < option.incremental_savings_vs_gen1_greensku
+                < 0.10
+            ), name
+
+    def test_combined_is_best(self, options):
+        assert (
+            options["GreenSKU-Gen2-Full"].total_per_core
+            == min(o.total_per_core for o in options.values())
+        )
+
+    def test_nic_increment_smaller_than_lpddr(self, options):
+        # One NIC's embodied carbon vs every local DIMM's power.
+        assert (
+            options["GreenSKU-Gen2-NIC"].incremental_savings_vs_gen1_greensku
+            < options[
+                "GreenSKU-Gen2-LPDDR"
+            ].incremental_savings_vs_gen1_greensku
+        )

@@ -1,0 +1,70 @@
+"""Fleet transition planner tests."""
+
+import pytest
+
+from repro.analysis.transition import (
+    transition_scenario,
+    transition_study,
+)
+from repro.core.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def study():
+    return transition_study(fleet_servers=10_000)
+
+
+class TestScenario:
+    def test_reference_flat(self, study):
+        annuals = [y.annual_kg for y in study.reference.years]
+        assert max(annuals) == pytest.approx(min(annuals))
+        assert all(y.green_share == 0 for y in study.reference.years)
+
+    def test_adoption_ramps_at_refresh_rate(self, study):
+        shares = [y.green_share for y in study.adopt_now.years]
+        assert shares[0] == pytest.approx(1 / 6)
+        assert shares == sorted(shares)
+
+    def test_annual_emissions_fall_with_adoption(self, study):
+        annuals = [y.annual_kg for y in study.adopt_now.years]
+        assert annuals[-1] < annuals[0]
+
+    def test_cumulative_monotone(self, study):
+        cums = [y.cumulative_kg for y in study.adopt_now.years]
+        assert cums == sorted(cums)
+
+    def test_year_lookup(self, study):
+        record = study.adopt_now.year_record(2030)
+        assert record.year == 2030
+        with pytest.raises(ConfigError):
+            study.adopt_now.year_record(1999)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            transition_scenario("x", None, fleet_servers=0)
+        with pytest.raises(ConfigError):
+            transition_scenario("x", None, performance_scaling=0.9)
+
+
+class TestStudy:
+    def test_adopting_now_beats_delaying(self, study):
+        assert (
+            study.savings_by_2030_now > study.savings_by_2030_delayed > 0
+        )
+
+    def test_cost_of_delay_positive(self, study):
+        assert study.cost_of_delay_kg > 0
+
+    def test_savings_bounded_by_per_core_savings(self, study):
+        # By 2030 only ~7/6 of a lifetime has passed: cumulative savings
+        # must stay below the steady-state per-core savings (~24% after
+        # scaling).
+        assert study.savings_by_2030_now < 0.24
+
+    def test_meaningful_savings_by_2030(self, study):
+        # The Section I argument: starting now moves the 2030 number.
+        assert study.savings_by_2030_now > 0.05
+
+    def test_zero_delay_equals_now(self):
+        study = transition_study(delay_years=0, fleet_servers=1_000)
+        assert study.cost_of_delay_kg == pytest.approx(0.0)

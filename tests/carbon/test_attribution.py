@@ -1,0 +1,110 @@
+"""Per-VM carbon attribution tests."""
+
+import math
+
+import pytest
+
+from repro.allocation.vm import VmRequest
+from repro.carbon.attribution import (
+    AttributionReport,
+    attribute_vm,
+    attribute_workload,
+    per_core_hour_kg,
+)
+from repro.core.errors import ConfigError
+from repro.hardware.sku import baseline_gen3, greensku_full
+
+
+def make_vm(vm_id=1, cores=8, lifetime=100.0, arrival=0.0, app="Redis"):
+    return VmRequest(
+        vm_id=vm_id,
+        arrival_hours=arrival,
+        lifetime_hours=lifetime,
+        cores=cores,
+        memory_gb=cores * 4.0,
+        generation=3,
+        app_name=app,
+    )
+
+
+class TestRate:
+    def test_rate_amortizes_lifetime(self, carbon_model):
+        a = carbon_model.assess(baseline_gen3())
+        rate = per_core_hour_kg(a)
+        assert rate == pytest.approx(a.total_per_core / 52_560)
+
+    def test_greensku_rate_lower(self, carbon_model):
+        base = per_core_hour_kg(carbon_model.assess(baseline_gen3()))
+        green = per_core_hour_kg(carbon_model.assess(greensku_full()))
+        assert green < base
+
+    def test_invalid_lifetime(self, carbon_model):
+        with pytest.raises(ConfigError):
+            per_core_hour_kg(carbon_model.assess(baseline_gen3()), 0)
+
+
+class TestAttributeVm:
+    def test_basic_attribution(self, carbon_model):
+        a = carbon_model.assess(baseline_gen3())
+        record = attribute_vm(make_vm(), a, horizon_hours=1000)
+        assert record.core_hours == pytest.approx(800)
+        assert record.carbon_kg == pytest.approx(
+            800 * per_core_hour_kg(a)
+        )
+
+    def test_horizon_clips_open_ended_vms(self, carbon_model):
+        a = carbon_model.assess(baseline_gen3())
+        vm = make_vm(lifetime=math.inf, arrival=40.0)
+        record = attribute_vm(vm, a, horizon_hours=100)
+        assert record.hours == pytest.approx(60.0)
+
+    def test_scaled_cores_charged(self, carbon_model):
+        a = carbon_model.assess(greensku_full())
+        record = attribute_vm(make_vm(cores=8), a, 1000, scaled_cores=10)
+        assert record.cores == 10
+
+    def test_vm_arriving_after_horizon(self, carbon_model):
+        a = carbon_model.assess(baseline_gen3())
+        record = attribute_vm(make_vm(arrival=200.0), a, horizon_hours=100)
+        assert record.carbon_kg == 0.0
+
+    def test_invalid_horizon(self, carbon_model):
+        with pytest.raises(ConfigError):
+            attribute_vm(make_vm(), carbon_model.assess(baseline_gen3()), 0)
+
+
+class TestWorkloadAttribution:
+    def test_totals(self, carbon_model):
+        a = carbon_model.assess(baseline_gen3())
+        vms = [make_vm(i, app="Redis") for i in range(3)]
+        vms += [make_vm(9, app="Silo")]
+        report = attribute_workload(vms, a, horizon_hours=1000)
+        assert report.total_kg == pytest.approx(
+            sum(r.carbon_kg for r in report.records)
+        )
+        assert report.total_core_hours == pytest.approx(4 * 800)
+
+    def test_by_app_sorted_descending(self, carbon_model):
+        a = carbon_model.assess(baseline_gen3())
+        vms = [make_vm(i, app="Redis") for i in range(3)]
+        vms += [make_vm(9, app="Silo")]
+        by_app = attribute_workload(vms, a, 1000).by_app()
+        values = list(by_app.values())
+        assert values == sorted(values, reverse=True)
+        assert list(by_app)[0] == "Redis"
+
+    def test_scaling_map(self, carbon_model):
+        a = carbon_model.assess(greensku_full())
+        vms = [make_vm(1, cores=8)]
+        report = attribute_workload(vms, a, 1000, scaling={1: 12})
+        assert report.records[0].cores == 12
+
+    def test_adopting_vm_saves_despite_scaling(self, carbon_model):
+        """A factor-1.25 adopter is charged less on the GreenSKU than the
+        same VM on the baseline — the adoption rule made it so."""
+        base = carbon_model.assess(baseline_gen3())
+        green = carbon_model.assess(greensku_full())
+        vm = make_vm(1, cores=8)
+        on_base = attribute_vm(vm, base, 1000)
+        on_green = attribute_vm(vm, green, 1000, scaled_cores=10)
+        assert on_green.carbon_kg < on_base.carbon_kg

@@ -1,0 +1,91 @@
+"""Fig. 1 breakdown tests."""
+
+import pytest
+
+from repro.carbon.breakdown import (
+    AuxServerProfile,
+    FleetComposition,
+    breakdown,
+)
+from repro.carbon.model import CarbonModel
+from repro.core.errors import ConfigError
+from repro.hardware.components import Category
+
+
+@pytest.fixture(scope="module")
+def result():
+    return breakdown()
+
+
+class TestShares:
+    def test_shares_sum_to_one(self, result):
+        total = result.total
+        assert result.total_operational + result.total_embodied == pytest.approx(
+            total
+        )
+
+    def test_compute_dominates(self, result):
+        # Fig. 1: compute servers cause the majority of emissions (~57%).
+        assert result.compute_share > 0.5
+
+    def test_operational_share_near_paper(self, result):
+        # Fig. 1 narrative: operational ~58% of total at Azure's mix.
+        assert 0.45 < result.operational_share < 0.65
+
+    def test_it_dominates_operational(self, result):
+        it = (
+            result.operational["compute"]
+            + result.operational["storage"]
+            + result.operational["network"]
+        )
+        assert it > result.operational["cooling+power"]
+
+    def test_storage_heavier_embodied_than_power(self, result):
+        # Storage servers: large embodied footprint, relatively low power.
+        emb_share = result.embodied["storage"] / result.total_embodied
+        op_share = result.operational["storage"] / result.total_operational
+        assert emb_share > op_share
+
+
+class TestComponentShares:
+    def test_component_shares_sum_to_one(self, result):
+        shares = result.compute_component_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_top_three_are_dram_ssd_cpu(self, result):
+        # Fig. 1: DRAM ~35%, SSD ~28%, CPU ~24% of compute emissions.
+        shares = result.compute_component_shares()
+        top3 = sorted(shares, key=shares.get, reverse=True)[:3]
+        assert set(top3) == {Category.DRAM, Category.SSD, Category.CPU}
+
+    def test_dram_is_largest(self, result):
+        shares = result.compute_component_shares()
+        assert max(shares, key=shares.get) == Category.DRAM
+
+    def test_dram_share_near_paper(self, result):
+        shares = result.compute_component_shares()
+        assert shares[Category.DRAM] == pytest.approx(0.35, abs=0.12)
+
+
+class TestRenewablesEffect:
+    def test_clean_grid_shrinks_operational_share(self):
+        dirty = breakdown(model=CarbonModel().at_intensity(0.3))
+        clean = breakdown(model=CarbonModel().at_intensity(0.025))
+        assert clean.operational_share < dirty.operational_share
+
+    def test_hundred_pct_renewables_leaves_small_operational(self):
+        # Section II: with 100% renewables, operational ~9% of emissions.
+        clean = breakdown(model=CarbonModel().at_intensity(0.025))
+        assert 0.03 < clean.operational_share < 0.30
+
+
+class TestValidation:
+    def test_negative_profile_rejected(self):
+        with pytest.raises(ConfigError):
+            AuxServerProfile(
+                power_watts=-1, embodied_kg=0, count_per_compute=0
+            )
+
+    def test_negative_building_rejected(self):
+        with pytest.raises(ConfigError):
+            FleetComposition(building_embodied_per_compute_kg=-5)

@@ -1,0 +1,85 @@
+"""Energy mix / carbon intensity tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.carbon.intensity import (
+    FOSSIL_GRID_CI,
+    RENEWABLE_LIFECYCLE_CI,
+    EnergyMix,
+    azure_average_mix,
+    intensity_sweep,
+    mix_for_intensity,
+)
+from repro.core.errors import ConfigError
+
+
+class TestEnergyMix:
+    def test_all_fossil(self):
+        assert EnergyMix(0.0).effective_ci == FOSSIL_GRID_CI
+
+    def test_all_renewable_nonzero(self):
+        # Section II: even 100% renewables leave residual operational
+        # carbon (renewable lifecycle emissions).
+        ci = EnergyMix(1.0).effective_ci
+        assert 0 < ci == RENEWABLE_LIFECYCLE_CI
+
+    def test_blend_monotone(self):
+        cis = [EnergyMix(r).effective_ci for r in (0.0, 0.4, 0.8, 1.0)]
+        assert cis == sorted(cis, reverse=True)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            EnergyMix(1.5)
+
+    def test_with_additional_renewables(self):
+        mix = EnergyMix(0.6).with_additional_renewables(0.026)
+        assert mix.renewable_fraction == pytest.approx(0.626)
+
+    def test_with_additional_renewables_caps_at_one(self):
+        assert EnergyMix(0.99).with_additional_renewables(0.5).renewable_fraction == 1.0
+
+    def test_azure_average_in_papers_band(self):
+        # Section II: most data centers use 40-80% renewables.
+        mix = azure_average_mix()
+        assert 0.4 <= mix.renewable_fraction <= 0.8
+
+    @given(st.floats(min_value=0, max_value=1))
+    def test_effective_ci_bounded(self, r):
+        ci = EnergyMix(r).effective_ci
+        assert RENEWABLE_LIFECYCLE_CI <= ci <= FOSSIL_GRID_CI
+
+
+class TestMixInversion:
+    @given(st.floats(min_value=RENEWABLE_LIFECYCLE_CI, max_value=FOSSIL_GRID_CI))
+    def test_roundtrip(self, target):
+        mix = mix_for_intensity(target)
+        assert mix.effective_ci == pytest.approx(target)
+
+    def test_out_of_band_rejected(self):
+        with pytest.raises(ConfigError):
+            mix_for_intensity(0.001)
+        with pytest.raises(ConfigError):
+            mix_for_intensity(1.0)
+
+
+class TestSweep:
+    def test_default_covers_fig11_range(self):
+        axis = intensity_sweep()
+        assert axis[0] == 0.0
+        assert axis[-1] == pytest.approx(0.4)
+
+    def test_point_count(self):
+        assert len(intensity_sweep(points=11)) == 11
+
+    def test_monotone(self):
+        axis = intensity_sweep(0.05, 0.3, 7)
+        assert np.all(np.diff(axis) > 0)
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ConfigError):
+            intensity_sweep(0.3, 0.1)
+        with pytest.raises(ConfigError):
+            intensity_sweep(points=1)

@@ -1,0 +1,169 @@
+"""Carbon model behaviour tests beyond the worked example."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.carbon.model import CarbonModel
+from repro.hardware import catalog
+from repro.hardware.components import Category
+from repro.hardware.datacenter import DataCenterConfig
+from repro.hardware.sku import (
+    ServerSKU,
+    baseline_gen3,
+    greensku_cxl,
+    greensku_efficient,
+    greensku_full,
+)
+
+
+class TestServerEmissions:
+    def test_power_sums_category_attribution(self, carbon_model, baseline_sku):
+        emissions = carbon_model.server_emissions(baseline_sku)
+        assert sum(emissions.power_by_category.values()) == pytest.approx(
+            emissions.power_watts
+        )
+
+    def test_embodied_sums_category_attribution(
+        self, carbon_model, baseline_sku
+    ):
+        emissions = carbon_model.server_emissions(baseline_sku)
+        assert sum(emissions.embodied_by_category.values()) == pytest.approx(
+            emissions.embodied_kg
+        )
+
+    def test_cpu_dominates_operational(self, carbon_model, baseline_sku):
+        # Fig. 1: CPUs have the largest operational impact.
+        emissions = carbon_model.server_emissions(baseline_sku)
+        cpu = emissions.power_by_category[Category.CPU]
+        assert cpu == max(emissions.power_by_category.values())
+
+    def test_dram_dominates_embodied(self, carbon_model, baseline_sku):
+        # Fig. 1: DRAM and SSDs dominate embodied emissions.
+        emissions = carbon_model.server_emissions(baseline_sku)
+        dram = emissions.embodied_by_category[Category.DRAM]
+        assert dram == max(emissions.embodied_by_category.values())
+
+    def test_reuse_lowers_embodied_not_power(self, carbon_model):
+        cxl, full = greensku_cxl(), greensku_full()
+        e_cxl = carbon_model.server_emissions(cxl)
+        e_full = carbon_model.server_emissions(full)
+        assert e_full.embodied_kg < e_cxl.embodied_kg
+        assert e_full.power_watts > e_cxl.power_watts
+
+    def test_shorthand_accessors(self, carbon_model, baseline_sku):
+        assert carbon_model.server_power_watts(
+            baseline_sku
+        ) == carbon_model.server_emissions(baseline_sku).power_watts
+        assert carbon_model.server_embodied_kg(
+            baseline_sku
+        ) == carbon_model.server_emissions(baseline_sku).embodied_kg
+
+
+class TestOperationalScaling:
+    def test_operational_linear_in_ci(self, baseline_sku):
+        low = CarbonModel(
+            DataCenterConfig().with_carbon_intensity(0.1)
+        ).assess(baseline_sku)
+        high = CarbonModel(
+            DataCenterConfig().with_carbon_intensity(0.2)
+        ).assess(baseline_sku)
+        assert high.operational_per_core == pytest.approx(
+            2 * low.operational_per_core
+        )
+        assert high.embodied_per_core == pytest.approx(low.embodied_per_core)
+
+    def test_zero_ci_zero_operational(self, baseline_sku):
+        model = CarbonModel(DataCenterConfig().with_carbon_intensity(0.0))
+        assert model.assess(baseline_sku).operational_per_core == 0.0
+
+    def test_operational_linear_in_lifetime(self, baseline_sku):
+        short = CarbonModel(DataCenterConfig().with_lifetime(3)).assess(
+            baseline_sku
+        )
+        long = CarbonModel(DataCenterConfig().with_lifetime(6)).assess(
+            baseline_sku
+        )
+        assert long.operational_per_core == pytest.approx(
+            2 * short.operational_per_core
+        )
+
+    def test_pue_scales_operational(self, baseline_sku):
+        base = CarbonModel(DataCenterConfig(pue=1.0)).assess(baseline_sku)
+        uplifted = CarbonModel(DataCenterConfig(pue=1.5)).assess(baseline_sku)
+        assert uplifted.operational_per_core == pytest.approx(
+            1.5 * base.operational_per_core
+        )
+
+    def test_server_operational_kg_includes_pue(self, baseline_sku):
+        model = CarbonModel()
+        expected = (
+            model.server_power_watts(baseline_sku)
+            * model.datacenter.pue
+            / 1000.0
+            * 52_560
+            * 0.1
+        )
+        assert model.server_operational_kg(baseline_sku) == pytest.approx(
+            expected
+        )
+
+
+class TestAssessmentInvariants:
+    @pytest.mark.parametrize(
+        "sku_fn",
+        [baseline_gen3, greensku_efficient, greensku_cxl, greensku_full],
+    )
+    def test_totals_add_up(self, carbon_model, sku_fn):
+        a = carbon_model.assess(sku_fn())
+        assert a.total_per_core == pytest.approx(
+            a.operational_per_core + a.embodied_per_core
+        )
+        assert a.per_server_total_kg == pytest.approx(
+            a.total_per_core * a.cores_per_server
+        )
+
+    def test_operational_share_in_unit_interval(self, carbon_model):
+        for sku_fn in (baseline_gen3, greensku_full):
+            share = carbon_model.assess(sku_fn()).operational_share
+            assert 0 <= share <= 1
+
+    def test_default_intensity_roughly_balanced(self, carbon_model):
+        # Section II: ~58% operational at Azure's renewable mix; the
+        # open-data calibration lands within a looser band.
+        share = carbon_model.assess(baseline_gen3()).operational_share
+        assert 0.4 < share < 0.65
+
+    def test_at_intensity_copies(self, carbon_model, baseline_sku):
+        copy = carbon_model.at_intensity(0.25)
+        assert copy.datacenter.carbon_intensity_kg_per_kwh == 0.25
+        assert carbon_model.datacenter.carbon_intensity_kg_per_kwh == 0.1
+
+    def test_co2e_per_core_shorthand(self, carbon_model, baseline_sku):
+        assert carbon_model.co2e_per_core(baseline_sku) == pytest.approx(
+            carbon_model.assess(baseline_sku).total_per_core
+        )
+
+    @settings(deadline=None, max_examples=25)
+    @given(ci=st.floats(min_value=0.0, max_value=1.0))
+    def test_total_monotone_in_ci(self, ci):
+        sku = baseline_gen3()
+        base = CarbonModel().at_intensity(ci).assess(sku).total_per_core
+        higher = (
+            CarbonModel().at_intensity(ci + 0.05).assess(sku).total_per_core
+        )
+        assert higher >= base
+
+
+class TestMoreParts:
+    def test_adding_parts_increases_both(self, carbon_model):
+        lean = ServerSKU.build(
+            "lean", [(catalog.BERGAMO, 1), (catalog.DDR5_64GB, 4)]
+        )
+        fat = ServerSKU.build(
+            "fat", [(catalog.BERGAMO, 1), (catalog.DDR5_64GB, 12)]
+        )
+        lean_e = carbon_model.server_emissions(lean)
+        fat_e = carbon_model.server_emissions(fat)
+        assert fat_e.power_watts > lean_e.power_watts
+        assert fat_e.embodied_kg > lean_e.embodied_kg

@@ -1,0 +1,76 @@
+"""Property-based tests of carbon-model structure (additivity, scaling)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.carbon.model import CarbonModel
+from repro.hardware import catalog
+from repro.hardware.components import scaled_dram, scaled_ssd
+from repro.hardware.sku import ServerSKU
+
+
+def sku_with(dimms: int, ssds: int) -> ServerSKU:
+    return ServerSKU.build(
+        f"prop-{dimms}-{ssds}",
+        [
+            (catalog.BERGAMO, 1),
+            (catalog.DDR5_64GB, dimms),
+            (catalog.SSD_2TB_NEW, ssds),
+        ],
+    )
+
+
+class TestAdditivity:
+    @settings(deadline=None, max_examples=30)
+    @given(dimms=st.integers(min_value=1, max_value=24))
+    def test_power_additive_in_dimms(self, dimms):
+        model = CarbonModel()
+        base = model.server_power_watts(sku_with(dimms, 2))
+        plus_one = model.server_power_watts(sku_with(dimms + 1, 2))
+        expected_delta = catalog.DDR5_64GB.powered_watts(
+            model.datacenter.derate_factor
+        )
+        assert plus_one - base == pytest.approx(expected_delta)
+
+    @settings(deadline=None, max_examples=30)
+    @given(ssds=st.integers(min_value=1, max_value=12))
+    def test_embodied_additive_in_ssds(self, ssds):
+        model = CarbonModel()
+        base = model.server_embodied_kg(sku_with(4, ssds))
+        plus_one = model.server_embodied_kg(sku_with(4, ssds + 1))
+        assert plus_one - base == pytest.approx(
+            catalog.SSD_2TB_NEW.embodied_kg
+        )
+
+
+class TestCapacityScaling:
+    @settings(deadline=None, max_examples=20)
+    @given(factor=st.integers(min_value=1, max_value=4))
+    def test_scaled_parts_scale_linearly(self, factor):
+        """A 2x-capacity DIMM carries exactly 2x the power and carbon."""
+        big = scaled_dram(catalog.DDR5_64GB, 64 * factor)
+        assert big.tdp_watts == pytest.approx(
+            factor * catalog.DDR5_64GB.tdp_watts
+        )
+        assert big.embodied_kg == pytest.approx(
+            factor * catalog.DDR5_64GB.embodied_kg
+        )
+        big_ssd = scaled_ssd(catalog.SSD_2TB_NEW, 2.0 * factor)
+        assert big_ssd.embodied_kg == pytest.approx(
+            factor * catalog.SSD_2TB_NEW.embodied_kg
+        )
+
+    @settings(deadline=None, max_examples=15)
+    @given(
+        dimms=st.integers(min_value=2, max_value=16),
+        ci=st.floats(min_value=0.0, max_value=0.5),
+    )
+    def test_total_per_core_decomposes(self, dimms, ci):
+        model = CarbonModel().at_intensity(ci)
+        a = model.assess(sku_with(dimms, 4))
+        assert a.total_per_core == pytest.approx(
+            a.operational_per_core + a.embodied_per_core
+        )
+        assert a.operational_per_core >= 0
+        assert a.embodied_per_core > 0

@@ -1,0 +1,85 @@
+"""Utilization-dependent power model tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.carbon.power import (
+    PowerCurve,
+    fleet_derate,
+    synthesize_utilization_trace,
+)
+from repro.core.errors import ConfigError
+
+
+class TestPowerCurve:
+    def test_paper_anchor(self):
+        # Table VI: derate 0.44 at 40% of max SPEC rate.
+        assert PowerCurve().derate_at(0.40) == pytest.approx(0.44, abs=0.005)
+
+    def test_idle_floor(self):
+        curve = PowerCurve()
+        assert curve.derate_at(0.0) == pytest.approx(curve.idle_fraction)
+
+    def test_peak_cap(self):
+        curve = PowerCurve()
+        assert curve.derate_at(1.0) == pytest.approx(curve.peak_fraction)
+
+    def test_monotone_in_load(self):
+        curve = PowerCurve()
+        values = [curve.derate_at(u) for u in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert values == sorted(values)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            PowerCurve().derate_at(1.5)
+
+    def test_invalid_curve_rejected(self):
+        with pytest.raises(ConfigError):
+            PowerCurve(idle_fraction=0.8, peak_fraction=0.7)
+
+    @given(st.floats(min_value=0, max_value=1))
+    def test_power_fraction_bounded(self, u):
+        curve = PowerCurve()
+        p = curve.derate_at(u)
+        assert curve.idle_fraction <= p <= curve.peak_fraction
+
+
+class TestUtilizationTrace:
+    def test_deterministic(self):
+        a = synthesize_utilization_trace(seed=5)
+        b = synthesize_utilization_trace(seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_bounded(self):
+        trace = synthesize_utilization_trace(seed=5)
+        assert trace.min() >= 0.0 and trace.max() <= 1.0
+
+    def test_mean_near_target(self):
+        trace = synthesize_utilization_trace(
+            days=14, mean_utilization=0.4, seed=5
+        )
+        assert trace.mean() == pytest.approx(0.4, abs=0.03)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            synthesize_utilization_trace(days=0)
+
+
+class TestFleetDerate:
+    def test_default_reproduces_table_vi(self):
+        # The fleet-averaged derate lands on the paper's 0.44.
+        assert fleet_derate() == pytest.approx(0.44, abs=0.01)
+
+    def test_hotter_fleet_higher_derate(self):
+        hot = fleet_derate(
+            utilization_trace=synthesize_utilization_trace(
+                mean_utilization=0.7
+            )
+        )
+        assert hot > fleet_derate()
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ConfigError):
+            PowerCurve().derate_for_profile([])

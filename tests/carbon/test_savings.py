@@ -1,0 +1,121 @@
+"""Savings table tests: the paper's Table VIII with open-source data."""
+
+import pytest
+
+from repro.carbon.model import CarbonModel
+from repro.carbon.savings import (
+    paper_savings_table,
+    render_savings_table,
+    savings_table,
+)
+from repro.hardware.sku import baseline_gen3, greensku_full
+
+#: Table VIII cells: (operational, embodied, total) savings percent.
+TABLE8 = {
+    "Baseline-Resized": (6, 10, 8),
+    "GreenSKU-Efficient": (16, 14, 15),
+    "GreenSKU-CXL": (15, 32, 24),
+    "GreenSKU-Full": (14, 38, 26),
+}
+
+#: Tolerance in percentage points for each reproduced cell.
+TOLERANCE_POINTS = 1.5
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return paper_savings_table()
+
+
+class TestTable8Reproduction:
+    def test_five_rows_in_order(self, rows):
+        assert [r.sku_name for r in rows] == [
+            "Baseline",
+            "Baseline-Resized",
+            "GreenSKU-Efficient",
+            "GreenSKU-CXL",
+            "GreenSKU-Full",
+        ]
+
+    def test_baseline_row_has_no_savings(self, rows):
+        baseline = rows[0]
+        assert baseline.operational_savings is None
+        assert baseline.embodied_savings is None
+        assert baseline.total_savings is None
+
+    @pytest.mark.parametrize("sku_name", sorted(TABLE8))
+    def test_each_cell_matches_paper(self, rows, sku_name):
+        row = next(r for r in rows if r.sku_name == sku_name)
+        op, emb, total = TABLE8[sku_name]
+        assert 100 * row.operational_savings == pytest.approx(
+            op, abs=TOLERANCE_POINTS
+        )
+        assert 100 * row.embodied_savings == pytest.approx(
+            emb, abs=TOLERANCE_POINTS
+        )
+        assert 100 * row.total_savings == pytest.approx(
+            total, abs=TOLERANCE_POINTS
+        )
+
+    def test_full_total_savings_is_best(self, rows):
+        totals = {
+            r.sku_name: r.total_savings for r in rows if r.total_savings
+        }
+        assert max(totals, key=totals.get) == "GreenSKU-Full"
+
+    def test_operational_ordering(self, rows):
+        # Table VIII: Efficient >= CXL >= Full on operational savings
+        # (reused parts are less energy efficient).
+        by_name = {r.sku_name: r for r in rows}
+        assert (
+            by_name["GreenSKU-Efficient"].operational_savings
+            >= by_name["GreenSKU-CXL"].operational_savings
+            >= by_name["GreenSKU-Full"].operational_savings
+        )
+
+    def test_embodied_ordering(self, rows):
+        # Reuse stacks embodied savings: Full >= CXL >= Efficient.
+        by_name = {r.sku_name: r for r in rows}
+        assert (
+            by_name["GreenSKU-Full"].embodied_savings
+            >= by_name["GreenSKU-CXL"].embodied_savings
+            >= by_name["GreenSKU-Efficient"].embodied_savings
+        )
+
+
+class TestDescriptions:
+    def test_memory_descriptions(self, rows):
+        by_name = {r.sku_name: r for r in rows}
+        assert by_name["Baseline"].memory_desc == "12x64"
+        assert by_name["GreenSKU-CXL"].memory_desc == "12x64 + 8x32 CXL"
+
+    def test_storage_descriptions(self, rows):
+        by_name = {r.sku_name: r for r in rows}
+        assert by_name["Baseline"].storage_desc == "6x2"
+        assert by_name["GreenSKU-Full"].storage_desc == "2x4 + 12x1 Reuse"
+
+    def test_percent_cells(self, rows):
+        cells = rows[-1].percent_row()
+        assert cells[0] == "GreenSKU-Full"
+        assert cells[-1].endswith("%")
+
+
+class TestGenericSavingsTable:
+    def test_self_comparison_zero_savings(self):
+        model = CarbonModel()
+        rows = savings_table(model, baseline_gen3(), [baseline_gen3()])
+        assert rows[1].total_savings == pytest.approx(0.0)
+
+    def test_render_contains_all_skus(self, rows):
+        text = render_savings_table(rows, title="t")
+        for name in TABLE8:
+            assert name in text
+
+    def test_savings_at_other_intensity(self):
+        # At zero carbon intensity only embodied matters; Full's savings
+        # should approach its embodied savings.
+        model = CarbonModel().at_intensity(0.0)
+        rows = savings_table(model, baseline_gen3(), [greensku_full()])
+        assert rows[1].total_savings == pytest.approx(
+            rows[1].embodied_savings
+        )

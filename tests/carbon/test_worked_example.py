@@ -1,0 +1,66 @@
+"""Pins the Section V worked example exactly.
+
+These are the strongest calibration anchors in the paper: the appendix
+walks through the carbon model for GreenSKU-CXL with the open-source
+Table V data, reporting every intermediate value.
+"""
+
+import pytest
+
+from repro.hardware.sku import greensku_cxl
+
+
+@pytest.fixture(scope="module")
+def assessment(appendix_model):
+    return appendix_model.assess(greensku_cxl(appendix_data=True))
+
+
+class TestServerLevel:
+    def test_server_power_403w(self, assessment):
+        # "Eq. 1 results in P_s = 403 W."
+        assert assessment.server.power_watts == pytest.approx(403, abs=1.0)
+
+    def test_server_embodied_1644kg(self, assessment):
+        # "a total E_emb,s of 1644 kgCO2e."
+        assert assessment.server.embodied_kg == pytest.approx(1644, abs=1.0)
+
+    def test_embodied_component_sum(self, appendix_model):
+        # CPU 28.3 + DDR5 768*1.65 + DDR4 0 + SSD 20*17.3 + CXL 2.5.
+        emissions = appendix_model.server_emissions(
+            greensku_cxl(appendix_data=True)
+        )
+        expected = 28.3 + 768 * 1.65 + 0 + 20 * 17.3 + 2.5
+        assert emissions.embodied_kg == pytest.approx(expected)
+
+
+class TestRackLevel:
+    def test_sixteen_servers_space_bound(self, assessment):
+        # "the rack is space-constrained to N_s = 16 servers."
+        assert assessment.servers_per_rack == 16
+        assert assessment.space_bound
+
+    def test_rack_power_6953w(self, assessment):
+        # "P_r = 16 * 403 + 500 = 6953 W."
+        assert assessment.rack_power_watts == pytest.approx(6953, abs=3)
+
+    def test_rack_embodied_26804kg(self, assessment):
+        # "E_emb,r = 16 * 1644 + 500 = 26,804 kgCO2e."
+        assert assessment.rack_embodied_kg == pytest.approx(26_804, abs=10)
+
+    def test_rack_operational_36547kg(self, assessment):
+        # "E_op,r = L * CI * P_r = 36,547 kgCO2e."
+        assert assessment.rack_operational_kg == pytest.approx(36_547, rel=0.002)
+
+    def test_rack_total_63351kg(self, assessment):
+        # "E_r = 26,804 + 36,547 = 63,351 kgCO2e."
+        assert assessment.rack_total_kg == pytest.approx(63_351, rel=0.002)
+
+
+class TestPerCore:
+    def test_2048_cores_per_rack(self, assessment):
+        # "N_c,r = 16 * 128 = 2048."
+        assert assessment.cores_per_rack == 2048
+
+    def test_31kg_per_core(self, assessment):
+        # "GreenSKU-CXL's rack-level CO2e-per-core is 63,351/2,048 ~ 31."
+        assert assessment.total_per_core == pytest.approx(31, abs=0.2)

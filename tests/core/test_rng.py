@@ -1,0 +1,65 @@
+"""Deterministic RNG stream tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.rng import DEFAULT_SEED, RngFactory, derive_seed, stream
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+
+    def test_name_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_fits_32_bits(self):
+        assert 0 <= derive_seed(12345, "anything") < 2**32
+
+    @given(st.integers(min_value=0, max_value=2**31), st.text(max_size=30))
+    def test_always_32_bits(self, seed, name):
+        assert 0 <= derive_seed(seed, name) < 2**32
+
+
+class TestStreams:
+    def test_same_stream_same_sequence(self):
+        a = stream(5, "x").random(10)
+        b = stream(5, "x").random(10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_streams_differ(self):
+        a = stream(5, "x").random(10)
+        b = stream(5, "y").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        # Drawing from a new named stream must not change another stream.
+        before = stream(9, "arrivals").random(5)
+        _ = stream(9, "new-consumer").random(100)
+        after = stream(9, "arrivals").random(5)
+        np.testing.assert_array_equal(before, after)
+
+
+class TestRngFactory:
+    def test_default_seed(self):
+        assert RngFactory().seed == DEFAULT_SEED
+
+    def test_factory_streams_reproducible(self):
+        f = RngFactory(3)
+        np.testing.assert_array_equal(
+            f.stream("a").random(4), RngFactory(3).stream("a").random(4)
+        )
+
+    def test_child_factories_independent(self):
+        f = RngFactory(3)
+        a = f.child("one").stream("s").random(4)
+        b = f.child("two").stream("s").random(4)
+        assert not np.array_equal(a, b)
+
+    def test_repr_mentions_seed(self):
+        assert "123" in repr(RngFactory(123))

@@ -1,0 +1,52 @@
+"""Table rendering tests."""
+
+import pytest
+
+from repro.core.tables import format_cell, render_csv, render_table
+
+
+class TestFormatCell:
+    def test_none_is_dash(self):
+        assert format_cell(None) == "-"
+
+    def test_float_formatting(self):
+        assert format_cell(2.5) == "2.50"
+
+    def test_custom_float_format(self):
+        assert format_cell(2.5, "{:.0f}") == "2"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_int_passthrough(self):
+        assert format_cell(42) == "42"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert all("|" in line for line in (lines[0], lines[2], lines[3]))
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+
+class TestRenderCsv:
+    def test_basic(self):
+        out = render_csv(["a", "b"], [[1, 2.5]])
+        assert out.splitlines() == ["a,b", "1,2.5"]
+
+    def test_none_cell(self):
+        assert render_csv(["a"], [[None]]).splitlines()[1] == "-"

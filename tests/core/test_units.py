@@ -1,0 +1,102 @@
+"""Unit-conversion tests, including the paper's own arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import units
+from repro.core.errors import UnitError
+
+
+class TestDurations:
+    def test_six_years_is_52560_hours(self):
+        # The paper's lifetime: 6 years = 52,560 hours.
+        assert units.years_to_hours(6) == 52560.0
+
+    def test_roundtrip(self):
+        assert units.hours_to_years(units.years_to_hours(3.5)) == pytest.approx(3.5)
+
+    def test_negative_years_rejected(self):
+        with pytest.raises(UnitError):
+            units.years_to_hours(-1)
+
+    def test_negative_hours_rejected(self):
+        with pytest.raises(UnitError):
+            units.hours_to_years(-0.1)
+
+    @given(st.floats(min_value=0, max_value=1e6))
+    def test_roundtrip_property(self, years):
+        assert units.hours_to_years(
+            units.years_to_hours(years)
+        ) == pytest.approx(years, rel=1e-12)
+
+
+class TestEnergy:
+    def test_one_kw_for_ten_hours(self):
+        assert units.energy_kwh(1000, 10) == 10.0
+
+    def test_zero_power(self):
+        assert units.energy_kwh(0, 100) == 0.0
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(UnitError):
+            units.energy_kwh(-1, 1)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(UnitError):
+            units.energy_kwh(1, -1)
+
+    def test_watts_to_kw(self):
+        assert units.watts_to_kw(403.3) == pytest.approx(0.4033)
+
+
+class TestOperationalCarbon:
+    def test_paper_rack_example(self):
+        # Section V: E_op,r = 6953 W over 6 years at 0.1 kg/kWh ~ 36,547 kg.
+        result = units.operational_carbon_kg(6953, 6, 0.1)
+        assert result == pytest.approx(36_547, rel=0.001)
+
+    def test_zero_intensity_means_zero_carbon(self):
+        assert units.operational_carbon_kg(5000, 6, 0.0) == 0.0
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(UnitError):
+            units.operational_carbon_kg(1, 1, -0.1)
+
+    @given(
+        st.floats(min_value=0, max_value=1e5),
+        st.floats(min_value=0, max_value=30),
+        st.floats(min_value=0, max_value=2),
+    )
+    def test_linearity_in_all_factors(self, power, years, ci):
+        base = units.operational_carbon_kg(power, years, ci)
+        assert units.operational_carbon_kg(2 * power, years, ci) == pytest.approx(
+            2 * base, abs=1e-9
+        )
+        assert units.operational_carbon_kg(power, 2 * years, ci) == pytest.approx(
+            2 * base, abs=1e-9
+        )
+
+
+class TestRatios:
+    def test_percent(self):
+        assert units.percent(25, 100) == 25.0
+
+    def test_percent_of_zero_total(self):
+        assert units.percent(5, 0) == 0.0
+
+    def test_savings_fraction(self):
+        assert units.savings_fraction(100.0, 72.0) == pytest.approx(0.28)
+
+    def test_savings_fraction_negative_when_worse(self):
+        assert units.savings_fraction(100.0, 110.0) == pytest.approx(-0.10)
+
+    def test_savings_fraction_zero_baseline_rejected(self):
+        with pytest.raises(UnitError):
+            units.savings_fraction(0.0, 1.0)
+
+    def test_mass_conversions(self):
+        assert units.grams_to_kg(1500) == 1.5
+        assert units.tonnes_to_kg(2.5) == 2500.0

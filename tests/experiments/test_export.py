@@ -1,0 +1,49 @@
+"""Artifact export tests."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.experiments.export import FAST_EXPERIMENT_IDS, export_experiments
+
+
+class TestExport:
+    def test_exports_selected_experiments(self, tmp_path):
+        written = export_experiments(
+            tmp_path, experiment_ids=["table1", "table2", "fig2"]
+        )
+        assert set(written) == {"table1", "table2", "fig2"}
+        assert (tmp_path / "table1.txt").exists()
+        # fig2 also exports a CSV series.
+        assert (tmp_path / "fig2.csv").exists()
+
+    def test_text_artifacts_nonempty(self, tmp_path):
+        written = export_experiments(tmp_path, experiment_ids=["table4"])
+        for files in written.values():
+            for path in files:
+                assert path.read_text().strip()
+
+    def test_unknown_id_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            export_experiments(tmp_path, experiment_ids=["fig99"])
+
+    def test_fast_set_has_no_trace_experiments(self):
+        assert "fig9" not in FAST_EXPERIMENT_IDS
+        assert "fig11" not in FAST_EXPERIMENT_IDS
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "out"
+        export_experiments(target, experiment_ids=["table1"])
+        assert (target / "table1.txt").exists()
+
+
+class TestCliExport:
+    def test_cli_export_fast_subset(self, tmp_path, capsys, monkeypatch):
+        from repro import cli
+        import repro.experiments.export as export_mod
+
+        monkeypatch.setattr(
+            export_mod, "FAST_EXPERIMENT_IDS", ("table1", "table2")
+        )
+        code = cli.main(["export", "--out", str(tmp_path)])
+        assert code == 0
+        assert "exported 2 experiments" in capsys.readouterr().out

@@ -1,0 +1,32 @@
+"""Validation-report experiment tests."""
+
+import pytest
+
+from repro.experiments import validation
+
+
+@pytest.fixture(scope="module")
+def checks():
+    return validation.run()
+
+
+class TestValidationReport:
+    def test_all_anchors_pass(self, checks):
+        failing = [c.claim for c in checks if not c.passed]
+        assert failing == []
+
+    def test_covers_worked_example(self, checks):
+        claims = [c.claim for c in checks]
+        assert any("server power" in c for c in claims)
+        assert any("per-core" in c for c in claims)
+
+    def test_covers_table8(self, checks):
+        assert sum(1 for c in checks if c.claim.startswith("Table VIII")) == 4
+
+    def test_covers_maintenance(self, checks):
+        assert any("AFR" in c.claim for c in checks)
+
+    def test_render_marks_all_pass(self, checks):
+        text = validation.render(checks)
+        assert "FAIL" not in text
+        assert f"{len(checks)}/{len(checks)}" in text

@@ -1,0 +1,46 @@
+"""Evaluation report tests."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.gsf.report import evaluation_markdown
+from repro.hardware.sku import greensku_full
+
+
+@pytest.fixture(scope="module")
+def evaluation(gsf, small_trace):
+    return gsf.evaluate(greensku_full(), small_trace)
+
+
+class TestMarkdownReport:
+    def test_contains_headline_sections(self, evaluation):
+        text = evaluation_markdown(evaluation)
+        assert "# GSF evaluation: GreenSKU-Full" in text
+        assert "## Savings" in text
+        assert "## Deployment plan" in text
+        assert "## Assumptions" in text
+
+    def test_savings_chain_present(self, evaluation):
+        text = evaluation_markdown(evaluation)
+        assert "per-core" in text
+        assert "net data-center" in text
+
+    def test_adoption_section_lists_silo(self, evaluation, gsf):
+        adoption = gsf.adoption_model(greensku_full())
+        text = evaluation_markdown(evaluation, adoption=adoption)
+        assert "Silo" in text
+        assert "cannot meet SLO" in text
+
+    def test_rejected_scaled_apps_explained(self, evaluation, gsf):
+        adoption = gsf.adoption_model(greensku_full())
+        text = evaluation_markdown(evaluation, adoption=adoption)
+        assert "scaled carbon exceeds baseline" in text
+
+    def test_invalid_compute_share(self, evaluation):
+        with pytest.raises(ConfigError):
+            evaluation_markdown(evaluation, compute_share=0.0)
+
+    def test_counts_match_sizing(self, evaluation):
+        text = evaluation_markdown(evaluation)
+        assert str(evaluation.sizing.baseline_only_servers) in text
+        assert str(evaluation.sizing.mixed_green_servers) in text

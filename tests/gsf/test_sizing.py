@@ -1,0 +1,135 @@
+"""Cluster-sizing search tests."""
+
+import pytest
+
+from repro.allocation.cluster import ClusterSpec, adopt_nothing, simulate
+from repro.allocation.traces import TraceParams, VmTrace
+from repro.allocation.vm import VmRequest
+from repro.gsf.sizing import ClusterSizing, right_size, size_mixed_cluster
+from repro.hardware.sku import baseline_gen3, greensku_full
+
+
+def make_vm(vm_id, cores=8, lifetime=24.0, app="Redis", gen=3):
+    return VmRequest(
+        vm_id=vm_id,
+        arrival_hours=0.0,
+        lifetime_hours=lifetime,
+        cores=cores,
+        memory_gb=cores * 4.0,
+        generation=gen,
+        app_name=app,
+    )
+
+
+def trace_of(vms):
+    return VmTrace(
+        name="t", params=TraceParams(duration_days=1), vms=tuple(vms)
+    )
+
+
+class TestRightSize:
+    def test_empty_trace_needs_no_servers(self):
+        assert right_size(trace_of([]), baseline_gen3()) == 0
+
+    def test_exact_fit(self):
+        # 10 concurrent 8-core VMs = 80 cores = exactly one server.
+        trace = trace_of([make_vm(i) for i in range(10)])
+        assert right_size(trace, baseline_gen3()) == 1
+
+    def test_one_more_vm_needs_second_server(self):
+        trace = trace_of([make_vm(i) for i in range(11)])
+        assert right_size(trace, baseline_gen3()) == 2
+
+    def test_result_is_feasible(self, small_trace):
+        n = right_size(small_trace, baseline_gen3())
+        out = simulate(
+            small_trace, ClusterSpec.of((baseline_gen3(), n)),
+            adoption=adopt_nothing,
+        )
+        assert out.feasible
+
+    def test_result_is_minimal(self, small_trace):
+        n = right_size(small_trace, baseline_gen3())
+        assert n > 0
+        out = simulate(
+            small_trace, ClusterSpec.of((baseline_gen3(), n - 1)),
+            adoption=adopt_nothing,
+        )
+        assert not out.feasible
+
+    def test_greensku_needs_fewer_servers(self, small_trace):
+        # 128 cores per server vs 80 (unscaled workload).  Full-node VMs
+        # require baseline servers, so compare on the shared remainder.
+        shared = trace_of(
+            [vm for vm in small_trace.vms if not vm.full_node]
+        )
+        n_base = right_size(shared, baseline_gen3())
+        # A green-only cluster needs a policy that routes VMs to greens.
+        n_green = right_size(
+            shared, greensku_full(), adoption=lambda app, gen: 1.0
+        )
+        assert n_green <= n_base
+
+
+class TestMixedSizing:
+    def adoption_all(self, app, gen):
+        return 1.0
+
+    def adoption_none(self, app, gen):
+        return None
+
+    def test_all_adopt_empties_baseline(self, small_trace):
+        sizing = size_mixed_cluster(
+            small_trace, baseline_gen3(), greensku_full(), self.adoption_all
+        )
+        # Full-node VMs may pin a few baseline servers; everything else
+        # moves to GreenSKUs.
+        assert sizing.mixed_green_servers > 0
+        assert sizing.mixed_baseline_servers <= sizing.baseline_only_servers
+
+    def test_none_adopt_keeps_baseline_only(self, small_trace):
+        sizing = size_mixed_cluster(
+            small_trace, baseline_gen3(), greensku_full(), self.adoption_none
+        )
+        assert sizing.mixed_green_servers == 0
+        assert (
+            sizing.mixed_baseline_servers == sizing.baseline_only_servers
+        )
+
+    def test_mixed_cluster_is_feasible(self, small_trace, gsf, full_sku):
+        policy = gsf.adoption_model(full_sku).policy()
+        sizing = size_mixed_cluster(
+            small_trace, baseline_gen3(), full_sku, policy
+        )
+        spec = ClusterSpec.of(
+            (baseline_gen3(), sizing.mixed_baseline_servers),
+            (full_sku, sizing.mixed_green_servers),
+        )
+        out = simulate(small_trace, spec, adoption=policy)
+        assert out.feasible
+
+    def test_oos_overheads_carried(self, small_trace):
+        sizing = size_mixed_cluster(
+            small_trace,
+            baseline_gen3(),
+            greensku_full(),
+            self.adoption_none,
+            oos_overhead_baseline=0.01,
+            oos_overhead_green=0.02,
+        )
+        base, green = sizing.deployed_mixed
+        assert base == pytest.approx(sizing.mixed_baseline_servers * 1.01)
+        assert sizing.deployed_baseline_only == pytest.approx(
+            sizing.baseline_only_servers * 1.01
+        )
+
+
+class TestClusterSizingRecord:
+    def test_totals(self):
+        sizing = ClusterSizing(
+            baseline_only_servers=10,
+            mixed_baseline_servers=4,
+            mixed_green_servers=5,
+        )
+        assert sizing.mixed_total == 9
+        assert sizing.deployed_baseline_only == 10

@@ -1,0 +1,130 @@
+"""Catalog data tests: the paper's open-source component values."""
+
+import pytest
+
+from repro.hardware import catalog
+from repro.hardware.components import Category
+
+
+class TestTableVValues:
+    """Values fixed by the paper's Table V (artifact Appendix A)."""
+
+    def test_bergamo_tdp_and_embodied(self):
+        assert catalog.BERGAMO.tdp_watts == 400.0
+        assert catalog.BERGAMO.embodied_kg == 28.3
+
+    def test_bergamo_vr_loss(self):
+        # Table VI: CPU voltage regulator loss 1.05.
+        assert catalog.BERGAMO.loss_factor == pytest.approx(0.05)
+
+    def test_ddr5_power_density(self):
+        assert catalog.DDR5_64GB.watts_per_gb == pytest.approx(0.37)
+        assert catalog.DDR5_96GB.watts_per_gb == pytest.approx(0.37)
+
+    def test_ddr5_embodied_density(self):
+        assert catalog.DDR5_64GB.embodied_kg == pytest.approx(1.65 * 64)
+
+    def test_reused_ddr4_zero_embodied(self):
+        assert catalog.DDR4_32GB_REUSED.effective_embodied_kg == 0.0
+        assert catalog.DDR4_32GB_REUSED_APPENDIX.effective_embodied_kg == 0.0
+
+    def test_appendix_ddr4_uses_table_v_power(self):
+        assert catalog.DDR4_32GB_REUSED_APPENDIX.watts_per_gb == pytest.approx(
+            0.37
+        )
+
+    def test_new_ssd_densities(self):
+        assert catalog.SSD_2TB_NEW.watts_per_tb == pytest.approx(5.6)
+        assert catalog.SSD_4TB_NEW.embodied_kg == pytest.approx(17.3 * 4)
+
+    def test_cxl_controller(self):
+        assert catalog.CXL_CONTROLLER.tdp_watts == pytest.approx(5.8)
+        assert catalog.CXL_CONTROLLER.embodied_kg == pytest.approx(2.5)
+
+
+class TestTableIValues:
+    """CPU characteristics from the paper's Table I."""
+
+    def test_core_counts(self):
+        assert catalog.BERGAMO.cores == 128
+        assert catalog.ROME.cores == 64
+        assert catalog.MILAN.cores == 64
+        assert catalog.GENOA.cores == 80
+
+    def test_frequencies(self):
+        assert catalog.BERGAMO.max_freq_ghz == 3.0
+        assert catalog.GENOA.max_freq_ghz == 3.7
+
+    def test_llc_sizes(self):
+        assert catalog.BERGAMO.llc_mib == 256
+        assert catalog.GENOA.llc_mib == 384
+
+    def test_genoa_tdp_within_table1_range(self):
+        assert 300 <= catalog.GENOA.tdp_watts <= 350
+
+    def test_table1_rows_shape(self):
+        rows = catalog.table1_rows()
+        assert len(rows) == 4
+        assert all(len(row) == 5 for row in rows)
+
+
+class TestPerformanceCalibration:
+    def test_bergamo_10pct_slower_than_genoa(self):
+        # Sysbench: 10% per-core slowdown vs Genoa.
+        ratio = catalog.BERGAMO.perf_per_core / catalog.GENOA.perf_per_core
+        assert ratio == pytest.approx(0.90, abs=0.005)
+
+    def test_bergamo_6pct_slower_than_milan(self):
+        ratio = catalog.BERGAMO.perf_per_core / catalog.MILAN.perf_per_core
+        assert ratio == pytest.approx(0.94, abs=0.01)
+
+    def test_genoa_bandwidth_per_core(self):
+        # Section III: Genoa offers 5.8 GB/s per core.
+        assert catalog.GENOA.mem_bw_gbps / catalog.GENOA.cores == pytest.approx(
+            5.75, abs=0.1
+        )
+
+
+class TestReliabilityCalibration:
+    def test_dimm_and_ssd_afrs(self):
+        # Section V footnote: DIMM AFR ~0.1, SSD AFR ~0.2 per 100 servers.
+        assert catalog.DDR5_64GB.afr_per_100_servers == pytest.approx(0.1)
+        assert catalog.SSD_2TB_NEW.afr_per_100_servers == pytest.approx(0.2)
+
+    def test_reused_parts_keep_new_afrs(self):
+        assert catalog.DDR4_32GB_REUSED.afr_per_100_servers == pytest.approx(0.1)
+        assert catalog.SSD_1TB_REUSED.afr_per_100_servers == pytest.approx(0.2)
+
+    def test_dimms_and_ssds_fip_eligible(self):
+        assert catalog.DDR5_64GB.fip_eligible
+        assert catalog.SSD_1TB_REUSED.fip_eligible
+        assert not catalog.PLATFORM_MISC.fip_eligible
+
+
+class TestSsdPerformance:
+    def test_old_vs_new_ssd_speeds(self):
+        # Section III: old drives 1 GB/s / 250 kIOPS; new 2.3 GB/s / 600.
+        assert catalog.SSD_1TB_REUSED.write_bw_gbps == pytest.approx(1.0)
+        assert catalog.SSD_1TB_REUSED.write_kiops == pytest.approx(250)
+        assert catalog.SSD_4TB_NEW.write_bw_gbps == pytest.approx(2.3)
+        assert catalog.SSD_4TB_NEW.write_kiops == pytest.approx(600)
+
+    def test_old_ssd_is_m2(self):
+        assert catalog.SSD_1TB_REUSED.interface == "m.2"
+        assert catalog.SSD_4TB_NEW.interface == "e1.s"
+
+    def test_old_ssd_less_energy_efficient(self):
+        assert (
+            catalog.SSD_1TB_REUSED.watts_per_tb
+            > catalog.SSD_4TB_NEW.watts_per_tb
+        )
+
+
+class TestCategories:
+    def test_catalog_categories(self):
+        assert catalog.BERGAMO.category == Category.CPU
+        assert catalog.DDR4_32GB_REUSED.category == Category.DRAM
+        assert catalog.SSD_1TB_REUSED.category == Category.SSD
+        assert catalog.CXL_CONTROLLER.category == Category.CXL
+        assert catalog.NIC_100G.category == Category.NIC
+        assert catalog.PLATFORM_MISC.category == Category.OTHER

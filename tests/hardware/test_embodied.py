@@ -1,0 +1,79 @@
+"""Bottom-up embodied-carbon derivation tests."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.hardware.embodied import (
+    board_embodied_kg,
+    cpu_embodied_kg,
+    derive_catalog_consistency,
+    die_embodied_kg,
+    dram_embodied_kg_per_gb,
+    nand_embodied_kg_per_tb,
+)
+
+
+class TestDieEmbodied:
+    def test_scales_with_area(self):
+        one = die_embodied_kg(1.0, "N5")
+        two = die_embodied_kg(2.0, "N5")
+        assert two == pytest.approx(2 * one)
+
+    def test_newer_nodes_cost_more_per_cm2(self):
+        assert die_embodied_kg(1.0, "N3") > die_embodied_kg(1.0, "N5")
+        assert die_embodied_kg(1.0, "N5") > die_embodied_kg(1.0, "N7")
+
+    def test_yield_losses_raise_emissions(self):
+        good = die_embodied_kg(1.0, "N5", fab_yield=1.0)
+        lossy = die_embodied_kg(1.0, "N5", fab_yield=0.5)
+        assert lossy == pytest.approx(2 * good)
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ConfigError):
+            die_embodied_kg(1.0, "N2")
+
+    def test_zero_area_rejected(self):
+        with pytest.raises(ConfigError):
+            die_embodied_kg(0.0, "N5")
+
+
+class TestCpuEmbodied:
+    def test_io_die_adds(self):
+        without = cpu_embodied_kg(7.0, "N5")
+        with_io = cpu_embodied_kg(7.0, "N5", io_die_cm2=4.0)
+        assert with_io > without
+
+    def test_io_die_on_older_node_cheaper_per_cm2(self):
+        io_n6 = cpu_embodied_kg(0.001, "N5", io_die_cm2=4.0, io_node="N6")
+        io_n5 = cpu_embodied_kg(0.001, "N5", io_die_cm2=4.0, io_node="N5")
+        assert io_n6 < io_n5
+
+
+class TestDensities:
+    def test_dram_near_table_v(self):
+        assert dram_embodied_kg_per_gb() == pytest.approx(1.65, rel=0.05)
+
+    def test_nand_near_table_v(self):
+        assert nand_embodied_kg_per_tb() == pytest.approx(17.3, rel=0.05)
+
+    def test_zero_density_rejected(self):
+        with pytest.raises(ConfigError):
+            dram_embodied_kg_per_gb(gb_per_cm2=0)
+        with pytest.raises(ConfigError):
+            nand_embodied_kg_per_tb(tb_per_cm2=0)
+
+
+class TestBoard:
+    def test_pcb_dominates_metal_per_kg(self):
+        assert board_embodied_kg(1.0) > board_embodied_kg(0.0, 1.0)
+
+    def test_negative_mass_rejected(self):
+        with pytest.raises(ConfigError):
+            board_embodied_kg(-1.0)
+
+
+class TestCatalogConsistency:
+    def test_all_derivations_within_5pct(self):
+        """The Section II methodology reproduces Table V's values."""
+        for key, derivation in derive_catalog_consistency().items():
+            assert abs(derivation.relative_error) < 0.05, key

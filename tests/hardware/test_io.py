@@ -1,0 +1,81 @@
+"""SKU serialization tests."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.hardware.io import (
+    load_sku,
+    save_sku,
+    sku_from_dict,
+    sku_from_json,
+    sku_to_dict,
+    sku_to_json,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.hardware import catalog
+from repro.hardware.sku import baseline_gen3, greensku_full, paper_skus
+from repro.carbon.model import CarbonModel
+
+
+class TestSpecRoundTrip:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            catalog.BERGAMO,
+            catalog.DDR5_64GB,
+            catalog.DDR4_32GB_REUSED,
+            catalog.SSD_1TB_REUSED,
+            catalog.CXL_CONTROLLER,
+            catalog.NIC_100G,
+            catalog.PLATFORM_MISC,
+        ],
+        ids=lambda s: s.name,
+    )
+    def test_round_trip(self, spec):
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_unknown_tag_rejected(self):
+        data = spec_to_dict(catalog.NIC_100G)
+        data["__type__"] = "gpu"
+        with pytest.raises(ConfigError):
+            spec_from_dict(data)
+
+    def test_bad_payload_rejected(self):
+        with pytest.raises(ConfigError):
+            spec_from_dict({"__type__": "cpu", "name": "x"})
+
+
+class TestSkuRoundTrip:
+    @pytest.mark.parametrize("name", sorted(paper_skus()))
+    def test_every_paper_sku(self, name):
+        sku = paper_skus()[name]
+        loaded = sku_from_dict(sku_to_dict(sku))
+        assert loaded == sku
+
+    def test_carbon_identical_after_round_trip(self):
+        model = CarbonModel()
+        sku = greensku_full()
+        loaded = sku_from_json(sku_to_json(sku))
+        assert model.assess(loaded).total_per_core == pytest.approx(
+            model.assess(sku).total_per_core
+        )
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "sku.json"
+        save_sku(baseline_gen3(), path)
+        loaded = load_sku(path)
+        assert loaded.name == "Baseline"
+        assert loaded.cores == 80
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_sku(tmp_path / "nope.json")
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigError):
+            sku_from_json("{not json")
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ConfigError):
+            sku_from_dict({"name": "x"})

@@ -1,0 +1,178 @@
+"""ServerSKU composition tests, including the five paper configurations."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.hardware import catalog
+from repro.hardware.components import Category
+from repro.hardware.sku import (
+    ServerSKU,
+    all_greenskus,
+    baseline_gen1,
+    baseline_gen2,
+    baseline_gen3,
+    baseline_resized,
+    greensku_cxl,
+    greensku_efficient,
+    greensku_full,
+    paper_skus,
+)
+
+
+class TestComposition:
+    def test_requires_exactly_one_cpu(self):
+        with pytest.raises(ConfigError):
+            ServerSKU.build("no-cpu", [(catalog.DDR5_64GB, 4)])
+
+    def test_two_cpus_rejected(self):
+        with pytest.raises(ConfigError):
+            ServerSKU.build(
+                "two-cpus", [(catalog.BERGAMO, 1), (catalog.GENOA, 1)]
+            )
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigError):
+            ServerSKU.build(
+                "neg", [(catalog.BERGAMO, 1), (catalog.DDR5_64GB, -1)]
+            )
+
+    def test_cxl_dimms_need_controller_slots(self):
+        with pytest.raises(ConfigError):
+            ServerSKU.build(
+                "slotless",
+                [(catalog.BERGAMO, 1), (catalog.DDR4_32GB_REUSED, 8)],
+            )
+
+    def test_cxl_dimms_fit_when_slots_available(self):
+        sku = ServerSKU.build(
+            "slots",
+            [
+                (catalog.BERGAMO, 1),
+                (catalog.DDR4_32GB_REUSED, 8),
+                (catalog.CXL_CONTROLLER, 2),
+            ],
+        )
+        assert sku.cxl_memory_gb == 256
+
+    def test_form_factor_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            ServerSKU.build(
+                "flat", [(catalog.BERGAMO, 1)], form_factor_u=0
+            )
+
+    def test_with_name(self):
+        sku = baseline_gen3().with_name("renamed")
+        assert sku.name == "renamed"
+        assert sku.cores == 80
+
+
+class TestPaperConfigurations:
+    """Table IV/VIII's SKU configurations, exactly."""
+
+    def test_baseline(self):
+        sku = baseline_gen3()
+        assert sku.cores == 80
+        assert sku.local_memory_gb == 12 * 64
+        assert sku.cxl_memory_gb == 0
+        assert sku.storage_tb == pytest.approx(12.0)
+        assert sku.generation == 3
+
+    def test_baseline_memory_per_core_is_9_6(self):
+        assert baseline_gen3().memory_per_core == pytest.approx(9.6)
+
+    def test_baseline_resized(self):
+        sku = baseline_resized()
+        assert sku.local_memory_gb == 10 * 64
+        assert sku.memory_per_core == pytest.approx(8.0)
+
+    def test_efficient(self):
+        sku = greensku_efficient()
+        assert sku.cores == 128
+        assert sku.local_memory_gb == 12 * 96
+        assert sku.storage_tb == pytest.approx(20.0)
+        assert sku.generation == 0
+
+    def test_cxl(self):
+        sku = greensku_cxl()
+        assert sku.local_memory_gb == 12 * 64
+        assert sku.cxl_memory_gb == 8 * 32
+        assert sku.memory_gb == 1024
+        assert sku.storage_tb == pytest.approx(20.0)
+
+    def test_cxl_memory_per_core_is_8(self):
+        # Fig. 9 discussion: GreenSKU memory:core ratio is 8 (vs 9.6).
+        assert greensku_cxl().memory_per_core == pytest.approx(8.0)
+
+    def test_cxl_fraction_is_25pct(self):
+        # GreenSKU-CXL replaces 25% of memory with CXL-attached DDR4
+        # (Fig. 10's shaded region).
+        assert greensku_cxl().cxl_fraction == pytest.approx(0.25)
+
+    def test_full_dimm_and_ssd_counts(self):
+        # Section V maintenance: 20 DIMMs and 14 SSDs.
+        sku = greensku_full()
+        assert sku.dimm_count == 20
+        assert sku.ssd_count == 14
+
+    def test_full_storage(self):
+        assert greensku_full().storage_tb == pytest.approx(2 * 4 + 12 * 1)
+
+    def test_baseline_dimm_and_ssd_counts(self):
+        # Section V maintenance: 12 DIMMs and 6 SSDs.
+        sku = baseline_gen3()
+        assert sku.dimm_count == 12
+        assert sku.ssd_count == 6
+
+    def test_paper_skus_registry(self):
+        skus = paper_skus()
+        assert set(skus) == {
+            "Baseline",
+            "Baseline-Resized",
+            "GreenSKU-Efficient",
+            "GreenSKU-CXL",
+            "GreenSKU-Full",
+        }
+
+    def test_all_greenskus_order(self):
+        names = [s.name for s in all_greenskus()]
+        assert names == [
+            "GreenSKU-Efficient",
+            "GreenSKU-CXL",
+            "GreenSKU-Full",
+        ]
+
+    def test_appendix_variant_excludes_platform(self):
+        sku = greensku_cxl(appendix_data=True)
+        cats = sku.category_counts()
+        assert Category.NIC not in cats
+        assert Category.OTHER not in cats
+        assert cats[Category.CXL] == 1
+
+    def test_old_generations(self):
+        assert baseline_gen1().generation == 1
+        assert baseline_gen2().generation == 2
+        assert baseline_gen1().cores == 64
+
+
+class TestDerivedProperties:
+    def test_bandwidth_per_core_bergamo_with_cxl(self):
+        # Section III: Bergamo with CXL offers ~4.4 GB/s per core
+        # (460 + 100 GB/s over 128 cores).
+        sku = greensku_cxl()
+        assert sku.mem_bw_per_core == pytest.approx(4.4, abs=0.05)
+
+    def test_bandwidth_per_core_genoa(self):
+        assert baseline_gen3().mem_bw_per_core == pytest.approx(5.75, abs=0.1)
+
+    def test_iter_parts_skips_zero_counts(self):
+        sku = ServerSKU.build(
+            "zero", [(catalog.BERGAMO, 1), (catalog.DDR5_64GB, 0)]
+        )
+        names = [spec.name for spec, _ in sku.iter_parts()]
+        assert "DDR5-64GB" not in names
+
+    def test_category_counts(self):
+        counts = baseline_gen3().category_counts()
+        assert counts[Category.CPU] == 1
+        assert counts[Category.DRAM] == 12
+        assert counts[Category.SSD] == 6

@@ -1,0 +1,81 @@
+"""Cross-component consistency: independent accounting paths agree."""
+
+import pytest
+
+from repro.allocation.cluster import ClusterSpec, simulate
+from repro.carbon.attribution import attribute_workload, per_core_hour_kg
+from repro.gsf.framework import Gsf
+from repro.hardware.sku import baseline_gen3, greensku_full
+
+
+class TestAttributionVsFleetAccounting:
+    def test_vm_attribution_bounded_by_fleet_emissions(
+        self, gsf, small_trace
+    ):
+        """The carbon attributed to VMs can never exceed what the hosting
+        fleet emits over the same window (utilization <= 1)."""
+        assessment = gsf.carbon_model.assess(baseline_gen3())
+        from repro.gsf.sizing import right_size
+
+        servers = right_size(small_trace, baseline_gen3())
+        window = small_trace.duration_hours
+        report = attribute_workload(
+            small_trace.vms, assessment, horizon_hours=window
+        )
+        fleet_kg = (
+            servers
+            * baseline_gen3().cores
+            * window
+            * per_core_hour_kg(assessment)
+        )
+        assert report.total_kg <= fleet_kg
+
+    def test_attribution_share_matches_utilization(self, gsf, small_trace):
+        """Attributed carbon over fleet carbon equals mean core
+        utilization of the right-sized cluster."""
+        assessment = gsf.carbon_model.assess(baseline_gen3())
+        from repro.gsf.sizing import right_size
+
+        servers = right_size(small_trace, baseline_gen3())
+        window = small_trace.duration_hours
+        report = attribute_workload(
+            small_trace.vms, assessment, horizon_hours=window
+        )
+        fleet_core_hours = servers * baseline_gen3().cores * window
+        utilization = report.total_core_hours / fleet_core_hours
+        carbon_share = report.total_kg / (
+            fleet_core_hours * per_core_hour_kg(assessment)
+        )
+        assert carbon_share == pytest.approx(utilization, rel=1e-9)
+
+
+class TestFrameworkVsRawSimulation:
+    def test_framework_sizing_is_simulatable(self, gsf, small_trace):
+        """The evaluation's sizing, replayed raw, hosts the trace."""
+        evaluation = gsf.evaluate(greensku_full(), small_trace)
+        policy = gsf.adoption_model(greensku_full()).policy()
+        spec = ClusterSpec.of(
+            (baseline_gen3(), evaluation.sizing.mixed_baseline_servers),
+            (greensku_full(), evaluation.sizing.mixed_green_servers),
+        )
+        outcome = simulate(small_trace, spec, adoption=policy)
+        assert outcome.feasible
+
+    def test_reference_emissions_recomputable(self, gsf, small_trace):
+        """reference.total_kg equals servers x per-server emissions."""
+        evaluation = gsf.evaluate(greensku_full(), small_trace)
+        per_server = evaluation.baseline_assessment.per_server_total_kg
+        assert evaluation.reference.total_kg == pytest.approx(
+            evaluation.reference.baseline_servers * per_server
+        )
+
+    def test_savings_invariant_under_emissions_scale(self, small_trace):
+        """Scaling the grid CI scales emissions but savings stay put when
+        adoption decisions do not flip (tiny CI nudge)."""
+        a = Gsf().at_intensity(0.100)
+        b = Gsf().at_intensity(0.101)
+        ev_a = a.evaluate(greensku_full(), small_trace)
+        ev_b = b.evaluate(greensku_full(), small_trace)
+        assert ev_a.cluster_savings == pytest.approx(
+            ev_b.cluster_savings, abs=0.01
+        )

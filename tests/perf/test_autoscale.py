@@ -1,0 +1,75 @@
+"""Autoscaler tests (Section VIII future-work feature)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.perf.apps import get_app
+from repro.perf.autoscale import (
+    AutoscaleResult,
+    autoscale,
+    cores_needed,
+    diurnal_load,
+)
+from repro.perf.latency import derive_slo
+
+
+class TestDiurnalLoad:
+    def test_shape(self):
+        load = diurnal_load(1000.0, hours=48)
+        assert len(load) == 48
+        assert load.max() <= 1000.0 + 1e-9
+        assert load.min() >= 0.35 * 1000.0 * 0.99
+
+    def test_invalid_peak(self):
+        with pytest.raises(ConfigError):
+            diurnal_load(0.0)
+
+
+class TestCoresNeeded:
+    def test_monotone_in_load(self):
+        app = get_app("Xapian")
+        slo = derive_slo(app, 3)
+        low = cores_needed(app, "bergamo", 500.0, slo)
+        high = cores_needed(app, "bergamo", 1500.0, slo)
+        assert high >= low
+
+    def test_caps_at_max(self):
+        app = get_app("Xapian")
+        slo = derive_slo(app, 3)
+        assert cores_needed(app, "bergamo", 1e9, slo, max_cores=16) == 16
+
+
+class TestAutoscale:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return autoscale(get_app("Xapian"))
+
+    def test_saves_core_hours(self, result):
+        # The whole point of the Section VIII opportunity.
+        assert result.core_hour_savings > 0.1
+
+    def test_never_exceeds_static(self, result):
+        assert result.core_hours_autoscaled <= result.core_hours_static
+
+    def test_few_violations_on_smooth_load(self, result):
+        # A diurnal ramp is slow; the one-epoch lag should rarely miss.
+        assert result.slo_violation_hours <= 2
+
+    def test_allocation_follows_load(self, result):
+        cores = np.asarray(result.cores_by_hour, dtype=float)
+        assert cores.max() > cores.min()
+
+    def test_step_load_causes_violations(self):
+        # A load step exposes the reactive lag.
+        app = get_app("Xapian")
+        slo = derive_slo(app, 3)
+        low = 0.2 * slo.baseline_peak_qps
+        high = 0.85 * slo.baseline_peak_qps
+        load = [low] * 10 + [high] * 10
+        result = autoscale(app, load=load)
+        assert result.slo_violation_hours >= 1
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(ConfigError):
+            autoscale(get_app("Xapian"), load=[0.0, 100.0])

@@ -1,0 +1,58 @@
+"""Table II tests: DevOps build slowdowns reproduce exactly."""
+
+import pytest
+
+from repro.perf.apps import get_app
+from repro.perf.devops import build_slowdown, render_table2, table2_rows
+
+#: Table II's published cells.
+TABLE2 = {
+    "Build-PHP": (1.27, 1.11, 1.00, 1.17, 1.38),
+    "Build-Python": (1.28, 1.13, 1.00, 1.15, 1.21),
+    "Build-Wasm": (1.34, 1.19, 1.00, 1.15, 1.28),
+}
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return {row.app_name: row for row in table2_rows()}
+
+
+class TestTable2:
+    def test_three_builds(self, rows):
+        assert set(rows) == set(TABLE2)
+
+    @pytest.mark.parametrize("app_name", sorted(TABLE2))
+    def test_cells_match_paper(self, rows, app_name):
+        expected = TABLE2[app_name]
+        got = [
+            rows[app_name].slowdowns[c]
+            for c in ("gen1", "gen2", "gen3", "efficient", "cxl")
+        ]
+        for g, e in zip(got, expected):
+            assert g == pytest.approx(e, abs=0.005)
+
+    def test_efficient_beats_gen1_everywhere(self, rows):
+        # Section VI: "GreenSKU-Efficient outperforms Gen1 for all
+        # applications."
+        for row in rows.values():
+            assert row.slowdowns["efficient"] < row.slowdowns["gen1"]
+
+    def test_efficient_slowdown_band(self, rows):
+        # "facing only 1.15x-1.17x slowdown compared to Gen3."
+        for row in rows.values():
+            assert 1.14 <= row.slowdowns["efficient"] <= 1.18
+
+    def test_cxl_worse_than_efficient(self, rows):
+        for row in rows.values():
+            assert row.slowdowns["cxl"] > row.slowdowns["efficient"]
+
+
+class TestHelpers:
+    def test_build_slowdown_identity_on_gen3(self):
+        assert build_slowdown(get_app("Build-PHP"), "gen3") == 1.0
+
+    def test_render_contains_all(self):
+        text = render_table2()
+        for name in TABLE2:
+            assert name in text

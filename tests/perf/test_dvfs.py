@@ -1,0 +1,72 @@
+"""DVFS planner tests (Section VIII future-work feature)."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.perf.apps import get_app
+from repro.perf.dvfs import DvfsModel, frequency_sweep, plan_frequency
+from repro.perf.latency import derive_slo
+
+
+class TestDvfsModel:
+    def test_speed_at_nominal(self):
+        assert DvfsModel().speed_at(1.0) == pytest.approx(1.0)
+
+    def test_speed_monotone_in_frequency(self):
+        model = DvfsModel()
+        assert model.speed_at(0.6) < model.speed_at(0.8) < model.speed_at(1.0)
+
+    def test_memory_bound_app_insensitive(self):
+        clocky = DvfsModel(freq_sensitivity=1.0)
+        memory = DvfsModel(freq_sensitivity=0.2)
+        assert memory.speed_at(0.6) > clocky.speed_at(0.6)
+
+    def test_power_cubic_dynamic_term(self):
+        model = DvfsModel(static_power_fraction=0.0)
+        assert model.power_at(0.6) == pytest.approx(0.6**3)
+
+    def test_power_at_nominal_is_one(self):
+        assert DvfsModel().power_at(1.0) == pytest.approx(1.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            DvfsModel().speed_at(0.5)
+
+    def test_invalid_model_rejected(self):
+        with pytest.raises(ConfigError):
+            DvfsModel(f_min=0.0)
+
+
+class TestPlanner:
+    def test_low_load_gets_deep_cut(self):
+        app = get_app("Nginx")
+        slo = derive_slo(app, 3)
+        plan = plan_frequency(app, 0.2 * slo.baseline_peak_qps, slo, 10)
+        assert plan.meets_slo
+        assert plan.frequency < 0.8
+        assert plan.power_savings > 0.3
+
+    def test_high_load_needs_nominal(self):
+        app = get_app("Nginx")
+        slo = derive_slo(app, 3)
+        plan = plan_frequency(app, 0.9 * slo.baseline_peak_qps, slo, 10)
+        assert plan.meets_slo
+        assert plan.frequency == pytest.approx(1.0)
+
+    def test_sweep_monotone_power(self):
+        plans = frequency_sweep(get_app("Nginx"), cores=10)
+        powers = [p.power_fraction for p in plans]
+        assert powers == sorted(powers)
+        assert all(p.meets_slo for p in plans)
+
+    def test_overload_reported_honestly(self):
+        app = get_app("Nginx")
+        slo = derive_slo(app, 3)
+        plan = plan_frequency(app, 10 * slo.baseline_peak_qps, slo, 10)
+        assert not plan.meets_slo
+
+    def test_invalid_load_rejected(self):
+        app = get_app("Nginx")
+        slo = derive_slo(app, 3)
+        with pytest.raises(ConfigError):
+            plan_frequency(app, 0.0, slo, 10)

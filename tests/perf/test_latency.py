@@ -1,0 +1,157 @@
+"""Latency-curve and SLO tests."""
+
+import math
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.perf.apps import get_app
+from repro.perf.latency import (
+    derive_slo,
+    latency_curve,
+    low_load_comparison,
+    low_load_latency_ms,
+    meets_slo,
+    peak_qps,
+    tail_latency_ms,
+)
+
+
+class TestPeak:
+    def test_peak_qps_formula(self):
+        app = get_app("Redis")  # 0.25 ms service, speed 1 on gen3
+        assert peak_qps(app, "gen3", 8) == pytest.approx(8 / 0.00025)
+
+    def test_peak_scales_with_cores(self):
+        app = get_app("Xapian")
+        assert peak_qps(app, "gen3", 12) == pytest.approx(
+            1.5 * peak_qps(app, "gen3", 8)
+        )
+
+    def test_cxl_lowers_peak(self):
+        app = get_app("Moses")
+        assert peak_qps(app, "bergamo", 10, cxl=True) < peak_qps(
+            app, "bergamo", 10
+        )
+
+
+class TestTailLatency:
+    def test_saturated_is_inf(self):
+        app = get_app("Redis")
+        peak = peak_qps(app, "gen3", 8)
+        assert math.isinf(tail_latency_ms(app, "gen3", 8, 1.1 * peak))
+
+    def test_increases_with_load(self):
+        app = get_app("Xapian")
+        peak = peak_qps(app, "gen3", 8)
+        low = tail_latency_ms(app, "gen3", 8, 0.3 * peak)
+        high = tail_latency_ms(app, "gen3", 8, 0.9 * peak)
+        assert high > low
+
+    def test_sim_and_analytic_agree(self):
+        app = get_app("Nginx")
+        peak = peak_qps(app, "gen3", 8)
+        analytic = tail_latency_ms(app, "gen3", 8, 0.7 * peak)
+        sim = tail_latency_ms(app, "gen3", 8, 0.7 * peak, method="sim")
+        assert sim == pytest.approx(analytic, rel=0.15)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigError):
+            tail_latency_ms(get_app("Redis"), "gen3", 8, 100, method="magic")
+
+    def test_zero_load_rejected(self):
+        with pytest.raises(ConfigError):
+            tail_latency_ms(get_app("Redis"), "gen3", 8, 0)
+
+
+class TestSlo:
+    def test_slo_load_is_90pct_of_peak(self):
+        app = get_app("Xapian")
+        slo = derive_slo(app, 3)
+        assert slo.load_qps == pytest.approx(0.9 * slo.baseline_peak_qps)
+
+    def test_equal_platform_meets_own_slo(self):
+        # An app with bergamo speed == gen3 speed meets the gen3 SLO at
+        # 8 cores.
+        app = get_app("Redis")
+        slo = derive_slo(app, 3)
+        assert meets_slo(app, slo, 8)
+
+    def test_slower_platform_fails_at_equal_cores(self):
+        app = get_app("Xapian")  # bergamo speed 0.72
+        slo = derive_slo(app, 3)
+        assert not meets_slo(app, slo, 8)
+
+    def test_scaling_up_helps(self):
+        app = get_app("Xapian")
+        slo = derive_slo(app, 3)
+        assert meets_slo(app, slo, 12)
+
+    def test_cxl_never_helps(self):
+        app = get_app("Moses")
+        slo = derive_slo(app, 3)
+        for cores in (8, 10, 12):
+            if meets_slo(app, slo, cores, cxl=True):
+                assert meets_slo(app, slo, cores)
+
+    def test_gen1_slo_easier_than_gen3(self):
+        app = get_app("Xapian")
+        slo1, slo3 = derive_slo(app, 1), derive_slo(app, 3)
+        assert slo1.load_qps < slo3.load_qps
+
+
+class TestCurves:
+    def test_curve_has_points_for_all_fractions(self):
+        app = get_app("Nginx")
+        curve = latency_curve(app, "gen3", 8, load_fractions=(0.2, 0.5, 0.8))
+        assert len(curve.qps) == 3
+        assert len(curve.p95_ms) == 3
+
+    def test_hockey_stick_past_saturation(self):
+        # A GreenSKU curve swept over the baseline's load axis goes to
+        # infinity once the load exceeds its own (lower) peak.
+        app = get_app("Masstree")
+        base_peak = peak_qps(app, "gen3", 8)
+        curve = latency_curve(
+            app,
+            "bergamo",
+            8,
+            load_fractions=(0.5, 0.9),
+            reference_peak_qps=base_peak,
+        )
+        assert math.isinf(curve.p95_ms[-1])
+
+    def test_max_load_meeting(self):
+        app = get_app("Nginx")
+        slo = derive_slo(app, 3)
+        curve = latency_curve(
+            app, "gen3", 8, load_fractions=(0.3, 0.6, 0.9, 0.95)
+        )
+        best = curve.max_load_meeting(slo.latency_ms * 1.0000001)
+        assert best == pytest.approx(0.9 * curve.peak_qps, rel=0.01)
+
+    def test_latency_at_nearest_point(self):
+        app = get_app("Nginx")
+        curve = latency_curve(app, "gen3", 8, load_fractions=(0.3, 0.6))
+        assert curve.latency_at(curve.qps[0]) == curve.p95_ms[0]
+
+
+class TestLowLoad:
+    def test_low_load_latency_close_to_service_floor(self):
+        app = get_app("Img-DNN")
+        lat = low_load_latency_ms(app, "gen3", 8)
+        # p95 of Exp(service) at negligible wait is ~3x the mean.
+        assert lat == pytest.approx(3.0 * app.base_service_ms, rel=0.1)
+
+    def test_greensku_low_load_higher_than_gen3(self):
+        # Section VI: GreenSKU-Efficient's median low-load latency is
+        # ~16% above Gen3.
+        apps = [
+            get_app(n)
+            for n in ("Xapian", "Moses", "Nginx", "Sphinx", "WebF-Dynamic")
+        ]
+        ratios = low_load_comparison(
+            apps, scaled_cores={}, generation=3
+        )
+        assert all(r >= 0.99 for r in ratios)
+        assert max(r for r in ratios) > 1.05

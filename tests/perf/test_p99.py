@@ -1,0 +1,56 @@
+"""p99 behaviour: the paper's "we also measure 99th% latency and notice
+similar behaviors" claim."""
+
+import math
+
+import pytest
+
+from repro.perf.apps import get_app, table3_apps
+from repro.perf.latency import peak_qps, tail_latency_ms
+from repro.perf.mmc import response_percentile_ms
+
+
+class TestP99Ordering:
+    def test_p99_above_p95_everywhere(self):
+        app = get_app("Xapian")
+        peak = peak_qps(app, "gen3", 8)
+        for frac in (0.3, 0.6, 0.9):
+            p95 = tail_latency_ms(app, "gen3", 8, frac * peak, quantile=0.95)
+            p99 = tail_latency_ms(app, "gen3", 8, frac * peak, quantile=0.99)
+            assert p99 > p95
+
+
+class TestP99ScalingFactors:
+    @pytest.mark.parametrize(
+        "app_name", ["Redis", "Masstree", "Xapian", "Moses", "Nginx", "Silo"]
+    )
+    def test_p99_slo_gives_same_factor(self, app_name):
+        """Re-derive each scaling factor with a p99 SLO: "similar
+        behaviors" means identical factors for the representative apps."""
+        app = get_app(app_name)
+        if not app.latency_critical:
+            return
+
+        def factor_at(quantile: float) -> float:
+            base_peak = peak_qps(app, "gen3", 8)
+            slo_load = 0.9 * base_peak
+            slo = tail_latency_ms(
+                app, "gen3", 8, slo_load, quantile=quantile
+            )
+            for cores in (8, 10, 12):
+                latency = tail_latency_ms(
+                    app, "bergamo", cores, slo_load, quantile=quantile
+                )
+                if latency <= slo * (1 + 1e-9):
+                    return cores / 8
+            return math.inf
+
+        assert factor_at(0.99) == factor_at(0.95)
+
+
+class TestQuantileMath:
+    def test_percentiles_monotone_in_quantile(self):
+        lam, mu, c = 700.0, 100.0, 8
+        quantiles = (0.5, 0.9, 0.95, 0.99)
+        values = [response_percentile_ms(q, lam, mu, c) for q in quantiles]
+        assert values == sorted(values)

@@ -1,0 +1,120 @@
+"""Discrete-event queueing simulator tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import SimulationError
+from repro.perf.queueing import (
+    load_points,
+    sample_service_times,
+    saturation_qps,
+    simulate_fcfs,
+)
+
+
+class TestServiceSampling:
+    def test_exponential_mean(self):
+        rng = np.random.default_rng(0)
+        times = sample_service_times(rng, 200_000, mean_ms=2.0, cv=1.0)
+        assert times.mean() == pytest.approx(2.0, rel=0.02)
+
+    def test_lognormal_mean_and_cv(self):
+        rng = np.random.default_rng(0)
+        times = sample_service_times(rng, 200_000, mean_ms=5.0, cv=0.5)
+        assert times.mean() == pytest.approx(5.0, rel=0.02)
+        assert times.std() / times.mean() == pytest.approx(0.5, rel=0.05)
+
+    def test_all_positive(self):
+        rng = np.random.default_rng(1)
+        assert (sample_service_times(rng, 10_000, 1.0, 2.0) > 0).all()
+
+    def test_invalid_mean_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(SimulationError):
+            sample_service_times(rng, 10, 0.0)
+
+    def test_invalid_cv_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(SimulationError):
+            sample_service_times(rng, 10, 1.0, cv=-1)
+
+
+class TestSaturation:
+    def test_saturation_qps(self):
+        assert saturation_qps(8, 1.0) == 8000.0
+        assert saturation_qps(10, 5.0) == 2000.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SimulationError):
+            saturation_qps(0, 1.0)
+        with pytest.raises(SimulationError):
+            saturation_qps(4, 0.0)
+
+    def test_load_points_default(self):
+        points = load_points(8, 1.0)
+        assert len(points) == 9
+        assert points[0] == pytest.approx(800.0)
+
+
+class TestSimulation:
+    def test_deterministic_given_seed(self):
+        a = simulate_fcfs(1000, 4, 2.0, seed=3, requests=5000, warmup=500)
+        b = simulate_fcfs(1000, 4, 2.0, seed=3, requests=5000, warmup=500)
+        assert a.p95_ms == b.p95_ms
+
+    def test_different_seed_different_result(self):
+        a = simulate_fcfs(1000, 4, 2.0, seed=3, requests=5000, warmup=500)
+        b = simulate_fcfs(1000, 4, 2.0, seed=4, requests=5000, warmup=500)
+        assert a.p95_ms != b.p95_ms
+
+    def test_latency_at_least_service_time_scale(self):
+        result = simulate_fcfs(100, 8, 2.0, seed=0, requests=5000, warmup=500)
+        # p50 of an exponential with mean 2 is ln(2)*2 ~ 1.39 ms.
+        assert result.p50_ms > 0.5
+
+    def test_percentile_ordering(self):
+        result = simulate_fcfs(3000, 8, 2.0, seed=0, requests=20000)
+        assert result.p50_ms <= result.p95_ms <= result.p99_ms
+
+    def test_latency_grows_with_load(self):
+        low = simulate_fcfs(1000, 8, 2.0, seed=0, requests=20000)
+        high = simulate_fcfs(3600, 8, 2.0, seed=0, requests=20000)
+        assert high.p95_ms > low.p95_ms
+
+    def test_utilization_computed(self):
+        result = simulate_fcfs(2000, 8, 2.0, seed=0, requests=1000, warmup=100)
+        assert result.utilization == pytest.approx(0.5)
+        assert not result.saturated
+
+    def test_saturated_flag(self):
+        result = simulate_fcfs(
+            5000, 8, 2.0, seed=0, requests=2000, warmup=100
+        )
+        assert result.saturated
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_fcfs(0, 8, 1.0)
+
+    def test_invalid_cores_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_fcfs(100, 0, 1.0)
+
+    def test_mm1_mean_matches_theory(self):
+        # M/M/1 at rho=0.5: E[R] = E[S]/(1-rho) = 2*E[S].
+        result = simulate_fcfs(
+            250, 1, 2.0, seed=2, requests=200_000, warmup=20_000
+        )
+        assert result.mean_ms == pytest.approx(4.0, rel=0.05)
+
+    @settings(deadline=None, max_examples=10)
+    @given(cores=st.integers(min_value=1, max_value=16))
+    def test_more_cores_never_hurt(self, cores):
+        lam, service = 800.0, 2.0
+        if lam >= cores * 1000 / service:
+            return  # skip unstable starting point
+        few = simulate_fcfs(lam, cores, service, seed=1, requests=8000)
+        more = simulate_fcfs(lam, cores + 4, service, seed=1, requests=8000)
+        assert more.p95_ms <= few.p95_ms * 1.25  # noise tolerance

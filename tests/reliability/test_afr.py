@@ -1,0 +1,63 @@
+"""AFR aggregation tests: the Section V numbers exactly."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.reliability.afr import AfrBreakdown, server_afr
+from repro.hardware.sku import baseline_gen3, greensku_cxl, greensku_full
+
+
+class TestPaperNumbers:
+    def test_baseline_afr_4_8(self):
+        # "a baseline SKU with 12 DIMMs and 6 SSDs has an AFR of 4.8."
+        assert server_afr(baseline_gen3()).total == pytest.approx(4.8)
+
+    def test_full_afr_7_2(self):
+        # "Our GreenSKU-Full has 20 DIMMs and 14 SSDs, causing an AFR
+        # of 7.2."
+        assert server_afr(greensku_full()).total == pytest.approx(7.2)
+
+    def test_dimm_ssd_half_of_baseline_afr(self):
+        # Footnote 3: DIMMs and SSDs constitute half of a server's AFR.
+        afr = server_afr(baseline_gen3())
+        assert afr.fip_eligible == pytest.approx(afr.total / 2)
+
+    def test_fip_reduces_baseline_to_3(self):
+        # "the repair rate per 100 servers for the baseline SKU ...
+        # reduces to 3."
+        assert server_afr(baseline_gen3()).repair_rate() == pytest.approx(3.0)
+
+    def test_fip_reduces_full_to_3_6(self):
+        assert server_afr(greensku_full()).repair_rate() == pytest.approx(3.6)
+
+
+class TestFipBehaviour:
+    def test_no_fip_leaves_full_afr(self):
+        afr = server_afr(baseline_gen3())
+        assert afr.repair_rate(fip_effectiveness=0.0) == pytest.approx(4.8)
+
+    def test_perfect_fip_leaves_other_failures(self):
+        afr = server_afr(baseline_gen3())
+        assert afr.repair_rate(fip_effectiveness=1.0) == pytest.approx(
+            afr.other
+        )
+
+    def test_fip_monotone(self):
+        afr = server_afr(greensku_full())
+        rates = [afr.repair_rate(e) for e in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_invalid_effectiveness_rejected(self):
+        with pytest.raises(ConfigError):
+            server_afr(baseline_gen3()).repair_rate(1.5)
+
+
+class TestBreakdown:
+    def test_total_is_sum(self):
+        b = AfrBreakdown("x", fip_eligible=2.0, other=1.5)
+        assert b.total == 3.5
+
+    def test_cxl_between_baseline_and_full(self):
+        # GreenSKU-CXL: 20 DIMMs, 5 SSDs -> AFR between the two extremes.
+        afr = server_afr(greensku_cxl())
+        assert 4.8 < afr.total < 7.2

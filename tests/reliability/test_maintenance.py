@@ -1,0 +1,69 @@
+"""Maintenance component tests: Little's law and C_OOS."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.reliability.maintenance import (
+    assess_maintenance,
+    out_of_service_fraction,
+    paper_maintenance_comparison,
+)
+from repro.hardware.sku import baseline_gen3, greensku_full
+
+
+class TestLittlesLaw:
+    def test_formula(self):
+        # 3.6 repairs/100/year at 10-day repair time.
+        expected = 3.6 / 100 * 10 / 365
+        assert out_of_service_fraction(3.6, 10) == pytest.approx(expected)
+
+    def test_zero_rate(self):
+        assert out_of_service_fraction(0.0) == 0.0
+
+    def test_linear_in_repair_time(self):
+        assert out_of_service_fraction(3.0, 20) == pytest.approx(
+            2 * out_of_service_fraction(3.0, 10)
+        )
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            out_of_service_fraction(-1)
+        with pytest.raises(ConfigError):
+            out_of_service_fraction(1, -1)
+
+
+class TestCOOS:
+    def test_paper_comparison(self):
+        # Section V: C_OOS = 3 for the baseline and 3.6*0.66*1.262 ~ 3.0
+        # for GreenSKU-Full.
+        base, green = paper_maintenance_comparison()
+        assert base.c_oos == pytest.approx(3.0)
+        assert green.c_oos == pytest.approx(3.6 * 0.66 * 1.262, rel=1e-9)
+        assert green.c_oos == pytest.approx(3.0, abs=0.05)
+
+    def test_overhead_negligible(self):
+        base, green = paper_maintenance_comparison()
+        assert abs(green.c_oos - base.c_oos) < 0.1
+
+    def test_custom_ratios(self):
+        assessment = assess_maintenance(
+            greensku_full(),
+            servers_ratio=1.0,
+            per_server_emissions_ratio=1.0,
+        )
+        assert assessment.c_oos == pytest.approx(3.6)
+
+    def test_negative_ratio_rejected(self):
+        with pytest.raises(ConfigError):
+            assess_maintenance(baseline_gen3(), servers_ratio=-1)
+
+
+class TestAssessment:
+    def test_oos_fraction_small(self):
+        a = assess_maintenance(greensku_full())
+        assert 0 < a.oos_fraction < 0.01
+
+    def test_includes_afr_detail(self):
+        a = assess_maintenance(baseline_gen3())
+        assert a.afr.total == pytest.approx(4.8)
+        assert a.repair_rate == pytest.approx(3.0)

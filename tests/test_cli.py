@@ -1,0 +1,76 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11" in out
+        assert "table4" in out
+
+
+class TestRun:
+    def test_run_table4(self, capsys):
+        assert main(["run", "table4"]) == 0
+        assert "GreenSKU-Full" in capsys.readouterr().out
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        assert "Bergamo" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+
+class TestPrice:
+    def test_price_greensku(self, capsys):
+        assert main(["price", "GreenSKU-Full"]) == 0
+        out = capsys.readouterr().out
+        assert "total/core" in out
+        assert "128 cores" in out
+
+    def test_price_with_intensity(self, capsys):
+        assert main(["price", "Baseline", "--ci", "0.0"]) == 0
+        out = capsys.readouterr().out
+        assert "operational/core:         0.0" in out
+
+    def test_unknown_sku_error(self, capsys):
+        assert main(["price", "MegaSKU"]) == 2
+        assert "unknown SKU" in capsys.readouterr().err
+
+
+class TestSavings:
+    def test_savings_table(self, capsys):
+        assert main(["savings"]) == 0
+        out = capsys.readouterr().out
+        assert "GreenSKU-CXL" in out
+        assert "Total Savings" in out
+
+
+class TestEvaluate:
+    def test_evaluate_small(self, capsys):
+        code = main(
+            ["evaluate", "--vms", "60", "--days", "4", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cluster savings" in out
+
+
+class TestTrace:
+    def test_trace_roundtrip(self, capsys, tmp_path):
+        out_file = tmp_path / "t.csv"
+        code = main(
+            ["trace", "--vms", "40", "--days", "2", "--out", str(out_file)]
+        )
+        assert code == 0
+        assert out_file.exists()
+        from repro.allocation.io import load_trace
+
+        loaded = load_trace(out_file)
+        assert len(loaded.vms) > 0

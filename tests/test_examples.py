@@ -1,0 +1,53 @@
+"""Smoke tests for the runnable examples (the fast ones, in-process).
+
+The heavier examples (region_planning, capacity_planning,
+design_space_exploration) exercise the same code paths as the benchmark
+suite and run standalone; here we verify the quick ones end to end.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+#: Examples fast enough for the unit-test suite.
+FAST_EXAMPLES = (
+    "quickstart",
+    "slo_scaling_study",
+    "runtime_systems",
+    "fleet_transition",
+    "custom_hardware",
+)
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    @pytest.mark.parametrize("name", FAST_EXAMPLES)
+    def test_example_runs(self, name, capsys):
+        module = load_example(name)
+        module.main()
+        out = capsys.readouterr().out
+        assert len(out) > 100  # produced a real report
+
+    def test_quickstart_mentions_savings(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "cluster savings" in out
+        assert "GreenSKU-Full" in out
+
+    def test_all_examples_have_docstrings_and_main(self):
+        for path in sorted(EXAMPLES_DIR.glob("*.py")):
+            source = path.read_text()
+            assert source.lstrip().startswith('"""'), path.name
+            assert "def main()" in source, path.name
