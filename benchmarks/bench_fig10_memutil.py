@@ -5,12 +5,13 @@ from repro.experiments import fig10_memutil
 from conftest import run_once
 
 
-def test_fig10_memutil(benchmark, save):
+def test_fig10_memutil(benchmark, save, execution_stats):
     result = run_once(
         benchmark,
         lambda: fig10_memutil.run(trace_count=35, mean_concurrent_vms=250),
     )
     save("fig10_memutil.txt", fig10_memutil.render(result))
     save("fig10_memutil.csv", fig10_memutil.to_csv(result))
+    save("fig10_memutil.stats.txt", execution_stats())
     assert result.share_below_60pct >= 0.9  # paper: "most traces"
     assert result.share_needing_cxl <= 0.1  # paper: ~3%

@@ -5,13 +5,14 @@ from repro.experiments import fig9_packing
 from conftest import run_once
 
 
-def test_fig9_packing(benchmark, save):
+def test_fig9_packing(benchmark, save, execution_stats):
     result = run_once(
         benchmark,
         lambda: fig9_packing.run(trace_count=35, mean_concurrent_vms=250),
     )
     save("fig9_packing.txt", fig9_packing.render(result))
     save("fig9_packing.csv", fig9_packing.to_csv(result))
+    save("fig9_packing.stats.txt", execution_stats())
     s = result.summary()
     # The paper's tradeoff: GreenSKU-Full packs memory better, cores worse.
     assert s["green_memory_median"] > s["baseline_memory_median"]

@@ -40,3 +40,23 @@ def save(out_dir):
 def run_once(benchmark, fn):
     """Run ``fn`` exactly once under the benchmark timer."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture()
+def execution_stats():
+    """Reset and report the runner + sizing hit/miss counters.
+
+    Yields a callable returning the current counters' one-line summaries;
+    benchmarks print it next to their artifacts so cache effectiveness is
+    visible in the bench log.
+    """
+    from repro.core.runner import reset_runner_stats, runner_stats
+    from repro.gsf.sizing import reset_sizing_stats, sizing_stats
+
+    reset_runner_stats()
+    reset_sizing_stats()
+
+    def report() -> str:
+        return f"{runner_stats().summary()}\n{sizing_stats().summary()}"
+
+    yield report

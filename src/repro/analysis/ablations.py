@@ -13,18 +13,20 @@ buys, using the same substrates as the main evaluation:
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence
 
 from ..allocation.cluster import ClusterSpec, adopt_nothing, simulate
 from ..allocation.scheduler import PLACEMENT_POLICIES, BestFitScheduler
 from ..allocation.traces import VmTrace
 from ..carbon.model import CarbonModel
 from ..core.errors import ConfigError
+from ..core.runner import parallel_map
 from ..gsf.buffer import baseline_only_buffer, proportional_dual_buffer
 from ..gsf.framework import Gsf
-from ..gsf.sizing import right_size
+from ..gsf.sizing import right_size, size_mixed_cluster
 from ..hardware import catalog
 from ..hardware.sku import ServerSKU, baseline_gen3, greensku_full
 from ..hardware.sku import _platform_parts
@@ -45,53 +47,62 @@ class PlacementAblation:
     mean_memory_density: float
 
 
+def _placement_one(
+    policy: str, trace: VmTrace, sku: ServerSKU, bestfit_n: int
+) -> PlacementAblation:
+    """One placement heuristic's sizing + density (worker entry)."""
+    scheduler = BestFitScheduler(policy)
+
+    def feasible(n: int) -> bool:
+        out = simulate(
+            trace,
+            ClusterSpec.of((sku, n)),
+            adoption=adopt_nothing,
+            snapshot_hours=1e9,
+            scheduler=scheduler,
+        )
+        return out.feasible
+
+    # The best-fit right-size is a lower bound for bracketing.
+    n = bestfit_n
+    while not feasible(n):
+        n += 1
+    outcome = simulate(
+        trace,
+        ClusterSpec.of((sku, n)),
+        adoption=adopt_nothing,
+        snapshot_hours=6.0,
+        scheduler=scheduler,
+    )
+    return PlacementAblation(
+        policy=policy,
+        servers_needed=n,
+        mean_core_density=outcome.baseline_stats.mean_core_density,
+        mean_memory_density=outcome.baseline_stats.mean_memory_density,
+    )
+
+
 def placement_policy_ablation(
     trace: VmTrace,
     sku: Optional[ServerSKU] = None,
     policies: Sequence[str] = PLACEMENT_POLICIES,
+    jobs: Optional[int] = None,
 ) -> List[PlacementAblation]:
     """How much the production best-fit rules buy over naive placement.
 
-    For each heuristic: the minimum cluster size hosting the trace and the
-    achieved packing density at that size.
+    For each heuristic: the minimum cluster size hosting the trace and
+    the achieved packing density at that size.  Policies evaluate
+    independently, so they fan out over ``jobs`` worker processes.
     """
     sku = sku or baseline_gen3()
-    results = []
-    for policy in policies:
-        scheduler = BestFitScheduler(policy)
-
-        def feasible(n: int) -> bool:
-            out = simulate(
-                trace,
-                ClusterSpec.of((sku, n)),
-                adoption=adopt_nothing,
-                snapshot_hours=1e9,
-                scheduler=scheduler,
-            )
-            return out.feasible
-
-        # Reuse the best-fit right-size as a lower bound for bracketing.
-        n = right_size(trace, sku)
-        while not feasible(n):
-            n += 1
-        outcome = simulate(
-            trace,
-            ClusterSpec.of((sku, n)),
-            adoption=adopt_nothing,
-            snapshot_hours=6.0,
-            scheduler=scheduler,
-        )
-        results.append(
-            PlacementAblation(
-                policy=policy,
-                servers_needed=n,
-                mean_core_density=outcome.baseline_stats.mean_core_density,
-                mean_memory_density=(
-                    outcome.baseline_stats.mean_memory_density
-                ),
-            )
-        )
-    return results
+    bestfit_n = right_size(trace, sku)
+    return parallel_map(
+        functools.partial(
+            _placement_one, trace=trace, sku=sku, bestfit_n=bestfit_n
+        ),
+        list(policies),
+        jobs=jobs,
+    )
 
 
 # -- Fail-In-Place ------------------------------------------------------------
@@ -141,10 +152,53 @@ class AdoptionAblation:
     baseline_servers: int
 
 
+#: The adoption rules the ablation compares (worker processes rebuild the
+#: policy callables from these names — closures do not pickle).
+ADOPTION_RULES = ("carbon-aware", "performance-only", "always")
+
+
+def _adoption_policy(rule: str, gsf: Gsf, greensku: ServerSKU) -> Callable:
+    model = gsf.adoption_model(greensku)
+    if rule == "carbon-aware":
+        return model.policy()
+    if rule == "performance-only":
+
+        def performance_only(app_name: str, generation: int):
+            result = scaling_factor(model.apps[app_name], generation)
+            return result.factor if math.isfinite(result.factor) else None
+
+        return performance_only
+    if rule == "always":
+        return lambda app_name, generation: 1.0
+    raise ConfigError(f"unknown adoption rule {rule!r}")
+
+
+def _adoption_rule_one(
+    rule: str, trace: VmTrace, gsf: Gsf, greensku: ServerSKU
+) -> AdoptionAblation:
+    """One adoption rule's mixed sizing + savings (worker entry)."""
+    policy = _adoption_policy(rule, gsf, greensku)
+    sizing = size_mixed_cluster(trace, gsf.baseline, greensku, policy)
+    e_base = gsf.carbon_model.assess(gsf.baseline).per_server_total_kg
+    e_green = gsf.carbon_model.assess(greensku).per_server_total_kg
+    reference = sizing.baseline_only_servers * e_base
+    mixed = (
+        sizing.mixed_baseline_servers * e_base
+        + sizing.mixed_green_servers * e_green
+    )
+    return AdoptionAblation(
+        rule=rule,
+        cluster_savings=1 - mixed / reference if reference else 0.0,
+        green_servers=sizing.mixed_green_servers,
+        baseline_servers=sizing.mixed_baseline_servers,
+    )
+
+
 def adoption_rule_ablation(
     trace: VmTrace,
     gsf: Optional[Gsf] = None,
     greensku: Optional[ServerSKU] = None,
+    jobs: Optional[int] = None,
 ) -> List[AdoptionAblation]:
     """Carbon-aware adoption vs two naive rules.
 
@@ -154,46 +208,19 @@ def adoption_rule_ablation(
       the carbon cost of scaling).
     - ``always``: adopt everything unscaled (ignores SLOs entirely) — an
       upper bound on GreenSKU utilization that breaks performance goals.
+
+    Each rule's full sizing search is independent; they fan out over
+    ``jobs`` worker processes in rule order.
     """
     gsf = gsf or Gsf()
     greensku = greensku or greensku_full()
-    model = gsf.adoption_model(greensku)
-
-    def performance_only(app_name: str, generation: int):
-        result = scaling_factor(model.apps[app_name], generation)
-        return result.factor if math.isfinite(result.factor) else None
-
-    def always(app_name: str, generation: int):
-        return 1.0
-
-    rules: List[Tuple[str, Callable]] = [
-        ("carbon-aware", model.policy()),
-        ("performance-only", performance_only),
-        ("always", always),
-    ]
-    results = []
-    for name, policy in rules:
-        from ..gsf.sizing import size_mixed_cluster
-
-        sizing = size_mixed_cluster(
-            trace, gsf.baseline, greensku, policy
-        )
-        e_base = gsf.carbon_model.assess(gsf.baseline).per_server_total_kg
-        e_green = gsf.carbon_model.assess(greensku).per_server_total_kg
-        reference = sizing.baseline_only_servers * e_base
-        mixed = (
-            sizing.mixed_baseline_servers * e_base
-            + sizing.mixed_green_servers * e_green
-        )
-        results.append(
-            AdoptionAblation(
-                rule=name,
-                cluster_savings=1 - mixed / reference if reference else 0.0,
-                green_servers=sizing.mixed_green_servers,
-                baseline_servers=sizing.mixed_baseline_servers,
-            )
-        )
-    return results
+    return parallel_map(
+        functools.partial(
+            _adoption_rule_one, trace=trace, gsf=gsf, greensku=greensku
+        ),
+        list(ADOPTION_RULES),
+        jobs=jobs,
+    )
 
 
 # -- growth buffer --------------------------------------------------------------

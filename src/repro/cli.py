@@ -9,6 +9,11 @@ Commands:
 - ``savings`` — the Table VIII per-core savings table.
 - ``evaluate`` — end-to-end GSF on a synthetic trace.
 - ``trace`` — generate a synthetic VM trace and write it to CSV.
+
+Global flags: ``--jobs N`` sets the worker-process count for the
+trace-suite experiments (default: the ``REPRO_JOBS`` env var, else all
+cores); ``--cache`` / ``--no-cache`` toggle the opt-in on-disk result
+cache (default: the ``REPRO_CACHE`` env var, else off).
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from .allocation.io import save_trace
 from .allocation.traces import TraceParams, generate_trace
 from .carbon.model import CarbonModel
 from .carbon.savings import paper_savings_table, render_savings_table
+from .core import runner
 from .core.errors import ConfigError, ReproError
 from .experiments.registry import EXPERIMENTS, get_experiment
 from .gsf.framework import Gsf
@@ -145,6 +151,21 @@ def build_parser() -> argparse.ArgumentParser:
             "(reproduction of Wang et al., ISCA 2024)"
         ),
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for trace-suite experiments "
+             "(default: REPRO_JOBS env, else all cores)",
+    )
+    cache_group = parser.add_mutually_exclusive_group()
+    cache_group.add_argument(
+        "--cache", dest="cache", action="store_true", default=None,
+        help="enable the on-disk result cache (REPRO_CACHE_DIR, "
+             "default ./.repro-cache)",
+    )
+    cache_group.add_argument(
+        "--no-cache", dest="cache", action="store_false",
+        help="disable the on-disk result cache even if REPRO_CACHE is set",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list paper experiments").set_defaults(
@@ -220,10 +241,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        runner.set_default_jobs(args.jobs)
+        runner.set_cache_enabled(args.cache)
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        runner.set_default_jobs(None)
+        runner.set_cache_enabled(None)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,285 @@
+"""Shared experiment-execution substrate: parallel map + result caching.
+
+Every cluster-scale experiment (Figs. 9/10/11, the ablation grids)
+evaluates many independent configurations — one trace, one placement
+policy, one carbon intensity at a time.  This module gives those sweeps a
+common execution layer:
+
+- :func:`parallel_map` — a deterministic process-pool map.  Results are
+  collected in **input order** regardless of completion order, and each
+  task is a pure function of its item, so the output is byte-identical
+  to the serial path (``jobs=1``) on any worker count.
+- :class:`DiskCache` — an opt-in on-disk result cache keyed by a content
+  hash of the work item (trace parameters + seed content, SKU, policy),
+  so benchmark reruns skip unchanged work.  Hit/miss counters are kept
+  per cache and aggregated globally for the bench harness.
+- :func:`cached_map` — the composition the experiments use: look up each
+  item, fan out only the misses, store the new results.
+
+Worker-count resolution (first match wins): explicit ``jobs=`` argument,
+the ``REPRO_JOBS`` environment variable, a process-wide default set by
+the CLI's ``--jobs`` flag, then ``os.cpu_count()``.  Caching resolution
+mirrors it with ``REPRO_CACHE`` / ``--cache`` / ``--no-cache`` and
+defaults to *disabled* (the cache is opt-in).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from .errors import ConfigError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment knobs (shared with the ``python -m repro`` CLI flags).
+JOBS_ENV = "REPRO_JOBS"
+CACHE_ENV = "REPRO_CACHE"
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default on-disk cache location (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_default_jobs: Optional[int] = None
+_cache_override: Optional[bool] = None
+
+
+# -- worker-count / cache configuration ---------------------------------------
+
+
+def set_default_jobs(jobs: Optional[int]) -> None:
+    """Set the process-wide default worker count (the CLI's ``--jobs``)."""
+    global _default_jobs
+    if jobs is not None and jobs < 1:
+        raise ConfigError(f"jobs must be >= 1, got {jobs}")
+    _default_jobs = jobs
+
+
+def set_cache_enabled(enabled: Optional[bool]) -> None:
+    """Force the disk cache on/off process-wide (``--cache``/``--no-cache``).
+
+    ``None`` restores the default resolution (``REPRO_CACHE`` env, else
+    disabled).
+    """
+    global _cache_override
+    _cache_override = enabled
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a worker count: argument > env > CLI default > cpu count."""
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV)
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ConfigError(
+                    f"{JOBS_ENV} must be an integer, got {env!r}"
+                ) from None
+        elif _default_jobs is not None:
+            jobs = _default_jobs
+        else:
+            jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def cache_enabled() -> bool:
+    """Whether the opt-in disk cache is currently enabled."""
+    if _cache_override is not None:
+        return _cache_override
+    return os.environ.get(CACHE_ENV, "0") not in ("", "0", "false", "no")
+
+
+def default_cache_dir() -> Path:
+    return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
+
+
+# -- content hashing -----------------------------------------------------------
+
+
+def content_key(*parts: object) -> str:
+    """A stable content hash over the ``repr`` of the given parts.
+
+    The experiments key their caches on frozen dataclasses (TraceParams,
+    VmRequest, ServerSKU) whose ``repr`` is a deterministic function of
+    their field values, plus plain strings/numbers — so the digest
+    changes exactly when the work item changes.
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+# -- statistics ----------------------------------------------------------------
+
+
+@dataclass
+class RunnerStats:
+    """Aggregated execution counters, surfaced by the bench harness."""
+
+    tasks: int = 0
+    parallel_tasks: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def merge(self, other: "RunnerStats") -> None:
+        self.tasks += other.tasks
+        self.parallel_tasks += other.parallel_tasks
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+
+    def summary(self) -> str:
+        return (
+            f"runner: {self.tasks} tasks ({self.parallel_tasks} in "
+            f"worker processes), disk cache {self.cache_hits} hits / "
+            f"{self.cache_misses} misses"
+        )
+
+
+_GLOBAL_STATS = RunnerStats()
+
+
+def runner_stats() -> RunnerStats:
+    """The process-wide counters (reset with :func:`reset_runner_stats`)."""
+    return _GLOBAL_STATS
+
+
+def reset_runner_stats() -> RunnerStats:
+    global _GLOBAL_STATS
+    _GLOBAL_STATS = RunnerStats()
+    return _GLOBAL_STATS
+
+
+# -- deterministic parallel map ------------------------------------------------
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    jobs: Optional[int] = None,
+) -> List[R]:
+    """Map ``fn`` over ``items``, optionally on a process pool.
+
+    Results always come back in input order (``ProcessPoolExecutor.map``
+    preserves it), so a pure ``fn`` makes the output byte-identical to
+    the serial path regardless of worker count or completion order.
+    ``fn`` and the items must be picklable when ``jobs > 1``.
+    """
+    items = list(items)
+    jobs = resolve_jobs(jobs)
+    _GLOBAL_STATS.tasks += len(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    workers = min(jobs, len(items))
+    _GLOBAL_STATS.parallel_tasks += len(items)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))
+
+
+# -- on-disk result cache ------------------------------------------------------
+
+
+#: Sentinel distinguishing "no cached value" from a cached ``None``.
+MISSING = object()
+
+
+@dataclass
+class DiskCache:
+    """Content-addressed pickle cache for experiment results.
+
+    Entries live one-per-file under ``directory`` named by their content
+    key.  A corrupt or unreadable entry counts as a miss and is
+    overwritten on the next :meth:`put`.
+    """
+
+    directory: Path = field(default_factory=default_cache_dir)
+    hits: int = 0
+    misses: int = 0
+
+    def _path(self, key: str) -> Path:
+        return Path(self.directory) / f"{key}.pkl"
+
+    def get(self, key: str) -> object:
+        """Return the cached value or the :data:`MISSING` sentinel."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            self.misses += 1
+            _GLOBAL_STATS.cache_misses += 1
+            return MISSING
+        self.hits += 1
+        _GLOBAL_STATS.cache_hits += 1
+        return value
+
+    def put(self, key: str, value: object) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "wb") as fh:
+            pickle.dump(value, fh)
+        os.replace(tmp, path)
+
+
+def cached_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    key_fn: Callable[[T], str],
+    jobs: Optional[int] = None,
+    cache: Optional[DiskCache] = None,
+) -> List[R]:
+    """:func:`parallel_map` with an optional content-addressed cache.
+
+    When ``cache`` is None the cache is consulted only if the opt-in
+    switch (:func:`cache_enabled`) is on.  Cached items are returned
+    directly; only the misses fan out to workers.  The result list is in
+    input order either way, so cached and uncached runs are identical.
+    """
+    items = list(items)
+    if cache is None:
+        cache = DiskCache() if cache_enabled() else None
+    if cache is None:
+        return parallel_map(fn, items, jobs=jobs)
+
+    keys = [key_fn(item) for item in items]
+    results: List[object] = [cache.get(key) for key in keys]
+    missing_idx = [
+        i for i, value in enumerate(results) if value is MISSING
+    ]
+    fresh = parallel_map(fn, [items[i] for i in missing_idx], jobs=jobs)
+    for i, value in zip(missing_idx, fresh):
+        cache.put(keys[i], value)
+        results[i] = value
+    return results  # type: ignore[return-value]
+
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "CACHE_DIR_ENV",
+    "CACHE_ENV",
+    "JOBS_ENV",
+    "MISSING",
+    "DiskCache",
+    "RunnerStats",
+    "cache_enabled",
+    "cached_map",
+    "content_key",
+    "default_cache_dir",
+    "parallel_map",
+    "reset_runner_stats",
+    "resolve_jobs",
+    "runner_stats",
+    "set_cache_enabled",
+    "set_default_jobs",
+]

@@ -10,6 +10,7 @@ only ~3% of traces would dip into CXL at all.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -18,10 +19,16 @@ import numpy as np
 from ..allocation.cluster import ClusterSpec, adopt_nothing, simulate
 from ..allocation.packing import cdf, fraction_below
 from ..allocation.traces import TraceParams, VmTrace, production_trace_suite
+from ..core.runner import DiskCache, cached_map, content_key
 from ..core.tables import render_csv
+from ..gsf.adoption import AdoptionModel
 from ..gsf.framework import Gsf
 from ..gsf.sizing import right_size
 from ..hardware.sku import ServerSKU, baseline_gen3, greensku_cxl
+
+#: Bumped when the per-trace computation changes, invalidating disk-cache
+#: entries from older code.
+_CACHE_VERSION = "fig10-v1"
 
 
 @dataclass(frozen=True)
@@ -41,13 +48,42 @@ class Fig10Result:
 
     @property
     def share_below_60pct(self) -> float:
-        """Fraction of traces with GreenSKU utilization below 0.6."""
+        """Fraction of traces with GreenSKU utilization at or below 0.6."""
         return fraction_below(self.green_utilization, 0.6)
 
     @property
     def share_needing_cxl(self) -> float:
-        """Fraction of traces whose utilization crosses into the CXL region."""
+        """Fraction of traces whose utilization is strictly above the CXL
+        boundary.  A trace sitting exactly on the boundary (utilization
+        == 0.75) still fits in local DDR5, so it does not need CXL —
+        :func:`fraction_below` is inclusive at the threshold.
+        """
         return 1.0 - fraction_below(self.green_utilization, self.cxl_boundary)
+
+
+class PermissiveAdoption:
+    """Fig. 10's hosting policy: adopters scale, everyone else is hosted
+    unscaled (the figure studies the SKU's memory headroom, not
+    adoption).  A module-level class so worker processes can unpickle it.
+    """
+
+    def __init__(self, model: AdoptionModel):
+        self.model = model
+
+    def __call__(self, app_name: str, generation: int) -> float:
+        decision = self.model.decide(app_name, generation)
+        if decision.adopt:
+            return decision.scaling_factor
+        return 1.0  # hosted unscaled for the memory study
+
+    def decision_key(self) -> tuple:
+        """Stable content summary of the policy, for cache keys."""
+        return tuple(
+            sorted(
+                (d.app_name, d.generation, d.adopt, d.scaling_factor)
+                for d in self.model.decisions()
+            )
+        )
 
 
 def run_trace(
@@ -72,7 +108,9 @@ def run_trace(
     base_out = simulate(
         shared, ClusterSpec.of((baseline, n_base)), adoption=adopt_nothing
     )
-    n_green = right_size(shared, greensku, adoption)
+    # The green search warm-starts from the baseline count: the GreenSKU
+    # has at least as many cores, so its right-size lands at or below it.
+    n_green = right_size(shared, greensku, adoption, hint=n_base)
     green_out = simulate(
         shared, ClusterSpec.of((greensku, n_green)), adoption=adoption
     )
@@ -83,17 +121,34 @@ def run_trace(
     )
 
 
+def _trace_key(
+    trace: VmTrace,
+    baseline: ServerSKU,
+    greensku: ServerSKU,
+    adoption: PermissiveAdoption,
+) -> str:
+    """Disk-cache key: content hash of the trace, SKUs, and policy."""
+    return content_key(
+        _CACHE_VERSION, trace.name, trace.params, trace.vms,
+        baseline, greensku, adoption.decision_key(),
+    )
+
+
 def run(
     traces: Optional[Sequence[VmTrace]] = None,
     trace_count: int = 35,
     mean_concurrent_vms: int = 250,
     gsf: Optional[Gsf] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[DiskCache] = None,
 ) -> Fig10Result:
     """Run the memory-utilization study over the trace suite.
 
     GreenSKU-CXL clusters host every VM here (the paper's point is about
     the SKU's memory headroom, not adoption), scaling adopters as usual;
-    non-adopters keep their size.
+    non-adopters keep their size.  Traces fan out over ``jobs`` worker
+    processes with results in trace order (byte-identical to serial);
+    ``cache`` skips traces whose content hash already has a result.
     """
     if traces is None:
         traces = production_trace_suite(
@@ -102,20 +157,28 @@ def run(
         )
     gsf = gsf or Gsf()
     baseline, greensku = baseline_gen3(), greensku_cxl()
-    model = gsf.adoption_model(greensku)
+    permissive = PermissiveAdoption(gsf.adoption_model(greensku))
 
-    def permissive(app_name: str, generation: int):
-        decision = model.decide(app_name, generation)
-        if decision.adopt:
-            return decision.scaling_factor
-        return 1.0  # hosted unscaled for the memory study
-
-    base_utils, green_utils, cxl_utils = [], [], []
-    for trace in traces:
-        b, g, c = run_trace(trace, baseline, greensku, permissive)
-        base_utils.append(b)
-        green_utils.append(g)
-        cxl_utils.append(c)
+    triples = cached_map(
+        functools.partial(
+            run_trace,
+            baseline=baseline,
+            greensku=greensku,
+            adoption=permissive,
+        ),
+        traces,
+        key_fn=functools.partial(
+            _trace_key,
+            baseline=baseline,
+            greensku=greensku,
+            adoption=permissive,
+        ),
+        jobs=jobs,
+        cache=cache,
+    )
+    base_utils = [b for b, _g, _c in triples]
+    green_utils = [g for _b, g, _c in triples]
+    cxl_utils = [c for _b, _g, c in triples]
     return Fig10Result(
         baseline_utilization=base_utils,
         green_utilization=green_utils,

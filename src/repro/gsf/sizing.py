@@ -22,7 +22,7 @@ Out-of-service maintenance overhead inflates each side's server count
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Callable, Dict, Hashable, Optional, Tuple
 
 from ..allocation.cluster import (
     AdoptionPolicy,
@@ -37,6 +37,76 @@ from ..hardware.sku import ServerSKU
 #: Hard cap on sizing searches; a trace needing more servers than this is
 #: misconfigured for the simulator's scale.
 MAX_SERVERS = 20_000
+
+
+@dataclass
+class SizingStats:
+    """Feasibility-probe counters for the sizing searches.
+
+    ``simulate_calls`` counts configurations actually replayed through
+    the allocation simulator; ``memo_hits`` counts probes answered from
+    the per-search memo — each hit is a duplicate ``simulate()`` the memo
+    eliminated.  A module-wide aggregate (:func:`sizing_stats`) feeds the
+    bench harness's hit/miss report.
+    """
+
+    simulate_calls: int = 0
+    memo_hits: int = 0
+
+    @property
+    def probes(self) -> int:
+        return self.simulate_calls + self.memo_hits
+
+    def merge(self, other: "SizingStats") -> None:
+        self.simulate_calls += other.simulate_calls
+        self.memo_hits += other.memo_hits
+
+    def summary(self) -> str:
+        return (
+            f"sizing: {self.probes} feasibility probes, "
+            f"{self.simulate_calls} simulated, {self.memo_hits} memo hits"
+        )
+
+
+_GLOBAL_SIZING_STATS = SizingStats()
+
+
+def sizing_stats() -> SizingStats:
+    """Process-wide probe counters (reset with :func:`reset_sizing_stats`)."""
+    return _GLOBAL_SIZING_STATS
+
+
+def reset_sizing_stats() -> SizingStats:
+    global _GLOBAL_SIZING_STATS
+    _GLOBAL_SIZING_STATS = SizingStats()
+    return _GLOBAL_SIZING_STATS
+
+
+class _FeasibilityMemo:
+    """Memoizes one search's feasibility probes.
+
+    Scoped to a single sizing search, where the trace and adoption policy
+    are fixed, so a configuration key (server count, or a count tuple for
+    mixed clusters) fully determines the simulator's verdict.  Guarantees
+    no configuration is ever simulated twice within the search.
+    """
+
+    def __init__(self, probe: Callable[..., bool]):
+        self._probe = probe
+        self._seen: Dict[Hashable, bool] = {}
+        self.stats = SizingStats()
+
+    def __call__(self, *key: Hashable) -> bool:
+        cached = self._seen.get(key)
+        if cached is not None:
+            self.stats.memo_hits += 1
+            _GLOBAL_SIZING_STATS.memo_hits += 1
+            return cached
+        result = self._probe(*key)
+        self.stats.simulate_calls += 1
+        _GLOBAL_SIZING_STATS.simulate_calls += 1
+        self._seen[key] = result
+        return result
 
 
 @dataclass(frozen=True)
@@ -87,43 +157,87 @@ def right_size(
     sku: ServerSKU,
     adoption: AdoptionPolicy = adopt_nothing,
     lower: int = 1,
+    hint: Optional[int] = None,
+    stats: Optional[SizingStats] = None,
 ) -> int:
     """Minimum count of ``sku`` servers hosting ``trace`` with no rejection.
 
     Binary search on the server count (rejections are monotone in cluster
     size under best-fit for all practical traces), then a downward linear
     verification pass to guard against non-monotonicity at the boundary.
+    Every probe within the search is memoized, so no configuration is
+    simulated twice (in particular the verification pass reuses the
+    bisection's final infeasible probe), and the result never falls below
+    the caller-supplied ``lower`` bound.
+
+    Args:
+        lower: Minimum admissible count; the search neither probes nor
+            returns counts below it (an empty trace still needs 0).
+        hint: Warm-start for the bracket (e.g. a related search's
+            result); the exponential bracket starts there instead of at
+            ``lower``.  A wrong hint costs extra probes but never changes
+            the result.
+        stats: When given, this search's probe counters are accumulated
+            into it (on top of the module-wide aggregate).
     """
     if lower < 0:
         raise ConfigError("lower bound must be >= 0")
 
-    def feasible(n: int) -> bool:
+    def probe(n: int) -> bool:
         if n == 0:
             return len(trace.vms) == 0
         return _feasible(trace, ClusterSpec.of((sku, n)), adoption)
 
     if not trace.vms:
         return 0
-    # Exponential bracket.
-    hi = max(lower, 1)
-    while not feasible(hi):
-        hi *= 2
-        if hi > MAX_SERVERS:
-            raise SizingError(
-                f"trace {trace.name} does not fit {MAX_SERVERS} "
-                f"{sku.name} servers"
-            )
-    lo = hi // 2 if hi > 1 else 0
+
+    feasible = _FeasibilityMemo(probe)
+    floor = max(lower, 1)
+    # Exponential bracket, optionally warm-started from a hint.  The
+    # invariant entering the bisection: ``lo`` infeasible (or the floor's
+    # sentinel below it), ``hi`` feasible.
+    start = max(floor, min(hint, MAX_SERVERS) if hint else floor)
+    if feasible(start):
+        hi = start
+        lo = floor - 1  # sentinel: never probed, counts below floor
+        # are out of bounds by contract.
+        step = max(1, hi // 2)
+        probe_down = hi - step
+        while probe_down > lo:
+            if feasible(probe_down):
+                hi = probe_down
+                step = max(1, hi // 2)
+                probe_down = hi - step
+            else:
+                lo = probe_down
+                break
+    else:
+        lo = start
+        hi = start * 2
+        while True:
+            if hi > MAX_SERVERS:
+                raise SizingError(
+                    f"trace {trace.name} does not fit {MAX_SERVERS} "
+                    f"{sku.name} servers"
+                )
+            if feasible(hi):
+                break
+            lo = hi
+            hi *= 2
     while lo + 1 < hi:
         mid = (lo + hi) // 2
         if feasible(mid):
             hi = mid
         else:
             lo = mid
-    # Downward verification: ensure hi-1 truly infeasible.
-    while hi > 1 and feasible(hi - 1):
+    # Downward verification: ensure hi-1 truly infeasible.  When the
+    # bisection just probed hi-1 (the common case), the memo answers and
+    # nothing is re-simulated.
+    while hi > floor and feasible(hi - 1):
         hi -= 1
-    return hi
+    if stats is not None:
+        stats.merge(feasible.stats)
+    return max(hi, lower)
 
 
 def _split_trace(
@@ -154,6 +268,7 @@ def size_mixed_cluster(
     oos_overhead_baseline: float = 0.0,
     oos_overhead_green: float = 0.0,
     verify: bool = True,
+    stats: Optional[SizingStats] = None,
 ) -> ClusterSizing:
     """Size both the all-baseline reference and the mixed cluster.
 
@@ -164,6 +279,10 @@ def size_mixed_cluster(
     which keeps the statistical multiplexing that fungible fallback
     placement (adopters overflowing onto idle baseline capacity) buys.
 
+    The reference search warm-starts the partition searches, and every
+    mixed-cluster configuration probed by the verification and trim loops
+    is memoized, so no (baseline, green) count pair is simulated twice.
+
     Args:
         trace: The VM workload.
         baseline: Baseline SKU (reference and non-adopter host).
@@ -173,16 +292,28 @@ def size_mixed_cluster(
             fractions (maintenance component output).
         verify: Run the end-to-end verification + trim passes (disable
             only for unit tests of the partition sizing itself).
+        stats: When given, accumulates this sizing's probe counters.
     """
-    n_reference = right_size(trace, baseline, adopt_nothing)
+    n_reference = right_size(trace, baseline, adopt_nothing, stats=stats)
     green_trace, base_trace = _split_trace(trace, adoption)
-    n_base = right_size(base_trace, baseline) if base_trace.vms else 0
+    # Warm-start each partition from the reference bracket: a partition
+    # never needs more servers of the same-or-bigger SKU than the whole
+    # trace needed baselines, and is usually close below it.
+    n_base = (
+        right_size(base_trace, baseline, hint=n_reference, stats=stats)
+        if base_trace.vms
+        else 0
+    )
     n_green = (
-        right_size(green_trace, greensku, adoption) if green_trace.vms else 0
+        right_size(
+            green_trace, greensku, adoption, hint=n_reference, stats=stats
+        )
+        if green_trace.vms
+        else 0
     )
     if verify and (n_base or n_green):
 
-        def feasible(nb: int, ng: int) -> bool:
+        def probe(nb: int, ng: int) -> bool:
             if nb + ng == 0:
                 return not trace.vms
             return _feasible(
@@ -191,6 +322,7 @@ def size_mixed_cluster(
                 adoption,
             )
 
+        feasible = _FeasibilityMemo(probe)
         while not feasible(n_base, n_green):
             n_green += 1
             if n_base + n_green > MAX_SERVERS:
@@ -208,6 +340,8 @@ def size_mixed_cluster(
             while n_green > 0 and feasible(n_base, n_green - 1):
                 n_green -= 1
                 trimmed = True
+        if stats is not None:
+            stats.merge(feasible.stats)
     return ClusterSizing(
         baseline_only_servers=n_reference,
         mixed_baseline_servers=n_base,
@@ -252,12 +386,15 @@ def size_generation_aware(
     greensku: ServerSKU,
     adoption: AdoptionPolicy,
     verify: bool = True,
+    stats: Optional[SizingStats] = None,
 ) -> GenerationAwareSizing:
     """Size reference and mixed clusters with per-generation pools.
 
     The reference hosts each generation's VMs on that generation's SKU;
     the mixed cluster adds GreenSKUs for adopters and trims greedily on
-    the full trace with generation routing active.
+    the full trace with generation routing active.  The non-adopter
+    searches warm-start from the reference counts, and the verify/trim
+    loops memoize every probed configuration.
     """
     generations = sorted(baselines)
     # Reference: per-generation right-size on that generation's sub-trace.
@@ -269,7 +406,7 @@ def size_generation_aware(
             vms=tuple(vm for vm in trace.vms if vm.generation == gen),
         )
         reference[gen] = (
-            right_size(sub, baselines[gen]) if sub.vms else 0
+            right_size(sub, baselines[gen], stats=stats) if sub.vms else 0
         )
 
     # Mixed: non-adopters per generation + greens for adopters.
@@ -283,23 +420,33 @@ def size_generation_aware(
                 vm for vm in base_trace.vms if vm.generation == gen
             ),
         )
-        mixed[gen] = right_size(sub, baselines[gen]) if sub.vms else 0
+        mixed[gen] = (
+            right_size(
+                sub, baselines[gen], hint=reference[gen] or None, stats=stats
+            )
+            if sub.vms
+            else 0
+        )
     n_green = (
-        right_size(green_trace, greensku, adoption) if green_trace.vms else 0
+        right_size(green_trace, greensku, adoption, stats=stats)
+        if green_trace.vms
+        else 0
     )
 
     if verify:
 
-        def spec(mixed_counts: "dict[int, int]", ng: int) -> ClusterSpec:
-            pairs = [
-                (baselines[gen], count)
-                for gen, count in mixed_counts.items()
-            ]
+        def spec(counts: Tuple[Tuple[int, int], ...], ng: int) -> ClusterSpec:
+            pairs = [(baselines[gen], count) for gen, count in counts]
             pairs.append((greensku, ng))
             return ClusterSpec.of(*pairs)
 
+        def probe(counts: Tuple[Tuple[int, int], ...], ng: int) -> bool:
+            return _feasible(trace, spec(counts, ng), adoption)
+
+        memo = _FeasibilityMemo(probe)
+
         def feasible(mixed_counts: "dict[int, int]", ng: int) -> bool:
-            return _feasible(trace, spec(mixed_counts, ng), adoption)
+            return memo(tuple(sorted(mixed_counts.items())), ng)
 
         while not feasible(mixed, n_green):
             n_green += 1
@@ -323,6 +470,8 @@ def size_generation_aware(
             while n_green > 0 and feasible(mixed, n_green - 1):
                 n_green -= 1
                 trimmed = True
+        if stats is not None:
+            stats.merge(memo.stats)
     return GenerationAwareSizing(
         reference_by_gen=reference,
         mixed_baselines_by_gen=mixed,

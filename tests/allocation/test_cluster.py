@@ -52,6 +52,10 @@ class TestClusterSpec:
         with pytest.raises(ConfigError):
             ClusterSpec.of((baseline_gen3(), -1))
 
+    def test_negative_count_rejected_in_any_position(self):
+        with pytest.raises(ConfigError):
+            ClusterSpec.of((baseline_gen3(), 3), (greensku_full(), -2))
+
 
 class TestSimulateBasics:
     def test_all_placed_when_capacity_suffices(self):

@@ -32,6 +32,16 @@ class TestFractionBelow:
     def test_all_below(self):
         assert fraction_below([0.1, 0.2], 0.6) == 1.0
 
+    def test_boundary_value_is_inclusive(self):
+        # A server sitting exactly at the threshold counts as within it:
+        # utilization == 0.75 does NOT need CXL expansion.
+        assert fraction_below([0.5, 0.75, 0.9], 0.75) == pytest.approx(
+            2 / 3
+        )
+
+    def test_all_at_threshold(self):
+        assert fraction_below([0.75, 0.75], 0.75) == 1.0
+
     def test_empty_rejected(self):
         with pytest.raises(ConfigError):
             fraction_below([], 0.5)

@@ -84,6 +84,17 @@ class TestServerState:
         assert server.dedicated
         assert not server.fits(1, 1.0)
 
+    def test_remove_full_node_clears_dedicated(self):
+        # Once the full-node VM departs, the server must rejoin the
+        # general pool: dedicated cleared, capacity fully released.
+        server = Server(0, baseline_gen3())
+        vm = make_vm(full_node=True)
+        server.place(vm, 80, 768.0)
+        server.remove(vm.vm_id)
+        assert not server.dedicated
+        assert server.is_empty
+        assert server.fits(1, 1.0)
+
 
 class TestBestFit:
     def test_prefers_non_empty(self):

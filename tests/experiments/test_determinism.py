@@ -1,0 +1,68 @@
+"""Determinism of the parallel runner and result cache.
+
+The contract the experiments rely on: fanning a trace suite out over
+worker processes, or replaying it through the on-disk result cache, must
+produce byte-identical ``Fig9Result``/``Fig10Result`` values to the
+serial, uncached path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocation.traces import TraceParams, production_trace_suite
+from repro.core.runner import DiskCache
+from repro.experiments import fig9_packing, fig10_memutil
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    """A small trace suite keeping the end-to-end runs fast."""
+    return production_trace_suite(
+        count=2,
+        params=TraceParams(duration_days=4.0, mean_concurrent_vms=80),
+    )
+
+
+class TestFig9Determinism:
+    def test_parallel_matches_serial(self, tiny_suite):
+        serial = fig9_packing.run(traces=tiny_suite, jobs=1)
+        parallel = fig9_packing.run(traces=tiny_suite, jobs=2)
+        assert parallel == serial
+
+    def test_cached_matches_uncached(self, tiny_suite, tmp_path):
+        uncached = fig9_packing.run(traces=tiny_suite, jobs=1)
+        cache = DiskCache(tmp_path)
+        cold = fig9_packing.run(traces=tiny_suite, jobs=1, cache=cache)
+        warm = fig9_packing.run(traces=tiny_suite, jobs=1, cache=cache)
+        assert cold == uncached
+        assert warm == uncached
+        assert cache.misses == len(tiny_suite)
+        assert cache.hits == len(tiny_suite)
+
+
+class TestFig10Determinism:
+    def test_parallel_matches_serial(self, tiny_suite):
+        serial = fig10_memutil.run(traces=tiny_suite, jobs=1)
+        parallel = fig10_memutil.run(traces=tiny_suite, jobs=2)
+        assert parallel == serial
+
+    def test_cached_matches_uncached(self, tiny_suite, tmp_path):
+        uncached = fig10_memutil.run(traces=tiny_suite, jobs=1)
+        cache = DiskCache(tmp_path)
+        cold = fig10_memutil.run(traces=tiny_suite, jobs=1, cache=cache)
+        warm = fig10_memutil.run(traces=tiny_suite, jobs=1, cache=cache)
+        assert cold == uncached
+        assert warm == uncached
+        assert cache.hits == len(tiny_suite)
+
+    def test_cache_key_distinguishes_traces(self, tiny_suite, tmp_path):
+        """Different traces must never collide on a cache entry."""
+        cache = DiskCache(tmp_path)
+        full = fig10_memutil.run(traces=tiny_suite, jobs=1, cache=cache)
+        flipped = fig10_memutil.run(
+            traces=list(reversed(tiny_suite)), jobs=1, cache=cache
+        )
+        assert flipped.green_utilization == list(
+            reversed(full.green_utilization)
+        )

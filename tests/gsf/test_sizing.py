@@ -1,11 +1,19 @@
 """Cluster-sizing search tests."""
 
+import collections
+
 import pytest
 
 from repro.allocation.cluster import ClusterSpec, adopt_nothing, simulate
 from repro.allocation.traces import TraceParams, VmTrace
 from repro.allocation.vm import VmRequest
-from repro.gsf.sizing import ClusterSizing, right_size, size_mixed_cluster
+from repro.gsf import sizing as sizing_module
+from repro.gsf.sizing import (
+    ClusterSizing,
+    SizingStats,
+    right_size,
+    size_mixed_cluster,
+)
 from repro.hardware.sku import baseline_gen3, greensku_full
 
 
@@ -69,6 +77,82 @@ class TestRightSize:
             shared, greensku_full(), adoption=lambda app, gen: 1.0
         )
         assert n_green <= n_base
+
+
+class TestSearchEfficiency:
+    """The memoized searches never simulate a configuration twice."""
+
+    @pytest.fixture()
+    def simulate_counter(self, monkeypatch):
+        """Counts simulator invocations per (trace, cluster) config."""
+        calls = collections.Counter()
+        real = sizing_module.simulate
+
+        def counting(trace, cluster, **kwargs):
+            key = (
+                trace.name,
+                tuple((sku.name, count) for sku, count in cluster.skus),
+            )
+            calls[key] += 1
+            return real(trace, cluster, **kwargs)
+
+        monkeypatch.setattr(sizing_module, "simulate", counting)
+        return calls
+
+    def test_right_size_never_resimulates(
+        self, small_trace, simulate_counter
+    ):
+        # In particular the downward-verification pass must reuse the
+        # bisection's final infeasible probe instead of re-running it.
+        right_size(small_trace, baseline_gen3())
+        assert simulate_counter and max(simulate_counter.values()) == 1
+
+    def test_mixed_sizing_never_resimulates(
+        self, small_trace, gsf, full_sku, simulate_counter
+    ):
+        policy = gsf.adoption_model(full_sku).policy()
+        stats = SizingStats()
+        size_mixed_cluster(
+            small_trace, baseline_gen3(), full_sku, policy, stats=stats
+        )
+        assert max(simulate_counter.values()) == 1
+        # The memo must actually have absorbed repeat probes (the trim
+        # loops re-check configurations), and every simulated config is
+        # accounted for by the counters.
+        assert stats.memo_hits > 0
+        assert stats.simulate_calls >= sum(simulate_counter.values())
+
+    def test_right_size_clamps_to_lower(self, small_trace):
+        unconstrained = right_size(small_trace, baseline_gen3())
+        constrained = right_size(
+            small_trace, baseline_gen3(), lower=unconstrained + 3
+        )
+        assert constrained == unconstrained + 3
+
+    def test_hint_does_not_change_result(self, small_trace):
+        reference = right_size(small_trace, baseline_gen3())
+        for hint in (1, reference, reference + 10, 4 * reference):
+            assert (
+                right_size(small_trace, baseline_gen3(), hint=hint)
+                == reference
+            )
+
+    def test_empty_trace_ignores_lower(self):
+        assert right_size(trace_of([]), baseline_gen3(), lower=5) == 0
+
+    def test_stats_accumulate_across_searches(self, small_trace):
+        stats = SizingStats()
+        right_size(small_trace, baseline_gen3(), stats=stats)
+        first = stats.simulate_calls
+        assert first > 0
+        right_size(
+            small_trace,
+            greensku_full(),
+            adoption=lambda app, gen: 1.0,
+            stats=stats,
+        )
+        assert stats.simulate_calls > first
+        assert stats.probes == stats.simulate_calls + stats.memo_hits
 
 
 class TestMixedSizing:

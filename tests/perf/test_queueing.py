@@ -118,3 +118,52 @@ class TestSimulation:
         few = simulate_fcfs(lam, cores, service, seed=1, requests=8000)
         more = simulate_fcfs(lam, cores + 4, service, seed=1, requests=8000)
         assert more.p95_ms <= few.p95_ms * 1.25  # noise tolerance
+
+
+def _reference_percentiles(
+    offered_qps, cores, mean_service_ms, cv, requests, warmup, seed
+):
+    """The pre-optimization dispatch loop: heapq over numpy scalars."""
+    import heapq
+
+    from repro.core.rng import RngFactory
+
+    total = requests + warmup
+    rngs = RngFactory(seed)
+    inter_ms = rngs.stream("arrivals").exponential(
+        1000.0 / offered_qps, size=total
+    )
+    arrivals = np.cumsum(inter_ms)
+    services = sample_service_times(
+        rngs.stream("services"), total, mean_service_ms, cv
+    )
+    free_at = [0.0] * cores
+    heapq.heapify(free_at)
+    responses = np.empty(total)
+    for i in range(total):
+        core_free = heapq.heappop(free_at)
+        start = max(core_free, arrivals[i])
+        done = start + services[i]
+        heapq.heappush(free_at, done)
+        responses[i] = done - arrivals[i]
+    measured = responses[warmup:]
+    p50, p95, p99 = np.percentile(measured, [50, 95, 99])
+    return float(p50), float(p95), float(p99), float(measured.mean())
+
+
+class TestDispatchEquivalence:
+    """Both optimized dispatch paths are bit-identical to the naive loop."""
+
+    @pytest.mark.parametrize("cores", [1, 4])
+    def test_matches_reference_loop(self, cores):
+        qps = 0.7 * saturation_qps(cores, 1.0)
+        result = simulate_fcfs(
+            qps, cores, 1.0, requests=4000, warmup=500, seed=3
+        )
+        ref = _reference_percentiles(qps, cores, 1.0, 1.0, 4000, 500, 3)
+        assert (
+            result.p50_ms,
+            result.p95_ms,
+            result.p99_ms,
+            result.mean_ms,
+        ) == ref
