@@ -7,8 +7,11 @@ from .cluster import (
     SnapshotStats,
     adopt_everything,
     adopt_nothing,
+    outcome_digest,
+    resolve_engine,
     simulate,
 )
+from .index import PlacementEngine
 from .io import load_trace, save_trace, trace_from_csv, trace_to_csv
 from .lifetimes import (
     LifetimePredictor,
@@ -28,7 +31,10 @@ __all__ = [
     "SnapshotStats",
     "adopt_everything",
     "adopt_nothing",
+    "outcome_digest",
+    "resolve_engine",
     "simulate",
+    "PlacementEngine",
     "LifetimePredictor",
     "SegregationOutcome",
     "segregation_study",

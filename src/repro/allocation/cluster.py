@@ -15,25 +15,60 @@ VMs whose application adopted the GreenSKU are scaled by the application's
 scaling factor and prefer GreenSKU capacity but may *fungibly* fall back
 to baseline SKUs (the paper's growth-buffer workaround); non-adopters and
 full-node VMs run only on baseline SKUs.
+
+Two interchangeable placement backends replay the same event loop
+(:func:`_replay`):
+
+- the **indexed** engine (:class:`~repro.allocation.index.PlacementEngine`,
+  the default) answers each placement query from an incrementally
+  maintained server index and each snapshot from O(1) aggregate sums;
+- the **reference** backend scans every server per query and walks every
+  server per snapshot — the original implementation, kept as the
+  equivalence oracle and selectable via ``simulate(..., engine=
+  "reference")`` or ``REPRO_ALLOC_ENGINE=reference``.
+
+Both produce bit-identical :class:`SimOutcome` values (same server for
+every VM, same exact snapshot sums); ``tests/allocation/test_index.py``
+holds them to it.
 """
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import math
+import os
 from dataclasses import dataclass, field
+from fractions import Fraction
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.errors import CapacityError, ConfigError
 from ..hardware.sku import ServerSKU
 from ..perf.apps import APP_BY_NAME
 from ..perf.pond import plan_tiering
+from .index import METRICS, SCALE_SHIFT, KindAggregate, PlacementEngine, scaled_int
 from .scheduler import BestFitScheduler, Server
 from .traces import VmTrace
 
 #: An adoption policy maps (app_name, generation) to a scaling factor, or
 #: None when the application must stay on baseline SKUs.
 AdoptionPolicy = Callable[[str, int], Optional[float]]
+
+#: Selectable placement backends and the env override honored when the
+#: ``simulate(engine=...)`` argument is absent.
+ENGINES = ("indexed", "reference")
+ENGINE_ENV = "REPRO_ALLOC_ENGINE"
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Resolve the placement backend: argument > env > indexed default."""
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV) or "indexed"
+    if engine not in ENGINES:
+        raise ConfigError(
+            f"unknown allocation engine {engine!r}; known: {ENGINES}"
+        )
+    return engine
 
 
 def adopt_nothing(app_name: str, generation: int) -> Optional[float]:
@@ -90,40 +125,131 @@ class ClusterSpec:
         return servers
 
 
+def _new_cum() -> Dict[str, Dict[float, int]]:
+    return {metric: {} for metric in METRICS}
+
+
 @dataclass
 class SnapshotStats:
-    """Accumulated per-snapshot, per-server statistics."""
+    """Accumulated per-snapshot, per-server statistics.
 
-    core_density_sum: float = 0.0
-    memory_density_sum: float = 0.0
-    touched_memory_sum: float = 0.0
-    cxl_utilization_sum: float = 0.0
+    Sums are kept *exactly*: each observed ratio contributes its float
+    numerator converted losslessly to a 2**-1080 fixed-point integer,
+    bucketed by the (per-SKU) capacity denominator.  Integer addition is
+    associative, so per-server accumulation (the reference snapshot walk)
+    and pre-aggregated merges (the indexed engine's O(1) snapshots)
+    produce bit-identical state regardless of grouping — the property the
+    indexed/reference equivalence suite relies on.  Means divide exactly
+    (via ``Fraction``) and round to float once at the end.
+    """
+
     samples: int = 0
+    _cum: Dict[str, Dict[float, int]] = field(
+        default_factory=_new_cum, repr=False
+    )
+
+    def _add(self, metric: str, denominator: float, value: int) -> None:
+        if not value:
+            return
+        bucket = self._cum[metric]
+        cum = bucket.get(denominator, 0) + value
+        if cum:
+            bucket[denominator] = cum
+        else:
+            del bucket[denominator]
 
     def observe(self, server: Server) -> None:
-        self.core_density_sum += server.core_density
-        self.memory_density_sum += server.memory_density
-        self.touched_memory_sum += server.touched_memory_fraction
-        self.cxl_utilization_sum += server.cxl_utilization
+        """Accumulate one non-empty server's densities for one snapshot."""
+        self._add("core", server.total_cores, scaled_int(server.allocated_cores))
+        self._add(
+            "mem", server.total_memory_gb, scaled_int(server.allocated_memory_gb)
+        )
+        self._add(
+            "touched",
+            server.total_memory_gb,
+            scaled_int(server._touched_memory_gb),
+        )
+        if server.total_cxl_gb:
+            self._add(
+                "cxl", server.total_cxl_gb, scaled_int(server._cxl_used_gb)
+            )
         self.samples += 1
+
+    def merge_aggregate(self, aggregate: KindAggregate) -> None:
+        """Fold an engine's current per-kind sums in as one snapshot."""
+        for metric, sums in aggregate.sums.items():
+            bucket = self._cum[metric]
+            for denominator, value in sums.items():
+                cum = bucket.get(denominator, 0) + value
+                if cum:
+                    bucket[denominator] = cum
+                else:
+                    del bucket[denominator]
+        self.samples += aggregate.count
+
+    def _sum(self, metric: str) -> float:
+        total = Fraction(0)
+        for denominator, cum in self._cum[metric].items():
+            total += Fraction(cum) / Fraction(denominator)
+        return float(total / (1 << SCALE_SHIFT))
+
+    def _mean(self, metric: str) -> float:
+        if not self.samples:
+            return 0.0
+        total = Fraction(0)
+        for denominator, cum in self._cum[metric].items():
+            total += Fraction(cum) / Fraction(denominator)
+        return float(total / (self.samples << SCALE_SHIFT))
+
+    @property
+    def core_density_sum(self) -> float:
+        return self._sum("core")
+
+    @property
+    def memory_density_sum(self) -> float:
+        return self._sum("mem")
+
+    @property
+    def touched_memory_sum(self) -> float:
+        return self._sum("touched")
+
+    @property
+    def cxl_utilization_sum(self) -> float:
+        return self._sum("cxl")
 
     @property
     def mean_core_density(self) -> float:
-        return self.core_density_sum / self.samples if self.samples else 0.0
+        return self._mean("core")
 
     @property
     def mean_memory_density(self) -> float:
-        return self.memory_density_sum / self.samples if self.samples else 0.0
+        return self._mean("mem")
 
     @property
     def mean_touched_memory(self) -> float:
-        return self.touched_memory_sum / self.samples if self.samples else 0.0
+        return self._mean("touched")
 
     @property
     def mean_cxl_utilization(self) -> float:
         """Mean CXL-pool usage (Pond tiering) on the observed servers."""
+        return self._mean("cxl")
+
+    def canonical(self) -> Tuple:
+        """Order-independent digest-friendly view of the exact state."""
         return (
-            self.cxl_utilization_sum / self.samples if self.samples else 0.0
+            self.samples,
+            tuple(
+                (
+                    metric,
+                    tuple(
+                        sorted(
+                            (repr(denominator), value)
+                            for denominator, value in bucket.items()
+                        )
+                    ),
+                )
+                for metric, bucket in sorted(self._cum.items())
+            ),
         )
 
 
@@ -156,48 +282,113 @@ class SimOutcome:
         return not self.rejected_vms
 
 
-def simulate(
+def outcome_digest(outcome: SimOutcome) -> str:
+    """A stable sha256 digest of everything behavioral in an outcome.
+
+    Covers placements, rejections, routing counters, and the exact
+    snapshot sums — the fields the indexed/reference equivalence
+    guarantee (and the CI golden checks) are stated over.
+    """
+    parts = (
+        outcome.placed_vms,
+        tuple(outcome.rejected_vms),
+        outcome.green_placements,
+        outcome.fallback_placements,
+        outcome.baseline_stats.canonical(),
+        outcome.green_stats.canonical(),
+    )
+    return hashlib.sha256(repr(parts).encode("utf-8")).hexdigest()
+
+
+class _ReferenceBackend:
+    """The original O(n_servers) scan/walk, kept as equivalence oracle."""
+
+    def __init__(self, servers: List[Server], scheduler: BestFitScheduler):
+        self.servers = servers
+        self.scheduler = scheduler
+        self.green_pool = [s for s in servers if s.is_green]
+        self.base_pool = [s for s in servers if not s.is_green]
+        # Generation routing: when the cluster contains generation-
+        # specific baseline SKUs, a VM's baseline placements go to its own
+        # generation's pool (old VM images run on their own hardware
+        # generation); clusters with a single baseline generation behave
+        # as before.
+        self.base_by_gen: Dict[int, List[Server]] = {}
+        for server in self.base_pool:
+            self.base_by_gen.setdefault(server.sku.generation, []).append(
+                server
+            )
+
+    def has_green(self) -> bool:
+        return bool(self.green_pool)
+
+    def _baseline_pool(self, generation: int) -> List[Server]:
+        if len(self.base_by_gen) > 1 and generation in self.base_by_gen:
+            return self.base_by_gen[generation]
+        return self.base_pool
+
+    def choose_green(self, vm, cores: int, memory_gb: float):
+        return self.scheduler.choose(vm, self.green_pool, cores, memory_gb)
+
+    def choose_baseline(self, vm, cores: int, memory_gb: float):
+        return self.scheduler.choose(
+            vm, self._baseline_pool(vm.generation), cores, memory_gb
+        )
+
+    def place(self, server, vm, cores, memory_gb, cxl_gb=0.0):
+        server.place(vm, cores, memory_gb, cxl_gb=cxl_gb)
+
+    def remove(self, server, vm_id):
+        server.remove(vm_id)
+
+    def snapshot(self, outcome: SimOutcome) -> None:
+        for server in self.servers:
+            if server.is_empty:
+                continue
+            stats = (
+                outcome.green_stats
+                if server.is_green
+                else outcome.baseline_stats
+            )
+            stats.observe(server)
+
+
+class _IndexedBackend:
+    """Adapter running the replay loop against a :class:`PlacementEngine`."""
+
+    def __init__(self, engine: PlacementEngine):
+        self.engine = engine
+
+    def has_green(self) -> bool:
+        return self.engine.green_count > 0
+
+    def choose_green(self, vm, cores: int, memory_gb: float):
+        return self.engine.choose_green(vm, cores, memory_gb)
+
+    def choose_baseline(self, vm, cores: int, memory_gb: float):
+        return self.engine.choose_baseline(vm, cores, memory_gb)
+
+    def place(self, server, vm, cores, memory_gb, cxl_gb=0.0):
+        self.engine.place(server, vm, cores, memory_gb, cxl_gb=cxl_gb)
+
+    def remove(self, server, vm_id):
+        self.engine.remove(server, vm_id)
+
+    def snapshot(self, outcome: SimOutcome) -> None:
+        self.engine.merge_stats(outcome.green_stats, outcome.baseline_stats)
+
+
+def _replay(
     trace: VmTrace,
     cluster: ClusterSpec,
-    adoption: AdoptionPolicy = adopt_nothing,
-    snapshot_hours: float = 6.0,
-    raise_on_reject: bool = False,
-    scheduler: Optional[BestFitScheduler] = None,
+    backend,
+    adoption: AdoptionPolicy,
+    snapshot_hours: float,
+    raise_on_reject: bool,
 ) -> SimOutcome:
-    """Replay ``trace`` against ``cluster`` under ``adoption``.
-
-    Args:
-        trace: VM arrivals/departures.
-        cluster: Cluster configuration to test.
-        adoption: Adoption policy; maps (app, generation) to a scaling
-            factor or None.
-        snapshot_hours: Interval between packing-density snapshots.
-        raise_on_reject: Raise :class:`CapacityError` at the first
-            rejection instead of recording it (used by sizing searches to
-            exit early).
-        scheduler: Placement heuristic (default: production best-fit);
-            pass a first-fit/worst-fit scheduler for ablations.
-    """
-    if snapshot_hours <= 0:
-        raise ConfigError("snapshot interval must be > 0")
-    servers = cluster.build_servers()
-    green_pool = [s for s in servers if s.is_green]
-    base_pool = [s for s in servers if not s.is_green]
-    # Generation routing: when the cluster contains generation-specific
-    # baseline SKUs, a VM's baseline placements go to its own generation's
-    # pool (old VM images run on their own hardware generation); clusters
-    # with a single baseline generation behave as before.
-    base_by_gen: Dict[int, List[Server]] = {}
-    for server in base_pool:
-        base_by_gen.setdefault(server.sku.generation, []).append(server)
-
-    def baseline_pool_for(generation: int) -> List[Server]:
-        if len(base_by_gen) > 1 and generation in base_by_gen:
-            return base_by_gen[generation]
-        return base_pool
-
-    scheduler = scheduler or BestFitScheduler()
+    """The event loop shared by both placement backends."""
     outcome = SimOutcome(cluster=cluster)
+    has_green = backend.has_green()
 
     # Departures as a heap of (time, vm_id, server); arrivals in order.
     departures: List[Tuple[float, int, Server]] = []
@@ -206,15 +397,7 @@ def simulate(
     def take_snapshots_until(now: float) -> None:
         nonlocal next_snapshot
         while next_snapshot <= now:
-            for server in servers:
-                if server.is_empty:
-                    continue
-                stats = (
-                    outcome.green_stats
-                    if server.is_green
-                    else outcome.baseline_stats
-                )
-                stats.observe(server)
+            backend.snapshot(outcome)
             next_snapshot += snapshot_hours
 
     for vm in trace.vms:
@@ -222,24 +405,22 @@ def simulate(
         while departures and departures[0][0] <= vm.arrival_hours:
             dep_time, vm_id, server = heapq.heappop(departures)
             take_snapshots_until(dep_time)
-            server.remove(vm_id)
+            backend.remove(server, vm_id)
         take_snapshots_until(vm.arrival_hours)
 
         factor = None if vm.full_node else adoption(vm.app_name, vm.generation)
         placed_server: Optional[Server] = None
         cores, memory_gb = vm.cores, vm.memory_gb
-        if factor is not None and green_pool:
+        if factor is not None and has_green:
             scaled = vm.scaled(factor)
-            placed_server = scheduler.choose(
-                vm, green_pool, scaled.cores, scaled.memory_gb
+            placed_server = backend.choose_green(
+                vm, scaled.cores, scaled.memory_gb
             )
             if placed_server is not None:
                 cores, memory_gb = scaled.cores, scaled.memory_gb
         if placed_server is None:
             # Non-adopters, full-node VMs, and fungible fallback.
-            placed_server = scheduler.choose(
-                vm, baseline_pool_for(vm.generation), cores, memory_gb
-            )
+            placed_server = backend.choose_baseline(vm, cores, memory_gb)
             if placed_server is not None and factor is not None:
                 outcome.fallback_placements += 1
         if placed_server is None:
@@ -269,7 +450,7 @@ def simulate(
                     server_cxl_fraction=placed_server.sku.cxl_fraction,
                 )
                 cxl_gb = min(plan.cxl_gb, placed_server.free_cxl_gb)
-        placed_server.place(vm, cores, memory_gb, cxl_gb=cxl_gb)
+        backend.place(placed_server, vm, cores, memory_gb, cxl_gb=cxl_gb)
         outcome.placed_vms += 1
         if placed_server.is_green:
             outcome.green_placements += 1
@@ -284,6 +465,98 @@ def simulate(
     while departures and departures[0][0] <= end:
         dep_time, vm_id, server = heapq.heappop(departures)
         take_snapshots_until(dep_time)
-        server.remove(vm_id)
+        backend.remove(server, vm_id)
     take_snapshots_until(end)
     return outcome
+
+
+def replay_on_engine(
+    trace: VmTrace,
+    cluster: ClusterSpec,
+    engine: PlacementEngine,
+    adoption: AdoptionPolicy = adopt_nothing,
+    snapshot_hours: float = 1e9,
+    raise_on_reject: bool = False,
+) -> SimOutcome:
+    """Replay a trace against a caller-prepared :class:`PlacementEngine`.
+
+    This is the probe-reuse entry point for sizing searches: the caller
+    owns the engine, adjusts its server set with add/remove deltas
+    between probes, and calls :meth:`PlacementEngine.reset` before each
+    replay.  ``cluster`` only describes the configuration for the
+    outcome record; the servers actually used are the engine's.
+    """
+    if snapshot_hours <= 0:
+        raise ConfigError("snapshot interval must be > 0")
+    return _replay(
+        trace,
+        cluster,
+        _IndexedBackend(engine),
+        adoption,
+        snapshot_hours,
+        raise_on_reject,
+    )
+
+
+def _wants_stats(trace: VmTrace, snapshot_hours: float) -> bool:
+    """Whether any snapshot can fire during this replay.
+
+    Snapshots trigger at event times, which are bounded by the trace
+    window end and the last arrival; sizing probes pass a sentinel
+    interval (1e9 h) beyond both, letting the indexed engine skip
+    aggregate maintenance entirely in the hot path.
+    """
+    horizon = max(
+        trace.duration_hours,
+        max((vm.arrival_hours for vm in trace.vms), default=0.0),
+    )
+    return snapshot_hours <= horizon
+
+
+def simulate(
+    trace: VmTrace,
+    cluster: ClusterSpec,
+    adoption: AdoptionPolicy = adopt_nothing,
+    snapshot_hours: float = 6.0,
+    raise_on_reject: bool = False,
+    scheduler: Optional[BestFitScheduler] = None,
+    engine: Optional[str] = None,
+) -> SimOutcome:
+    """Replay ``trace`` against ``cluster`` under ``adoption``.
+
+    Args:
+        trace: VM arrivals/departures.
+        cluster: Cluster configuration to test.
+        adoption: Adoption policy; maps (app, generation) to a scaling
+            factor or None.
+        snapshot_hours: Interval between packing-density snapshots.
+        raise_on_reject: Raise :class:`CapacityError` at the first
+            rejection instead of recording it (used by sizing searches to
+            exit early).
+        scheduler: Placement heuristic (default: production best-fit);
+            pass a first-fit/worst-fit scheduler for ablations.  Both
+            backends honor the scheduler's policy.
+        engine: ``"indexed"`` (default) or ``"reference"``; ``None``
+            falls back to the ``REPRO_ALLOC_ENGINE`` environment
+            variable, then the indexed default.  The two backends are
+            bit-identical in outcome; the reference scan exists as the
+            equivalence oracle and for benchmarking.
+    """
+    if snapshot_hours <= 0:
+        raise ConfigError("snapshot interval must be > 0")
+    engine_name = resolve_engine(engine)
+    scheduler = scheduler or BestFitScheduler()
+    servers = cluster.build_servers()
+    if engine_name == "reference":
+        backend = _ReferenceBackend(servers, scheduler)
+    else:
+        backend = _IndexedBackend(
+            PlacementEngine(
+                servers,
+                policy=scheduler.policy,
+                track_stats=_wants_stats(trace, snapshot_hours),
+            )
+        )
+    return _replay(
+        trace, cluster, backend, adoption, snapshot_hours, raise_on_reject
+    )

@@ -1,0 +1,541 @@
+"""Indexed placement engine: sublinear scheduling, O(1) snapshot sums.
+
+The reference allocation path scans every server per placement decision
+and walks every server per density snapshot — O(n_servers) in the two
+hot operations that dominate Figs. 9–11 and every sizing bisection.
+This module keeps the same decisions reachable in sublinear time:
+
+- :class:`_PoolIndex` groups the placeable servers of one pool view by
+  ``free_cores`` (one bucket per value, each bucket ordered by
+  ``(free_memory_gb, server_id)``) and keeps empty servers aside,
+  grouped by shape.  A best-fit query walks the non-empty buckets in
+  ascending free-core order via an integer bitmask and bisects each
+  bucket for the memory threshold; empty servers are consulted only when
+  no busy server fits (the production prefer-non-empty rule).
+- :class:`PlacementEngine` owns one index per pool view (GreenSKUs, all
+  baselines, per-generation baselines) plus exact, incrementally
+  maintained snapshot aggregates, and applies the same ranking rules as
+  :class:`~repro.allocation.scheduler.BestFitScheduler` for all three
+  placement policies.
+
+Equivalence with the reference scan is exact, not approximate: the
+feasibility predicate is evaluated in the same threshold form
+(``free_memory_gb >= memory_gb - MEM_EPS``, see ``scheduler.MEM_EPS``),
+rank ties resolve to the lowest server id just as the scan's
+first-strictly-smaller-key rule does over id-ordered pools, and the
+snapshot sums are kept as *exact scaled integers* (every float
+contribution is converted losslessly via ``float.as_integer_ratio``), so
+accumulation order cannot change the result.  ``tests/allocation/
+test_index.py`` enforces bit-identical outcomes against the reference
+implementation.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.errors import ConfigError, SimulationError
+from .scheduler import MEM_EPS, PLACEMENT_POLICIES, Server
+from .vm import VmRequest
+
+#: Fixed-point shift for exact snapshot sums.  A float's
+#: ``as_integer_ratio`` denominator is a power of two no larger than
+#: 2**1074 (subnormals), so shifting every contribution to a common
+#: 2**1080 denominator is lossless for all finite doubles.
+SCALE_SHIFT = 1080
+
+#: Metric keys of the snapshot aggregates, in observation order.
+METRICS = ("core", "mem", "touched", "cxl")
+
+
+def scaled_int(value) -> int:
+    """Losslessly convert a finite float (or int) to a 2**-1080 fixed point."""
+    if not value:
+        return 0
+    numerator, denominator = value.as_integer_ratio()
+    return numerator << (SCALE_SHIFT - (denominator.bit_length() - 1))
+
+
+class KindAggregate:
+    """Current-state snapshot sums for one server kind (green/baseline).
+
+    ``count`` is the number of non-empty servers; ``sums`` maps each
+    metric to ``{denominator: scaled numerator sum}`` where the
+    denominator is the per-server capacity the reference path divides by
+    (total cores / total memory / CXL capacity).  Entries that reach
+    exactly zero are deleted so the mapping stays canonical.
+    """
+
+    __slots__ = ("count", "sums")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sums: Dict[str, Dict[float, int]] = {m: {} for m in METRICS}
+
+
+class _PoolIndex:
+    """Order-maintaining index over one pool view's placeable servers.
+
+    Busy (non-empty, non-dedicated) servers live in ``buckets[free_cores]``
+    as sorted ``(free_memory_gb, server_id)`` tuples; ``mask`` has bit k
+    set iff bucket k is non-empty.  Empty servers are grouped by shape
+    ``(total_cores, total_memory_gb)`` with ascending id lists.  Suffix
+    minima of server ids per bucket are built lazily (only the first-fit
+    and worst-fit policies need them).
+    """
+
+    __slots__ = (
+        "buckets",
+        "mask",
+        "max_cores",
+        "empty_ids",
+        "shapes",
+        "shapes_by_cores",
+        "_suffmin",
+        "_suffdirty",
+    )
+
+    def __init__(self) -> None:
+        self.buckets: List[List[Tuple[float, int]]] = []
+        self.mask = 0
+        self.max_cores = 0
+        self.empty_ids: Dict[Tuple[int, float], List[int]] = {}
+        self.shapes: List[Tuple[int, float]] = []
+        self.shapes_by_cores: Dict[int, List[Tuple[int, float]]] = {}
+        self._suffmin: Dict[int, List[int]] = {}
+        self._suffdirty: set = set()
+
+    # -- maintenance ----------------------------------------------------------
+
+    def add_busy(self, free_cores: int, free_memory_gb: float, sid: int) -> None:
+        buckets = self.buckets
+        while len(buckets) <= free_cores:
+            buckets.append([])
+        insort(buckets[free_cores], (free_memory_gb, sid))
+        self.mask |= 1 << free_cores
+        if free_cores > self.max_cores:
+            self.max_cores = free_cores
+        self._suffdirty.add(free_cores)
+
+    def remove_busy(self, free_cores: int, free_memory_gb: float, sid: int) -> None:
+        bucket = self.buckets[free_cores]
+        i = bisect_left(bucket, (free_memory_gb, sid))
+        del bucket[i]
+        if not bucket:
+            self.mask &= ~(1 << free_cores)
+        self._suffdirty.add(free_cores)
+
+    def add_empty(self, shape: Tuple[int, float], sid: int) -> None:
+        ids = self.empty_ids.get(shape)
+        if ids is None:
+            self.empty_ids[shape] = ids = []
+            insort(self.shapes, shape)
+            self.shapes_by_cores.setdefault(shape[0], []).append(shape)
+            if shape[0] > self.max_cores:
+                self.max_cores = shape[0]
+        insort(ids, sid)
+
+    def remove_empty(self, shape: Tuple[int, float], sid: int) -> None:
+        ids = self.empty_ids[shape]
+        i = bisect_left(ids, sid)
+        del ids[i]
+
+    def _suffix_min(self, free_cores: int) -> List[int]:
+        """Suffix minima of server ids in bucket ``free_cores`` (lazy)."""
+        if free_cores in self._suffdirty or free_cores not in self._suffmin:
+            bucket = self.buckets[free_cores]
+            out = [0] * len(bucket)
+            best = None
+            for i in range(len(bucket) - 1, -1, -1):
+                sid = bucket[i][1]
+                best = sid if best is None or sid < best else best
+                out[i] = best
+            self._suffmin[free_cores] = out
+            self._suffdirty.discard(free_cores)
+        return self._suffmin[free_cores]
+
+    # -- queries --------------------------------------------------------------
+    #
+    # ``thresh`` is ``memory_gb - MEM_EPS``; feasibility is
+    # ``free_memory_gb >= thresh``, the same comparison ``Server.fits``
+    # makes.  ``bisect_left(bucket, (thresh,))`` lands on the first entry
+    # with ``free_memory_gb >= thresh`` because a 1-tuple sorts before
+    # every ``(equal_value, sid)`` 2-tuple.
+
+    def best_busy(self, cores: int, thresh: float) -> Optional[int]:
+        """Best-fit among busy servers: min (free_cores, free_mem, id)."""
+        m = self.mask >> cores
+        while m:
+            k = cores + ((m & -m).bit_length() - 1)
+            bucket = self.buckets[k]
+            i = bisect_left(bucket, (thresh,))
+            if i < len(bucket):
+                return bucket[i][1]
+            m &= m - 1
+        return None
+
+    def best_empty(self, cores: int, thresh: float) -> Optional[int]:
+        """Best-fit among empty servers: min (total_cores, total_mem, id)."""
+        for shape in self.shapes:
+            if shape[0] >= cores and shape[1] >= thresh:
+                ids = self.empty_ids[shape]
+                if ids:
+                    return ids[0]
+        return None
+
+    def min_id_busy(self, cores: int, thresh: float) -> Optional[int]:
+        """First-fit among busy servers: minimum feasible server id."""
+        best = None
+        m = self.mask >> cores
+        while m:
+            k = cores + ((m & -m).bit_length() - 1)
+            bucket = self.buckets[k]
+            i = bisect_left(bucket, (thresh,))
+            if i < len(bucket):
+                sid = self._suffix_min(k)[i]
+                if best is None or sid < best:
+                    best = sid
+            m &= m - 1
+        return best
+
+    def min_id_empty(self, cores: int, thresh: float) -> Optional[int]:
+        """First-fit among empty servers: minimum feasible server id."""
+        best = None
+        for shape, ids in self.empty_ids.items():
+            if ids and shape[0] >= cores and shape[1] >= thresh:
+                sid = ids[0]
+                if best is None or sid < best:
+                    best = sid
+        return best
+
+    def worst(
+        self, cores: int, thresh: float, include_busy: bool = True
+    ) -> Optional[int]:
+        """Worst-fit: max free cores, then min id (busy and empty alike)."""
+        for k in range(self.max_cores, cores - 1, -1):
+            best = None
+            if include_busy and (self.mask >> k) & 1:
+                bucket = self.buckets[k]
+                i = bisect_left(bucket, (thresh,))
+                if i < len(bucket):
+                    best = self._suffix_min(k)[i]
+            for shape in self.shapes_by_cores.get(k, ()):
+                if shape[1] >= thresh:
+                    ids = self.empty_ids[shape]
+                    if ids and (best is None or ids[0] < best):
+                        best = ids[0]
+            if best is not None:
+                return best
+        return None
+
+
+#: Slot markers: ``_PARKED`` servers (dedicated to a full-node VM) are
+#: invisible to every query; ``_EMPTY`` servers live in the shape groups.
+_PARKED = None
+_EMPTY = True
+
+
+class PlacementEngine:
+    """Incrementally indexed replacement for the reference placement scan.
+
+    Maintains one :class:`_PoolIndex` per pool view — GreenSKUs, all
+    baselines combined, and (once the cluster has ever held more than one
+    baseline generation) one per baseline generation — plus exact
+    snapshot aggregates per server kind when ``track_stats`` is on.
+
+    Servers can be added and removed while empty, which lets sizing
+    searches reuse one engine across a whole bracket/bisection by
+    applying count deltas instead of rebuilding the cluster per probe;
+    :meth:`reset` restores every touched server to its pristine state
+    between probes.
+    """
+
+    def __init__(
+        self,
+        servers: Iterable[Server] = (),
+        policy: str = "best-fit",
+        track_stats: bool = False,
+    ):
+        if policy not in PLACEMENT_POLICIES:
+            raise ConfigError(
+                f"unknown placement policy {policy!r}; "
+                f"known: {PLACEMENT_POLICIES}"
+            )
+        self.policy = policy
+        self.track_stats = track_stats
+        self.servers: Dict[int, Server] = {}
+        self.green = _PoolIndex()
+        self.base_all = _PoolIndex()
+        self.base_by_gen: Dict[int, _PoolIndex] = {}
+        self.green_count = 0
+        self.green_agg = KindAggregate()
+        self.base_agg = KindAggregate()
+        self._views: Dict[int, Tuple[_PoolIndex, ...]] = {}
+        self._gen_counts: Dict[int, int] = {}
+        self._gen_views_active = False
+        self._contrib: Dict[int, Tuple[int, int, int, int]] = {}
+        self._dirty: set = set()
+        for server in servers:
+            self.add_server(server)
+
+    # -- membership -----------------------------------------------------------
+
+    def add_server(self, server: Server) -> None:
+        """Add a server to the engine's pools (green/baseline by SKU)."""
+        sid = server.server_id
+        if sid in self.servers:
+            raise SimulationError(f"server {sid} already in engine")
+        self.servers[sid] = server
+        if server.is_green:
+            self.green_count += 1
+            views: Tuple[_PoolIndex, ...] = (self.green,)
+        else:
+            gen = server.sku.generation
+            self._gen_counts[gen] = self._gen_counts.get(gen, 0) + 1
+            if not self._gen_views_active and len(self._gen_counts) > 1:
+                self._activate_gen_views()
+            if self._gen_views_active:
+                gen_view = self.base_by_gen.get(gen)
+                if gen_view is None:
+                    gen_view = self.base_by_gen[gen] = _PoolIndex()
+                views = (self.base_all, gen_view)
+            else:
+                views = (self.base_all,)
+        self._views[sid] = views
+        self._enter(server, views, self._slot_of(server))
+        if not server.is_empty:
+            self._dirty.add(sid)
+            if self.track_stats:
+                self._refresh_contrib(server)
+
+    def remove_server(self, server_id: int) -> Server:
+        """Remove an (empty) server, e.g. when a sizing probe shrinks."""
+        server = self.servers.get(server_id)
+        if server is None:
+            raise SimulationError(f"server {server_id} not in engine")
+        if not server.is_empty:
+            raise SimulationError(
+                f"server {server_id} still hosts VMs; cannot remove"
+            )
+        views = self._views.pop(server_id)
+        self._leave(server, views, self._slot_of(server))
+        del self.servers[server_id]
+        self._dirty.discard(server_id)
+        if server.is_green:
+            self.green_count -= 1
+        else:
+            self._gen_counts[server.sku.generation] -= 1
+        return server
+
+    def _activate_gen_views(self) -> None:
+        """Backfill per-generation views once a second generation appears.
+
+        Single-generation clusters (every sizing probe, Figs. 9/10) never
+        pay for the second view; multi-generation clusters get exact
+        generation routing from the moment it can matter.
+        """
+        self._gen_views_active = True
+        for sid, server in self.servers.items():
+            if server.is_green or sid not in self._views:
+                continue
+            gen = server.sku.generation
+            gen_view = self.base_by_gen.get(gen)
+            if gen_view is None:
+                gen_view = self.base_by_gen[gen] = _PoolIndex()
+            self._views[sid] = (self.base_all, gen_view)
+            self._enter(server, (gen_view,), self._slot_of(server))
+
+    # -- slotting -------------------------------------------------------------
+
+    @staticmethod
+    def _slot_of(server: Server):
+        if server.dedicated:
+            return _PARKED
+        if server.is_empty:
+            return _EMPTY
+        return (server.free_cores, server.free_memory_gb)
+
+    @staticmethod
+    def _enter(server: Server, views: Tuple[_PoolIndex, ...], slot) -> None:
+        if slot is _PARKED:
+            return
+        if slot is _EMPTY:
+            shape = (server.total_cores, server.total_memory_gb)
+            for view in views:
+                view.add_empty(shape, server.server_id)
+        else:
+            free_cores, free_memory_gb = slot
+            for view in views:
+                view.add_busy(free_cores, free_memory_gb, server.server_id)
+
+    @staticmethod
+    def _leave(server: Server, views: Tuple[_PoolIndex, ...], slot) -> None:
+        if slot is _PARKED:
+            return
+        if slot is _EMPTY:
+            shape = (server.total_cores, server.total_memory_gb)
+            for view in views:
+                view.remove_empty(shape, server.server_id)
+        else:
+            free_cores, free_memory_gb = slot
+            for view in views:
+                view.remove_busy(free_cores, free_memory_gb, server.server_id)
+
+    # -- placement ------------------------------------------------------------
+
+    def choose_green(
+        self, vm: VmRequest, cores: int, memory_gb: float
+    ) -> Optional[Server]:
+        """Pick a GreenSKU server (full-node VMs never qualify)."""
+        if vm.full_node or not self.green_count:
+            if cores <= 0 or memory_gb <= 0:
+                raise ConfigError("placement request must be positive")
+            return None
+        return self._choose(self.green, cores, memory_gb, full_node=False)
+
+    def choose_baseline(
+        self, vm: VmRequest, cores: int, memory_gb: float
+    ) -> Optional[Server]:
+        """Pick a baseline server, generation-routed like the reference."""
+        return self._choose(
+            self._baseline_view(vm.generation),
+            cores,
+            memory_gb,
+            full_node=vm.full_node,
+        )
+
+    def _baseline_view(self, generation: int) -> _PoolIndex:
+        # Mirror of the reference rule: per-generation routing only when
+        # the cluster currently holds servers of more than one baseline
+        # generation and the VM's generation is among them.
+        if self._gen_views_active:
+            counts = self._gen_counts
+            active = sum(1 for c in counts.values() if c > 0)
+            if active > 1 and counts.get(generation, 0) > 0:
+                return self.base_by_gen[generation]
+        return self.base_all
+
+    def _choose(
+        self, view: _PoolIndex, cores: int, memory_gb: float, full_node: bool
+    ) -> Optional[Server]:
+        if cores <= 0 or memory_gb <= 0:
+            raise ConfigError("placement request must be positive")
+        thresh = memory_gb - MEM_EPS
+        policy = self.policy
+        if policy == "best-fit":
+            sid = None if full_node else view.best_busy(cores, thresh)
+            if sid is None:
+                sid = view.best_empty(cores, thresh)
+        elif policy == "first-fit":
+            busy = None if full_node else view.min_id_busy(cores, thresh)
+            empty = view.min_id_empty(cores, thresh)
+            if busy is None:
+                sid = empty
+            elif empty is None:
+                sid = busy
+            else:
+                sid = busy if busy < empty else empty
+        else:  # worst-fit
+            sid = view.worst(cores, thresh, include_busy=not full_node)
+        return None if sid is None else self.servers[sid]
+
+    def place(
+        self,
+        server: Server,
+        vm: VmRequest,
+        cores: int,
+        memory_gb: float,
+        cxl_gb: float = 0.0,
+    ) -> None:
+        """Place a VM and reindex the server under its new free capacity."""
+        views = self._views[server.server_id]
+        before = self._slot_of(server)
+        server.place(vm, cores, memory_gb, cxl_gb=cxl_gb)
+        self._leave(server, views, before)
+        self._enter(server, views, self._slot_of(server))
+        self._dirty.add(server.server_id)
+        if self.track_stats:
+            self._refresh_contrib(server)
+
+    def remove(self, server: Server, vm_id: int) -> None:
+        """Remove a departed VM and reindex the server."""
+        views = self._views[server.server_id]
+        before = self._slot_of(server)
+        server.remove(vm_id)
+        self._leave(server, views, before)
+        self._enter(server, views, self._slot_of(server))
+        if self.track_stats:
+            self._refresh_contrib(server)
+
+    def reset(self) -> None:
+        """Restore every touched server to pristine-empty, clear aggregates.
+
+        After a reset the engine is indistinguishable from one freshly
+        built over ``ClusterSpec.build_servers()`` output — including the
+        float-exact ``free_memory_gb`` values place/remove cycles would
+        otherwise leave dust in.
+        """
+        for sid in self._dirty:
+            server = self.servers.get(sid)
+            if server is None:
+                continue
+            slot = self._slot_of(server)
+            if slot is not _EMPTY:
+                views = self._views[sid]
+                self._leave(server, views, slot)
+                server.reset()
+                self._enter(server, views, _EMPTY)
+            else:
+                server.reset()
+        self._dirty.clear()
+        self._contrib.clear()
+        self.green_agg = KindAggregate()
+        self.base_agg = KindAggregate()
+
+    # -- snapshot aggregates --------------------------------------------------
+
+    def _refresh_contrib(self, server: Server) -> None:
+        """Re-derive a server's exact snapshot contribution after a change."""
+        sid = server.server_id
+        agg = self.green_agg if server.is_green else self.base_agg
+        old = self._contrib.pop(sid, None)
+        if server.is_empty:
+            new = None
+        else:
+            new = (
+                scaled_int(server.allocated_cores),
+                scaled_int(server.allocated_memory_gb),
+                scaled_int(server._touched_memory_gb),
+                scaled_int(server._cxl_used_gb) if server.total_cxl_gb else 0,
+            )
+            self._contrib[sid] = new
+        if old is None:
+            if new is None:
+                return
+            agg.count += 1
+        elif new is None:
+            agg.count -= 1
+        sums = agg.sums
+        for idx, (metric, den) in enumerate(
+            (
+                ("core", server.total_cores),
+                ("mem", server.total_memory_gb),
+                ("touched", server.total_memory_gb),
+                ("cxl", server.total_cxl_gb),
+            )
+        ):
+            delta = (new[idx] if new else 0) - (old[idx] if old else 0)
+            if not delta:
+                continue
+            bucket = sums[metric]
+            cum = bucket.get(den, 0) + delta
+            if cum:
+                bucket[den] = cum
+            else:
+                del bucket[den]
+
+    def merge_stats(self, green_stats, baseline_stats) -> None:
+        """Fold the current aggregates into per-outcome snapshot stats."""
+        green_stats.merge_aggregate(self.green_agg)
+        baseline_stats.merge_aggregate(self.base_agg)

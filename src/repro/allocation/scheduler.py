@@ -23,6 +23,13 @@ from ..core.errors import ConfigError, SimulationError
 from ..hardware.sku import ServerSKU
 from .vm import VmRequest
 
+#: Absolute slack on memory-feasibility comparisons.  All feasibility
+#: predicates are phrased in *threshold form* — ``free >= need - MEM_EPS``
+#: — so that a scan over servers and an indexed lookup keyed on
+#: ``free_memory_gb`` evaluate the exact same float comparison and
+#: therefore agree bit-for-bit at the boundary.
+MEM_EPS = 1e-9
+
 
 class Server:
     """Mutable allocation state of one physical server.
@@ -121,7 +128,7 @@ class Server:
         return (
             not self.dedicated
             and cores <= self.free_cores
-            and memory_gb <= self.free_memory_gb + 1e-9
+            and self.free_memory_gb >= memory_gb - MEM_EPS
         )
 
     # -- mutation -------------------------------------------------------------
@@ -176,6 +183,21 @@ class Server:
         self._touched_memory_gb -= touched
         self._cxl_used_gb -= cxl_gb
         self.dedicated = False if not self._vms else self.dedicated
+
+    def reset(self) -> None:
+        """Restore the pristine empty state of a freshly built server.
+
+        Place/remove cycles can leave float dust in ``free_memory_gb``;
+        reusable probe contexts (sizing searches) call this between
+        replays so every probe starts from exactly the state
+        ``ClusterSpec.build_servers`` would produce.
+        """
+        self.free_cores = self.total_cores
+        self.free_memory_gb = self.total_memory_gb
+        self._vms.clear()
+        self._touched_memory_gb = 0.0
+        self._cxl_used_gb = 0.0
+        self.dedicated = False
 
     def __repr__(self) -> str:
         return (
@@ -253,7 +275,7 @@ class BestFitScheduler:
                     continue
                 if (
                     cores > server.total_cores
-                    or memory_gb > server.total_memory_gb + 1e-9
+                    or server.total_memory_gb < memory_gb - MEM_EPS
                 ):
                     continue
             elif not server.fits(cores, memory_gb):

@@ -128,28 +128,63 @@ class VmTrace:
     def duration_hours(self) -> float:
         return self.params.duration_days * 24.0
 
-    def peak_concurrent_cores(self, step_hours: float = 2.0) -> int:
-        """Peak simultaneous requested cores (sizing lower bound)."""
-        times = np.arange(0.0, self.duration_hours + step_hours, step_hours)
-        peak = 0
-        for t in times:
-            live = sum(
-                vm.cores
-                for vm in self.vms
-                if vm.arrival_hours <= t < vm.departure_hours
-            )
-            peak = max(peak, live)
+    def peak_concurrent_cores(self, step_hours: Optional[float] = None) -> int:
+        """Peak simultaneous requested cores (sizing lower bound).
+
+        Exact event sweep: sort arrival/departure events and take the
+        running-sum maximum.  A VM occupies cores on the half-open
+        interval ``[arrival, departure)``, so departures at an instant
+        release cores before arrivals at the same instant claim them.
+        (An earlier implementation sampled every ``step_hours`` and
+        missed peaks between sample points; ``step_hours`` is retained
+        for API compatibility and ignored.)
+        """
+        events: List[Tuple[float, int, int]] = []
+        for vm in self.vms:
+            events.append((vm.arrival_hours, 1, vm.cores))
+            departure = vm.departure_hours
+            if math.isfinite(departure):
+                events.append((departure, 0, vm.cores))
+        events.sort()
+        peak = live = 0
+        for _time, is_arrival, cores in events:
+            if is_arrival:
+                live += cores
+                if live > peak:
+                    peak = live
+            else:
+                live -= cores
         return peak
+
+
+#: Lazily built application-assignment tables: (class count, normalized
+#: share array, app-name tuples per class).  The share table is a pure
+#: function of the fleet constants, so building it once — instead of per
+#: VM — changes no RNG draw: ``rng.choice`` sees the same length and the
+#: same probability values either way.
+_APP_TABLES: Optional[Tuple[int, np.ndarray, Tuple[Tuple[str, ...], ...]]] = (
+    None
+)
+
+
+def _app_tables() -> Tuple[int, np.ndarray, Tuple[Tuple[str, ...], ...]]:
+    global _APP_TABLES
+    if _APP_TABLES is None:
+        classes = list(FLEET_CORE_HOUR_SHARE.keys())
+        shares = np.array([FLEET_CORE_HOUR_SHARE[c] for c in classes])
+        shares = shares / shares.sum()
+        members = tuple(
+            tuple(app.name for app in apps_in_class(c)) for c in classes
+        )
+        _APP_TABLES = (len(classes), shares, members)
+    return _APP_TABLES
 
 
 def _assign_app(rng: np.random.Generator) -> str:
     """Sample an application the paper's way: class share, then uniform."""
-    classes = list(FLEET_CORE_HOUR_SHARE.keys())
-    shares = np.array([FLEET_CORE_HOUR_SHARE[c] for c in classes])
-    shares = shares / shares.sum()
-    app_class = classes[rng.choice(len(classes), p=shares)]
-    members = apps_in_class(app_class)
-    return members[rng.integers(len(members))].name
+    n_classes, shares, members_by_class = _app_tables()
+    members = members_by_class[rng.choice(n_classes, p=shares)]
+    return members[rng.integers(len(members))]
 
 
 def generate_trace(

@@ -31,7 +31,7 @@ import pickle
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from .errors import ConfigError
 
@@ -163,6 +163,34 @@ def reset_runner_stats() -> RunnerStats:
 # -- deterministic parallel map ------------------------------------------------
 
 
+class _SizingTrackedTask:
+    """Picklable wrapper carrying per-task sizing-counter deltas back.
+
+    Each worker snapshots its process-local ``sizing_stats()`` counters
+    around the task and returns ``(result, (simulate_delta, memo_delta))``.
+    Deltas — not absolute values — because fork-started workers inherit a
+    copy of the parent's counters, and one worker process runs many
+    tasks.  The parent folds the deltas into its own global stats so
+    ``--jobs > 1`` runs report true simulate/memo-hit counts.
+    """
+
+    def __init__(self, fn: Callable[[T], R]):
+        self._fn = fn
+
+    def __call__(self, item: T) -> Tuple[R, Tuple[int, int]]:
+        from ..gsf.sizing import sizing_stats  # lazy: avoids core->gsf cycle
+
+        stats = sizing_stats()
+        calls_before = stats.simulate_calls
+        hits_before = stats.memo_hits
+        result = self._fn(item)
+        stats = sizing_stats()
+        return result, (
+            stats.simulate_calls - calls_before,
+            stats.memo_hits - hits_before,
+        )
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Sequence[T],
@@ -174,6 +202,10 @@ def parallel_map(
     preserves it), so a pure ``fn`` makes the output byte-identical to
     the serial path regardless of worker count or completion order.
     ``fn`` and the items must be picklable when ``jobs > 1``.
+
+    Sizing-probe counters (``repro.gsf.sizing.sizing_stats``) incurred
+    inside worker processes are aggregated back into this process's
+    counters, so hit/miss reporting matches the serial path.
     """
     items = list(items)
     jobs = resolve_jobs(jobs)
@@ -183,7 +215,20 @@ def parallel_map(
     workers = min(jobs, len(items))
     _GLOBAL_STATS.parallel_tasks += len(items)
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, items))
+        tracked = list(pool.map(_SizingTrackedTask(fn), items))
+    results: List[R] = []
+    simulate_delta = memo_delta = 0
+    for result, (calls, hits) in tracked:
+        results.append(result)
+        simulate_delta += calls
+        memo_delta += hits
+    if simulate_delta or memo_delta:
+        from ..gsf.sizing import sizing_stats  # lazy: avoids core->gsf cycle
+
+        stats = sizing_stats()
+        stats.simulate_calls += simulate_delta
+        stats.memo_hits += memo_delta
+    return results
 
 
 # -- on-disk result cache ------------------------------------------------------

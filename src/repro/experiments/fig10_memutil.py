@@ -28,7 +28,7 @@ from ..hardware.sku import ServerSKU, baseline_gen3, greensku_cxl
 
 #: Bumped when the per-trace computation changes, invalidating disk-cache
 #: entries from older code.
-_CACHE_VERSION = "fig10-v1"
+_CACHE_VERSION = "fig10-v2"
 
 
 @dataclass(frozen=True)

@@ -27,7 +27,7 @@ from ..hardware.sku import ServerSKU, baseline_gen3, greensku_full
 
 #: Bumped when the per-trace computation changes, invalidating disk-cache
 #: entries from older code.
-_CACHE_VERSION = "fig9-v1"
+_CACHE_VERSION = "fig9-v2"
 
 
 @dataclass(frozen=True)

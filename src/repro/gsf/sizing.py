@@ -22,16 +22,20 @@ Out-of-service maintenance overhead inflates each side's server count
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, Optional, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..allocation.cluster import (
     AdoptionPolicy,
     ClusterSpec,
     adopt_nothing,
+    replay_on_engine,
+    resolve_engine,
     simulate,
 )
+from ..allocation.index import PlacementEngine
+from ..allocation.scheduler import Server
 from ..allocation.traces import VmTrace
-from ..core.errors import ConfigError, SizingError
+from ..core.errors import CapacityError, ConfigError, SizingError
 from ..hardware.sku import ServerSKU
 
 #: Hard cap on sizing searches; a trace needing more servers than this is
@@ -152,6 +156,76 @@ def _feasible(
     return outcome.feasible
 
 
+class _EngineProber:
+    """One reusable indexed engine for a whole sizing search.
+
+    Every feasibility probe of a search replays the same trace against
+    the same SKU slots with different counts.  Instead of rebuilding the
+    cluster per probe, this keeps a single :class:`PlacementEngine` and
+    applies server add/remove deltas between probes; each SKU slot owns a
+    disjoint ascending id range so the relative server order always
+    matches what ``ClusterSpec.build_servers`` would produce (ties in the
+    placement rank keys resolve by pool order, which both schemes keep
+    identical — and no id leaks into a :class:`SimOutcome`).  Probes
+    replay with ``raise_on_reject``, which decides the verdict at the
+    first rejection; :meth:`PlacementEngine.reset` restores pristine
+    server state before every probe either way.
+    """
+
+    #: Id stride per SKU slot; must exceed any probed count (MAX_SERVERS).
+    _STRIDE = 1 << 21
+
+    def __init__(
+        self,
+        trace: VmTrace,
+        skus: Sequence[ServerSKU],
+        adoption: AdoptionPolicy,
+    ):
+        self._trace = trace
+        self._skus = list(skus)
+        self._adoption = adoption
+        self._engine = PlacementEngine(policy="best-fit", track_stats=False)
+        self._counts: List[int] = [0] * len(self._skus)
+
+    def __call__(self, *counts: int) -> bool:
+        if len(counts) != len(self._skus):
+            raise ConfigError(
+                f"prober takes {len(self._skus)} counts, got {len(counts)}"
+            )
+        engine = self._engine
+        engine.reset()
+        for slot, want in enumerate(counts):
+            have = self._counts[slot]
+            if want == have:
+                continue
+            if want > MAX_SERVERS:
+                raise SizingError(f"probe count {want} exceeds {MAX_SERVERS}")
+            base = slot * self._STRIDE
+            sku = self._skus[slot]
+            if want > have:
+                for j in range(have, want):
+                    engine.add_server(Server(base + j, sku))
+            else:
+                for j in range(want, have):
+                    engine.remove_server(base + j)
+            self._counts[slot] = want
+        spec = ClusterSpec(
+            skus=tuple(zip(self._skus, counts))
+        )
+        try:
+            replay_on_engine(
+                self._trace,
+                spec,
+                engine,
+                adoption=self._adoption,
+                snapshot_hours=1e9,
+                raise_on_reject=True,
+            )
+        except CapacityError:
+            return False
+        return True
+
+
 def right_size(
     trace: VmTrace,
     sku: ServerSKU,
@@ -183,10 +257,20 @@ def right_size(
     if lower < 0:
         raise ConfigError("lower bound must be >= 0")
 
-    def probe(n: int) -> bool:
-        if n == 0:
-            return len(trace.vms) == 0
-        return _feasible(trace, ClusterSpec.of((sku, n)), adoption)
+    if resolve_engine() == "reference":
+
+        def probe(n: int) -> bool:
+            if n == 0:
+                return len(trace.vms) == 0
+            return _feasible(trace, ClusterSpec.of((sku, n)), adoption)
+
+    else:
+        prober = _EngineProber(trace, (sku,), adoption)
+
+        def probe(n: int) -> bool:
+            if n == 0:
+                return len(trace.vms) == 0
+            return prober(n)
 
     if not trace.vms:
         return 0
@@ -312,15 +396,24 @@ def size_mixed_cluster(
         else 0
     )
     if verify and (n_base or n_green):
+        if resolve_engine() == "reference":
 
-        def probe(nb: int, ng: int) -> bool:
-            if nb + ng == 0:
-                return not trace.vms
-            return _feasible(
-                trace,
-                ClusterSpec.of((baseline, nb), (greensku, ng)),
-                adoption,
-            )
+            def probe(nb: int, ng: int) -> bool:
+                if nb + ng == 0:
+                    return not trace.vms
+                return _feasible(
+                    trace,
+                    ClusterSpec.of((baseline, nb), (greensku, ng)),
+                    adoption,
+                )
+
+        else:
+            prober = _EngineProber(trace, (baseline, greensku), adoption)
+
+            def probe(nb: int, ng: int) -> bool:
+                if nb + ng == 0:
+                    return not trace.vms
+                return prober(nb, ng)
 
         feasible = _FeasibilityMemo(probe)
         while not feasible(n_base, n_green):
@@ -440,8 +533,20 @@ def size_generation_aware(
             pairs.append((greensku, ng))
             return ClusterSpec.of(*pairs)
 
-        def probe(counts: Tuple[Tuple[int, int], ...], ng: int) -> bool:
-            return _feasible(trace, spec(counts, ng), adoption)
+        if resolve_engine() == "reference":
+
+            def probe(counts: Tuple[Tuple[int, int], ...], ng: int) -> bool:
+                return _feasible(trace, spec(counts, ng), adoption)
+
+        else:
+            slot_skus = [baselines[gen] for gen in generations] + [greensku]
+            prober = _EngineProber(trace, slot_skus, adoption)
+
+            def probe(counts: Tuple[Tuple[int, int], ...], ng: int) -> bool:
+                by_gen = dict(counts)
+                return prober(
+                    *(by_gen.get(gen, 0) for gen in generations), ng
+                )
 
         memo = _FeasibilityMemo(probe)
 

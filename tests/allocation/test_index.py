@@ -1,0 +1,370 @@
+"""Indexed placement engine: equivalence with the reference implementation.
+
+The contract under test is *bit-identical behavior*: for any trace,
+cluster, policy, and adoption mix, the indexed engine must pick the same
+server as the reference scan for every single VM and produce an equal
+``SimOutcome`` — including the exact snapshot statistics.  Two layers:
+
+- whole-replay equivalence over generated traces (seeds x policies x
+  baseline-only / mixed / multi-generation clusters),
+- adversarial churn on the engine itself: randomized place/remove
+  sequences (full-node dedication, servers emptying and refilling,
+  memory-tight requests) where every ``choose`` is cross-checked against
+  ``BestFitScheduler.choose`` over the same servers.
+"""
+
+import random
+
+import pytest
+
+from repro.allocation.cluster import (
+    ClusterSpec,
+    adopt_everything,
+    adopt_nothing,
+    outcome_digest,
+    replay_on_engine,
+    resolve_engine,
+    simulate,
+)
+from repro.allocation.index import PlacementEngine
+from repro.allocation.scheduler import PLACEMENT_POLICIES, BestFitScheduler, Server
+from repro.allocation.traces import TraceParams, VmTrace, generate_trace
+from repro.allocation.vm import VmRequest
+from repro.core.errors import ConfigError, SimulationError
+from repro.hardware.sku import (
+    baseline_gen1,
+    baseline_gen2,
+    baseline_gen3,
+    greensku_cxl,
+    greensku_efficient,
+    greensku_full,
+)
+
+SEEDS = (1, 2, 3, 4, 5)
+
+#: Trace knobs chosen to exercise the tricky paths: full-node VMs far
+#: above their natural share (dedication/parking), short window with
+#: frequent snapshots (stats churn), multiple generations.
+CHURN_PARAMS = TraceParams(
+    duration_days=3,
+    mean_concurrent_vms=90,
+    full_node_fraction=0.01,
+)
+
+
+def both_outcomes(trace, spec, adoption, policy, snapshot_hours=3.0):
+    kwargs = dict(
+        adoption=adoption,
+        snapshot_hours=snapshot_hours,
+        scheduler=BestFitScheduler(policy),
+    )
+    reference = simulate(trace, spec, engine="reference", **kwargs)
+    indexed = simulate(trace, spec, engine="indexed", **kwargs)
+    return reference, indexed
+
+
+class TestReplayEquivalence:
+    """Bit-identical SimOutcome across seeds, policies, and clusters."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("policy", PLACEMENT_POLICIES)
+    def test_baseline_only(self, seed, policy):
+        trace = generate_trace(seed=seed, params=CHURN_PARAMS)
+        spec = ClusterSpec.of((baseline_gen3(), 26))
+        reference, indexed = both_outcomes(
+            trace, spec, adopt_nothing, policy
+        )
+        assert reference == indexed
+        assert outcome_digest(reference) == outcome_digest(indexed)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("policy", PLACEMENT_POLICIES)
+    def test_mixed_cluster(self, seed, policy):
+        trace = generate_trace(seed=seed, params=CHURN_PARAMS)
+        spec = ClusterSpec.of((baseline_gen3(), 16), (greensku_full(), 10))
+        reference, indexed = both_outcomes(
+            trace, spec, adopt_everything, policy
+        )
+        assert reference == indexed
+        assert outcome_digest(reference) == outcome_digest(indexed)
+
+    @pytest.mark.parametrize("seed", SEEDS[:3])
+    @pytest.mark.parametrize("policy", PLACEMENT_POLICIES)
+    def test_multi_generation_cluster(self, seed, policy):
+        # Generation routing active: three baseline pools plus greens,
+        # partial adoption so fungible fallback happens too.
+        trace = generate_trace(seed=seed, params=CHURN_PARAMS)
+
+        def adoption(app_name, generation):
+            return 1.25 if generation == 3 else None
+
+        spec = ClusterSpec.of(
+            (baseline_gen1(), 8),
+            (baseline_gen2(), 9),
+            (baseline_gen3(), 10),
+            (greensku_cxl(), 8),
+        )
+        reference, indexed = both_outcomes(trace, spec, adoption, policy)
+        assert reference == indexed
+        assert outcome_digest(reference) == outcome_digest(indexed)
+
+    def test_tight_capacity_rejections_match(self):
+        # Undersized cluster: the rejected-VM lists must agree exactly.
+        trace = generate_trace(seed=9, params=CHURN_PARAMS)
+        spec = ClusterSpec.of((baseline_gen3(), 6))
+        reference, indexed = both_outcomes(
+            trace, spec, adopt_nothing, "best-fit"
+        )
+        assert reference.rejected_vms == indexed.rejected_vms
+        assert not reference.feasible
+        assert reference == indexed
+
+    def test_scaled_adoption_equivalence(self):
+        trace = generate_trace(seed=6, params=CHURN_PARAMS)
+
+        def adoption(app_name, generation):
+            return 1.4 if len(app_name) % 2 else None
+
+        spec = ClusterSpec.of((baseline_gen3(), 18), (greensku_efficient(), 8))
+        reference, indexed = both_outcomes(trace, spec, adoption, "best-fit")
+        assert reference == indexed
+
+    def test_snapshot_stats_exact_fields(self):
+        # Equality must hold on the exact internal sums, not just means.
+        trace = generate_trace(seed=2, params=CHURN_PARAMS)
+        spec = ClusterSpec.of((baseline_gen3(), 16), (greensku_full(), 10))
+        reference, indexed = both_outcomes(
+            trace, spec, adopt_everything, "best-fit", snapshot_hours=1.5
+        )
+        for attr in ("baseline_stats", "green_stats"):
+            ref_stats = getattr(reference, attr)
+            idx_stats = getattr(indexed, attr)
+            assert ref_stats.samples == idx_stats.samples
+            assert ref_stats._cum == idx_stats._cum
+            assert ref_stats.canonical() == idx_stats.canonical()
+
+
+class TestEngineSelection:
+    def test_resolve_engine_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ALLOC_ENGINE", raising=False)
+        assert resolve_engine() == "indexed"
+        assert resolve_engine("reference") == "reference"
+
+    def test_resolve_engine_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ALLOC_ENGINE", "reference")
+        assert resolve_engine() == "reference"
+        # Explicit argument wins over the environment.
+        assert resolve_engine("indexed") == "indexed"
+
+    def test_resolve_engine_rejects_unknown(self):
+        with pytest.raises(ConfigError):
+            resolve_engine("quantum")
+
+
+def make_vm(vm_id, cores, memory_gb, generation=3, full_node=False):
+    return VmRequest(
+        vm_id=vm_id,
+        arrival_hours=0.0,
+        lifetime_hours=10.0,
+        cores=cores,
+        memory_gb=memory_gb,
+        generation=generation,
+        app_name="Redis",
+        full_node=full_node,
+    )
+
+
+class TestAdversarialChurn:
+    """Randomized place/remove churn: every choice equals the reference.
+
+    The engine and a plain server list evolve in lockstep; after every
+    mutation a batch of probe requests (including boundary-exact memory
+    sizes and full-node requests) must pick the same server under all
+    three policies.
+    """
+
+    SKUS = (
+        baseline_gen3,
+        baseline_gen3,
+        baseline_gen2,
+        baseline_gen1,
+        greensku_full,
+    )
+
+    def _build(self, rng, n_servers):
+        servers = []
+        for sid in range(n_servers):
+            sku = rng.choice(self.SKUS)()
+            servers.append(Server(sid, sku))
+        return servers
+
+    @pytest.mark.parametrize("policy", PLACEMENT_POLICIES)
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_churn_choices_match_reference(self, policy, seed):
+        rng = random.Random(seed)
+        servers = self._build(rng, 20)
+        base_pool = [s for s in servers if not s.is_green]
+        green_pool = [s for s in servers if s.is_green]
+        base_by_gen = {}
+        for server in base_pool:
+            base_by_gen.setdefault(server.sku.generation, []).append(server)
+        engine = PlacementEngine(servers, policy=policy)
+        scheduler = BestFitScheduler(policy)
+
+        def reference_baseline_pool(generation):
+            if len(base_by_gen) > 1 and generation in base_by_gen:
+                return base_by_gen[generation]
+            return base_pool
+
+        live = []  # (server, vm_id) placed pairs
+        next_id = 0
+        for step in range(400):
+            # Churn mix: mostly placements, some removals, rare
+            # full-node dedications.
+            action = rng.random()
+            if action < 0.12 and live:
+                server, vm_id = live.pop(rng.randrange(len(live)))
+                engine.remove(server, vm_id)
+                continue
+            full_node = action > 0.95
+            generation = rng.choice((1, 2, 3))
+            if full_node:
+                cores = {1: 64, 2: 64, 3: 80}[generation]
+                memory_gb = float({1: 384, 2: 512, 3: 768}[generation])
+            else:
+                cores = rng.choice((1, 2, 4, 8, 16, 32))
+                memory_gb = cores * rng.choice((1.0, 2.0, 4.0, 8.0))
+            vm = make_vm(
+                next_id, cores, memory_gb,
+                generation=generation, full_node=full_node,
+            )
+            next_id += 1
+
+            green_choice = engine.choose_green(vm, cores, memory_gb)
+            ref_green = (
+                None
+                if vm.full_node
+                else scheduler.choose(vm, green_pool, cores, memory_gb)
+            )
+            assert green_choice is ref_green
+
+            base_choice = engine.choose_baseline(vm, cores, memory_gb)
+            ref_base = scheduler.choose(
+                vm, reference_baseline_pool(vm.generation), cores, memory_gb
+            )
+            assert base_choice is ref_base
+
+            # Place on the baseline choice (or green when only greens
+            # fit) to keep the state evolving.
+            target = base_choice or green_choice
+            if target is not None:
+                engine.place(target, vm, cores, memory_gb)
+                live.append((target, vm.vm_id))
+
+        # Drain everything: the engine must agree on an empty cluster too.
+        while live:
+            server, vm_id = live.pop()
+            engine.remove(server, vm_id)
+        probe = make_vm(next_id, 4, 16.0)
+        assert engine.choose_baseline(probe, 4, 16.0) is scheduler.choose(
+            probe, reference_baseline_pool(3), 4, 16.0
+        )
+
+    def test_memory_boundary_exact(self):
+        # A request matching the free memory exactly (and one epsilon
+        # beyond) must resolve identically in both implementations.
+        server = Server(0, baseline_gen3())
+        filler = make_vm(1, 4, 700.0)
+        engine = PlacementEngine([server], policy="best-fit")
+        engine.place(server, filler, 4, 700.0)
+        scheduler = BestFitScheduler()
+        free = server.free_memory_gb
+        for memory_gb in (free, free + 1e-10, free + 1.0, free - 1e-10):
+            vm = make_vm(2, 2, memory_gb)
+            assert engine.choose_baseline(vm, 2, memory_gb) is (
+                scheduler.choose(vm, [server], 2, memory_gb)
+            )
+
+    def test_emptied_server_rejoins_empty_view(self):
+        # A server that empties out must become eligible for full-node
+        # VMs again (and count as empty for the prefer-non-empty rule).
+        server = Server(0, baseline_gen3())
+        engine = PlacementEngine([server], policy="best-fit")
+        vm = make_vm(1, 4, 16.0)
+        engine.place(server, vm, 4, 16.0)
+        full = make_vm(2, 80, 768.0, full_node=True)
+        assert engine.choose_baseline(full, 80, 768.0) is None
+        engine.remove(server, 1)
+        assert engine.choose_baseline(full, 80, 768.0) is server
+
+    def test_dedicated_server_is_parked(self):
+        server = Server(0, baseline_gen3())
+        spare = Server(1, baseline_gen3())
+        engine = PlacementEngine([server, spare], policy="best-fit")
+        full = make_vm(1, 80, 768.0, full_node=True)
+        assert engine.choose_baseline(full, 80, 768.0) is server
+        engine.place(server, full, 80, 768.0)
+        # The dedicated server is invisible to every query...
+        small = make_vm(2, 1, 1.0)
+        assert engine.choose_baseline(small, 1, 1.0) is spare
+        # ...until its full-node VM departs.
+        engine.remove(server, 1)
+        engine.place(spare, small, 1, 1.0)
+        assert engine.choose_baseline(make_vm(3, 1, 1.0), 1, 1.0) is spare
+
+    def test_duplicate_server_rejected(self):
+        server = Server(0, baseline_gen3())
+        engine = PlacementEngine([server])
+        with pytest.raises(SimulationError):
+            engine.add_server(Server(0, baseline_gen3()))
+
+    def test_remove_occupied_server_rejected(self):
+        server = Server(0, baseline_gen3())
+        engine = PlacementEngine([server])
+        engine.place(server, make_vm(1, 4, 16.0), 4, 16.0)
+        with pytest.raises(SimulationError):
+            engine.remove_server(0)
+
+
+class TestProbeReuse:
+    """replay_on_engine + add/remove deltas equals fresh simulate calls."""
+
+    def test_resize_and_reset_between_probes(self):
+        trace = generate_trace(
+            seed=4,
+            params=TraceParams(duration_days=2, mean_concurrent_vms=60),
+        )
+        sku = baseline_gen3()
+        engine = PlacementEngine(policy="best-fit")
+        counts = 0
+
+        def probe(n):
+            nonlocal counts
+            engine.reset()
+            while counts < n:
+                engine.add_server(Server(counts, sku))
+                counts += 1
+            while counts > n:
+                counts -= 1
+                engine.remove_server(counts)
+            spec = ClusterSpec.of((sku, n))
+            return replay_on_engine(trace, spec, engine).feasible
+
+        # Scrambled probe order exercises grow, shrink, and re-grow.
+        for n in (12, 4, 9, 2, 30, 7, 9):
+            expected = simulate(
+                trace, ClusterSpec.of((sku, n)), snapshot_hours=1e9
+            ).feasible
+            assert probe(n) == expected
+
+    def test_reset_restores_pristine_floats(self):
+        server = Server(0, baseline_gen3())
+        engine = PlacementEngine([server])
+        # Place/remove cycles that would leave float dust behind.
+        for i, memory in enumerate((0.1, 0.3, 0.7, 123.456)):
+            engine.place(server, make_vm(10 + i, 1, memory), 1, memory)
+        engine.remove(server, 10)
+        engine.reset()
+        assert server.free_memory_gb == server.total_memory_gb
+        assert server.free_cores == server.total_cores
+        assert server.is_empty and not server.dedicated

@@ -7,11 +7,14 @@ import pytest
 
 from repro.allocation.traces import (
     TraceParams,
+    VmTrace,
+    _assign_app,
     generate_trace,
     production_trace_suite,
 )
+from repro.allocation.vm import VmRequest
 from repro.core.errors import ConfigError
-from repro.perf.apps import APP_BY_NAME
+from repro.perf.apps import APP_BY_NAME, FLEET_CORE_HOUR_SHARE, apps_in_class
 
 
 @pytest.fixture(scope="module")
@@ -126,6 +129,92 @@ class TestParams:
     def test_generation_mix_validation(self):
         with pytest.raises(ConfigError):
             TraceParams(generation_mix=(0.5, 0.5, 0.5))
+
+
+def _spike_vm(vm_id, arrival, lifetime, cores):
+    return VmRequest(
+        vm_id=vm_id,
+        arrival_hours=arrival,
+        lifetime_hours=lifetime,
+        cores=cores,
+        memory_gb=cores * 4.0,
+        generation=3,
+        app_name="Redis",
+    )
+
+
+def _sampled_peak(trace, step_hours):
+    """The pre-sweep implementation: sample every ``step_hours``."""
+    times = np.arange(0.0, trace.duration_hours + step_hours, step_hours)
+    peak = 0
+    for t in times:
+        live = sum(
+            vm.cores
+            for vm in trace.vms
+            if vm.arrival_hours <= t < vm.departure_hours
+        )
+        peak = max(peak, live)
+    return peak
+
+
+class TestPeakConcurrentCores:
+    def test_exact_sweep_catches_interior_spike(self):
+        """Regression: step sampling misses peaks between sample points.
+
+        The spike VMs live on [0.5, 1.5) — strictly inside the old
+        sampler's (0, 2) gap — so sampling reports only the long-lived
+        background VM while the event sweep sees background + spike.
+        """
+        vms = [_spike_vm(0, 0.0, 48.0, 8)]
+        vms += [_spike_vm(1 + i, 0.5, 1.0, 16) for i in range(3)]
+        trace = VmTrace(
+            name="spike", params=TraceParams(duration_days=2), vms=tuple(vms)
+        )
+        assert _sampled_peak(trace, step_hours=2.0) == 8
+        assert trace.peak_concurrent_cores() == 8 + 3 * 16
+        # step_hours is retained for API compatibility but ignored.
+        assert trace.peak_concurrent_cores(step_hours=2.0) == 8 + 3 * 16
+
+    def test_half_open_interval_back_to_back(self):
+        """A departure releases cores before an arrival at the same time."""
+        vms = (_spike_vm(0, 0.0, 5.0, 32), _spike_vm(1, 5.0, 5.0, 32))
+        trace = VmTrace(
+            name="handoff", params=TraceParams(duration_days=1), vms=vms
+        )
+        assert trace.peak_concurrent_cores() == 32
+
+    def test_matches_sampling_on_generated_trace(self, trace):
+        """On real traces the sweep can only find >= the sampled peak."""
+        exact = trace.peak_concurrent_cores()
+        assert exact >= _sampled_peak(trace, step_hours=2.0)
+
+    def test_empty_trace(self):
+        trace = VmTrace(
+            name="empty", params=TraceParams(duration_days=1), vms=()
+        )
+        assert trace.peak_concurrent_cores() == 0
+
+
+class TestAssignApp:
+    @staticmethod
+    def _old_assign_app(rng):
+        """Pre-hoist implementation: rebuild the tables on every call."""
+        classes = list(FLEET_CORE_HOUR_SHARE.keys())
+        shares = np.array([FLEET_CORE_HOUR_SHARE[c] for c in classes])
+        shares = shares / shares.sum()
+        app_class = classes[rng.choice(len(classes), p=shares)]
+        members = apps_in_class(app_class)
+        return members[rng.integers(len(members))].name
+
+    def test_identical_rng_draws(self):
+        """The hoisted tables change no draw: same names, same rng state."""
+        rng_new = np.random.default_rng(1234)
+        rng_old = np.random.default_rng(1234)
+        new_names = [_assign_app(rng_new) for _ in range(500)]
+        old_names = [self._old_assign_app(rng_old) for _ in range(500)]
+        assert new_names == old_names
+        # The streams consumed exactly the same entropy.
+        assert rng_new.integers(1 << 30) == rng_old.integers(1 << 30)
 
 
 class TestSuite:

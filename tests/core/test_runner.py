@@ -30,6 +30,19 @@ def _pid_tag(x):
     return (x, os.getpid())
 
 
+def _size_trace(seed):
+    """A picklable sizing task: probes run inside the worker process."""
+    from repro.allocation.traces import TraceParams, generate_trace
+    from repro.gsf.sizing import right_size
+    from repro.hardware.sku import baseline_gen3
+
+    trace = generate_trace(
+        seed=seed,
+        params=TraceParams(duration_days=2, mean_concurrent_vms=40),
+    )
+    return right_size(trace, baseline_gen3())
+
+
 class TestResolveJobs:
     def test_explicit_argument_wins(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "7")
@@ -88,6 +101,25 @@ class TestParallelMap:
         parallel_map(_square, [1, 2, 3], jobs=1)
         assert runner_stats().tasks == 3
         assert runner_stats().parallel_tasks == 0
+
+
+class TestSizingStatsAggregation:
+    """Worker-process probe counters fold back into the parent's stats."""
+
+    def _run(self, jobs):
+        from repro.gsf.sizing import reset_sizing_stats, sizing_stats
+
+        reset_sizing_stats()
+        results = parallel_map(_size_trace, [21, 22, 23], jobs=jobs)
+        stats = sizing_stats()
+        return results, (stats.simulate_calls, stats.memo_hits)
+
+    def test_parallel_counters_match_serial(self):
+        serial_results, serial_counts = self._run(jobs=1)
+        parallel_results, parallel_counts = self._run(jobs=2)
+        assert parallel_results == serial_results
+        assert serial_counts[0] > 0  # the searches actually simulated
+        assert parallel_counts == serial_counts
 
 
 class TestDiskCache:

@@ -84,19 +84,33 @@ class TestSearchEfficiency:
 
     @pytest.fixture()
     def simulate_counter(self, monkeypatch):
-        """Counts simulator invocations per (trace, cluster) config."""
-        calls = collections.Counter()
-        real = sizing_module.simulate
+        """Counts replay invocations per (trace, cluster) config.
 
-        def counting(trace, cluster, **kwargs):
-            key = (
+        Instruments both probe entry points — ``simulate`` (the
+        reference engine's path) and ``replay_on_engine`` (the indexed
+        probe-reuse path) — so the no-resimulation guarantee is checked
+        under whichever engine is active.
+        """
+        calls = collections.Counter()
+        real_simulate = sizing_module.simulate
+        real_replay = sizing_module.replay_on_engine
+
+        def key_of(trace, cluster):
+            return (
                 trace.name,
                 tuple((sku.name, count) for sku, count in cluster.skus),
             )
-            calls[key] += 1
-            return real(trace, cluster, **kwargs)
 
-        monkeypatch.setattr(sizing_module, "simulate", counting)
+        def counting_simulate(trace, cluster, **kwargs):
+            calls[key_of(trace, cluster)] += 1
+            return real_simulate(trace, cluster, **kwargs)
+
+        def counting_replay(trace, cluster, engine, **kwargs):
+            calls[key_of(trace, cluster)] += 1
+            return real_replay(trace, cluster, engine, **kwargs)
+
+        monkeypatch.setattr(sizing_module, "simulate", counting_simulate)
+        monkeypatch.setattr(sizing_module, "replay_on_engine", counting_replay)
         return calls
 
     def test_right_size_never_resimulates(
