@@ -35,6 +35,7 @@ from repro.allocation.traces import (
     generate_trace,
     production_trace_suite,
 )
+from repro.core import telemetry
 from repro.core.tables import render_table
 from repro.experiments import fig9_packing
 from repro.gsf.sizing import right_size
@@ -142,6 +143,61 @@ def test_alloc_engine_golden_digest(save):
     save(
         "alloc_engine_digests.txt",
         "\n".join(f"{name}: {digest}" for name, digest in sorted(digests.items())),
+    )
+
+
+def test_telemetry_overhead_and_manifest(save):
+    """Telemetry stays within its budget on the golden-digest scenarios.
+
+    Replays every golden scenario with telemetry enabled and disabled
+    (best-of-N to damp scheduler noise), fails if the instrumented run
+    is more than 5% slower (``REPRO_TELEMETRY_OVERHEAD`` overrides the
+    budget), and validates the capture against the manifest schema.
+    """
+    budget = float(os.environ.get("REPRO_TELEMETRY_OVERHEAD", "0.05"))
+    scenarios = _golden_scenarios()
+
+    def replay_all():
+        for _name, trace, cluster, adoption, policy in scenarios:
+            simulate(
+                trace,
+                cluster,
+                adoption=adoption,
+                scheduler=BestFitScheduler(policy=policy),
+                engine="indexed",
+            )
+
+    def best_of(fn, rounds=7):
+        best = float("inf")
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    replay_all()  # warm caches before either timing
+    plain_s = best_of(replay_all)
+    with telemetry.capture() as tel:
+        instrumented_s = best_of(replay_all)
+
+    manifest = tel.manifest(command="bench-telemetry-overhead")
+    problems = telemetry.validate_manifest(manifest)
+    assert not problems, problems
+    assert manifest["counters"]["alloc.replays"] == 7 * len(scenarios)
+    assert manifest["timers"]["alloc.replay"].get("count") == 7 * len(
+        scenarios
+    )
+
+    overhead = instrumented_s / plain_s - 1.0
+    save(
+        "telemetry_overhead.txt",
+        f"golden-scenario batch ({len(scenarios)} replays, best of 7)\n"
+        f"  telemetry off: {plain_s * 1000:.1f}ms\n"
+        f"  telemetry on:  {instrumented_s * 1000:.1f}ms\n"
+        f"  overhead: {overhead:+.1%} (budget {budget:.0%})",
+    )
+    assert overhead <= budget, (
+        f"telemetry overhead {overhead:.1%} exceeds the {budget:.0%} budget"
     )
 
 

@@ -44,19 +44,27 @@ def run_once(benchmark, fn):
 
 @pytest.fixture()
 def execution_stats():
-    """Reset and report the runner + sizing hit/miss counters.
+    """Instrument the benchmark with telemetry and report its manifest.
 
-    Yields a callable returning the current counters' one-line summaries;
-    benchmarks print it next to their artifacts so cache effectiveness is
-    visible in the bench log.
+    The benchmark body runs inside a :func:`repro.core.telemetry.capture`;
+    the yielded callable validates the capture against the manifest
+    schema and returns it rendered — counters (tasks, cache hits/misses,
+    sizing probes, engine work), timers, and spans — replacing the old
+    ad-hoc runner/sizing print lines in the bench log.
     """
-    from repro.core.runner import reset_runner_stats, runner_stats
-    from repro.gsf.sizing import reset_sizing_stats, sizing_stats
+    from repro.core import telemetry
+    from repro.core.runner import reset_runner_stats
+    from repro.gsf.sizing import reset_sizing_stats
 
     reset_runner_stats()
     reset_sizing_stats()
 
-    def report() -> str:
-        return f"{runner_stats().summary()}\n{sizing_stats().summary()}"
+    with telemetry.capture() as tel:
 
-    yield report
+        def report() -> str:
+            manifest = tel.manifest(command="benchmark")
+            problems = telemetry.validate_manifest(manifest)
+            assert not problems, problems
+            return telemetry.render_manifest(manifest)
+
+        yield report

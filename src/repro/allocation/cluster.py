@@ -38,10 +38,12 @@ import hashlib
 import heapq
 import math
 import os
+import time
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..core import telemetry
 from ..core.errors import CapacityError, ConfigError
 from ..hardware.sku import ServerSKU
 from ..perf.apps import APP_BY_NAME
@@ -306,6 +308,8 @@ class _ReferenceBackend:
     def __init__(self, servers: List[Server], scheduler: BestFitScheduler):
         self.servers = servers
         self.scheduler = scheduler
+        self.stat_queries = 0
+        self.stat_servers_scanned = 0
         self.green_pool = [s for s in servers if s.is_green]
         self.base_pool = [s for s in servers if not s.is_green]
         # Generation routing: when the cluster contains generation-
@@ -328,12 +332,15 @@ class _ReferenceBackend:
         return self.base_pool
 
     def choose_green(self, vm, cores: int, memory_gb: float):
+        self.stat_queries += 1
+        self.stat_servers_scanned += len(self.green_pool)
         return self.scheduler.choose(vm, self.green_pool, cores, memory_gb)
 
     def choose_baseline(self, vm, cores: int, memory_gb: float):
-        return self.scheduler.choose(
-            vm, self._baseline_pool(vm.generation), cores, memory_gb
-        )
+        pool = self._baseline_pool(vm.generation)
+        self.stat_queries += 1
+        self.stat_servers_scanned += len(pool)
+        return self.scheduler.choose(vm, pool, cores, memory_gb)
 
     def place(self, server, vm, cores, memory_gb, cxl_gb=0.0):
         server.place(vm, cores, memory_gb, cxl_gb=cxl_gb)
@@ -351,6 +358,13 @@ class _ReferenceBackend:
                 else outcome.baseline_stats
             )
             stats.observe(server)
+
+    def telemetry_counters(self) -> Dict[str, int]:
+        """Cumulative work counters (the replay loop folds deltas)."""
+        return {
+            "engine.queries": self.stat_queries,
+            "engine.servers_scanned": self.stat_servers_scanned,
+        }
 
 
 class _IndexedBackend:
@@ -377,6 +391,17 @@ class _IndexedBackend:
     def snapshot(self, outcome: SimOutcome) -> None:
         self.engine.merge_stats(outcome.green_stats, outcome.baseline_stats)
 
+    def telemetry_counters(self) -> Dict[str, int]:
+        """Cumulative work counters (the replay loop folds deltas)."""
+        engine = self.engine
+        return {
+            "engine.queries": engine.stat_queries,
+            "engine.bucket_probes": engine.bucket_probes(),
+            "engine.places": engine.stat_places,
+            "engine.removes": engine.stat_removes,
+            "engine.snapshot_merges": engine.stat_snapshot_merges,
+        }
+
 
 def _replay(
     trace: VmTrace,
@@ -390,83 +415,117 @@ def _replay(
     outcome = SimOutcome(cluster=cluster)
     has_green = backend.has_green()
 
+    # Telemetry: snapshot the backend's cumulative counters up front and
+    # fold the deltas (plus per-replay event tallies, accumulated as
+    # plain local ints) once at the end — zero per-event overhead.
+    tel = telemetry.active()
+    if tel is not None:
+        counters_before = backend.telemetry_counters()
+        t_start = time.perf_counter()
+    n_departures = 0
+    n_snapshots = 0
+
     # Departures as a heap of (time, vm_id, server); arrivals in order.
     departures: List[Tuple[float, int, Server]] = []
     next_snapshot = snapshot_hours
 
     def take_snapshots_until(now: float) -> None:
-        nonlocal next_snapshot
+        nonlocal next_snapshot, n_snapshots
         while next_snapshot <= now:
             backend.snapshot(outcome)
+            n_snapshots += 1
             next_snapshot += snapshot_hours
 
-    for vm in trace.vms:
-        # Release departures and take snapshots up to this arrival.
-        while departures and departures[0][0] <= vm.arrival_hours:
+    try:
+        for vm in trace.vms:
+            # Release departures and take snapshots up to this arrival.
+            while departures and departures[0][0] <= vm.arrival_hours:
+                dep_time, vm_id, server = heapq.heappop(departures)
+                take_snapshots_until(dep_time)
+                backend.remove(server, vm_id)
+                n_departures += 1
+            take_snapshots_until(vm.arrival_hours)
+
+            factor = (
+                None if vm.full_node else adoption(vm.app_name, vm.generation)
+            )
+            placed_server: Optional[Server] = None
+            cores, memory_gb = vm.cores, vm.memory_gb
+            if factor is not None and has_green:
+                scaled = vm.scaled(factor)
+                placed_server = backend.choose_green(
+                    vm, scaled.cores, scaled.memory_gb
+                )
+                if placed_server is not None:
+                    cores, memory_gb = scaled.cores, scaled.memory_gb
+            if placed_server is None:
+                # Non-adopters, full-node VMs, and fungible fallback.
+                placed_server = backend.choose_baseline(vm, cores, memory_gb)
+                if placed_server is not None and factor is not None:
+                    outcome.fallback_placements += 1
+            if placed_server is None:
+                if raise_on_reject:
+                    raise CapacityError(
+                        f"VM {vm.vm_id} rejected by cluster "
+                        f"({cluster.total_servers} servers)"
+                    )
+                outcome.rejected_vms.append(vm.vm_id)
+                continue
+
+            # Pond tiering: on CXL-equipped servers, place the VM's
+            # predicted-untouched memory (or, for tolerant apps,
+            # everything) on the CXL pool, bounded by the pool's
+            # remaining capacity.
+            cxl_gb = 0.0
+            if (
+                placed_server.is_green
+                and placed_server.total_cxl_gb > 0
+                and not vm.full_node
+            ):
+                app = APP_BY_NAME.get(vm.app_name)
+                if app is not None:
+                    plan = plan_tiering(
+                        app,
+                        memory_gb,
+                        vm.max_memory_fraction,
+                        server_cxl_fraction=placed_server.sku.cxl_fraction,
+                    )
+                    cxl_gb = min(plan.cxl_gb, placed_server.free_cxl_gb)
+            backend.place(placed_server, vm, cores, memory_gb, cxl_gb=cxl_gb)
+            outcome.placed_vms += 1
+            if placed_server.is_green:
+                outcome.green_placements += 1
+            if math.isfinite(vm.departure_hours):
+                heapq.heappush(
+                    departures, (vm.departure_hours, vm.vm_id, placed_server)
+                )
+
+        # Drain remaining departures within the trace window for final
+        # snapshots.
+        end = trace.duration_hours
+        while departures and departures[0][0] <= end:
             dep_time, vm_id, server = heapq.heappop(departures)
             take_snapshots_until(dep_time)
             backend.remove(server, vm_id)
-        take_snapshots_until(vm.arrival_hours)
-
-        factor = None if vm.full_node else adoption(vm.app_name, vm.generation)
-        placed_server: Optional[Server] = None
-        cores, memory_gb = vm.cores, vm.memory_gb
-        if factor is not None and has_green:
-            scaled = vm.scaled(factor)
-            placed_server = backend.choose_green(
-                vm, scaled.cores, scaled.memory_gb
-            )
-            if placed_server is not None:
-                cores, memory_gb = scaled.cores, scaled.memory_gb
-        if placed_server is None:
-            # Non-adopters, full-node VMs, and fungible fallback.
-            placed_server = backend.choose_baseline(vm, cores, memory_gb)
-            if placed_server is not None and factor is not None:
-                outcome.fallback_placements += 1
-        if placed_server is None:
-            if raise_on_reject:
-                raise CapacityError(
-                    f"VM {vm.vm_id} rejected by cluster "
-                    f"({cluster.total_servers} servers)"
-                )
-            outcome.rejected_vms.append(vm.vm_id)
-            continue
-
-        # Pond tiering: on CXL-equipped servers, place the VM's predicted-
-        # untouched memory (or, for tolerant apps, everything) on the CXL
-        # pool, bounded by the pool's remaining capacity.
-        cxl_gb = 0.0
-        if (
-            placed_server.is_green
-            and placed_server.total_cxl_gb > 0
-            and not vm.full_node
-        ):
-            app = APP_BY_NAME.get(vm.app_name)
-            if app is not None:
-                plan = plan_tiering(
-                    app,
-                    memory_gb,
-                    vm.max_memory_fraction,
-                    server_cxl_fraction=placed_server.sku.cxl_fraction,
-                )
-                cxl_gb = min(plan.cxl_gb, placed_server.free_cxl_gb)
-        backend.place(placed_server, vm, cores, memory_gb, cxl_gb=cxl_gb)
-        outcome.placed_vms += 1
-        if placed_server.is_green:
-            outcome.green_placements += 1
-        if math.isfinite(vm.departure_hours):
-            heapq.heappush(
-                departures, (vm.departure_hours, vm.vm_id, placed_server)
-            )
-
-    # Drain remaining departures within the trace window for final
-    # snapshots.
-    end = trace.duration_hours
-    while departures and departures[0][0] <= end:
-        dep_time, vm_id, server = heapq.heappop(departures)
-        take_snapshots_until(dep_time)
-        backend.remove(server, vm_id)
-    take_snapshots_until(end)
+            n_departures += 1
+        take_snapshots_until(end)
+    finally:
+        # Flush even when a probe replay aborts on its first rejection
+        # (raise_on_reject), so sizing manifests account the work done.
+        if tel is not None:
+            deltas = {
+                key: value - counters_before.get(key, 0)
+                for key, value in backend.telemetry_counters().items()
+            }
+            deltas["alloc.replays"] = 1
+            deltas["alloc.placements"] = outcome.placed_vms
+            deltas["alloc.rejections"] = len(outcome.rejected_vms)
+            deltas["alloc.green_placements"] = outcome.green_placements
+            deltas["alloc.fallback_placements"] = outcome.fallback_placements
+            deltas["alloc.departures"] = n_departures
+            deltas["alloc.snapshots"] = n_snapshots
+            tel.count_many(deltas)
+            tel.record_timer("alloc.replay", time.perf_counter() - t_start)
     return outcome
 
 

@@ -92,6 +92,7 @@ class _PoolIndex:
         "empty_ids",
         "shapes",
         "shapes_by_cores",
+        "probes",
         "_suffmin",
         "_suffdirty",
     )
@@ -103,6 +104,8 @@ class _PoolIndex:
         self.empty_ids: Dict[Tuple[int, float], List[int]] = {}
         self.shapes: List[Tuple[int, float]] = []
         self.shapes_by_cores: Dict[int, List[Tuple[int, float]]] = {}
+        #: Buckets/shape groups examined across all queries (telemetry).
+        self.probes = 0
         self._suffmin: Dict[int, List[int]] = {}
         self._suffdirty: set = set()
 
@@ -166,29 +169,39 @@ class _PoolIndex:
     def best_busy(self, cores: int, thresh: float) -> Optional[int]:
         """Best-fit among busy servers: min (free_cores, free_mem, id)."""
         m = self.mask >> cores
+        probes = 0
         while m:
+            probes += 1
             k = cores + ((m & -m).bit_length() - 1)
             bucket = self.buckets[k]
             i = bisect_left(bucket, (thresh,))
             if i < len(bucket):
+                self.probes += probes
                 return bucket[i][1]
             m &= m - 1
+        self.probes += probes
         return None
 
     def best_empty(self, cores: int, thresh: float) -> Optional[int]:
         """Best-fit among empty servers: min (total_cores, total_mem, id)."""
+        probes = 0
         for shape in self.shapes:
+            probes += 1
             if shape[0] >= cores and shape[1] >= thresh:
                 ids = self.empty_ids[shape]
                 if ids:
+                    self.probes += probes
                     return ids[0]
+        self.probes += probes
         return None
 
     def min_id_busy(self, cores: int, thresh: float) -> Optional[int]:
         """First-fit among busy servers: minimum feasible server id."""
         best = None
         m = self.mask >> cores
+        probes = 0
         while m:
+            probes += 1
             k = cores + ((m & -m).bit_length() - 1)
             bucket = self.buckets[k]
             i = bisect_left(bucket, (thresh,))
@@ -197,36 +210,45 @@ class _PoolIndex:
                 if best is None or sid < best:
                     best = sid
             m &= m - 1
+        self.probes += probes
         return best
 
     def min_id_empty(self, cores: int, thresh: float) -> Optional[int]:
         """First-fit among empty servers: minimum feasible server id."""
         best = None
+        probes = 0
         for shape, ids in self.empty_ids.items():
+            probes += 1
             if ids and shape[0] >= cores and shape[1] >= thresh:
                 sid = ids[0]
                 if best is None or sid < best:
                     best = sid
+        self.probes += probes
         return best
 
     def worst(
         self, cores: int, thresh: float, include_busy: bool = True
     ) -> Optional[int]:
         """Worst-fit: max free cores, then min id (busy and empty alike)."""
+        probes = 0
         for k in range(self.max_cores, cores - 1, -1):
             best = None
             if include_busy and (self.mask >> k) & 1:
+                probes += 1
                 bucket = self.buckets[k]
                 i = bisect_left(bucket, (thresh,))
                 if i < len(bucket):
                     best = self._suffix_min(k)[i]
             for shape in self.shapes_by_cores.get(k, ()):
+                probes += 1
                 if shape[1] >= thresh:
                     ids = self.empty_ids[shape]
                     if ids and (best is None or ids[0] < best):
                         best = ids[0]
             if best is not None:
+                self.probes += probes
                 return best
+        self.probes += probes
         return None
 
 
@@ -264,6 +286,13 @@ class PlacementEngine:
             )
         self.policy = policy
         self.track_stats = track_stats
+        # Work counters, always on (plain int bumps): placement queries
+        # answered, place/remove reindexes, O(1) snapshot merges.  Bucket
+        # probes live on each _PoolIndex; bucket_probes() sums them.
+        self.stat_queries = 0
+        self.stat_places = 0
+        self.stat_removes = 0
+        self.stat_snapshot_merges = 0
         self.servers: Dict[int, Server] = {}
         self.green = _PoolIndex()
         self.base_all = _PoolIndex()
@@ -421,6 +450,7 @@ class PlacementEngine:
     ) -> Optional[Server]:
         if cores <= 0 or memory_gb <= 0:
             raise ConfigError("placement request must be positive")
+        self.stat_queries += 1
         thresh = memory_gb - MEM_EPS
         policy = self.policy
         if policy == "best-fit":
@@ -449,6 +479,7 @@ class PlacementEngine:
         cxl_gb: float = 0.0,
     ) -> None:
         """Place a VM and reindex the server under its new free capacity."""
+        self.stat_places += 1
         views = self._views[server.server_id]
         before = self._slot_of(server)
         server.place(vm, cores, memory_gb, cxl_gb=cxl_gb)
@@ -460,6 +491,7 @@ class PlacementEngine:
 
     def remove(self, server: Server, vm_id: int) -> None:
         """Remove a departed VM and reindex the server."""
+        self.stat_removes += 1
         views = self._views[server.server_id]
         before = self._slot_of(server)
         server.remove(vm_id)
@@ -537,5 +569,14 @@ class PlacementEngine:
 
     def merge_stats(self, green_stats, baseline_stats) -> None:
         """Fold the current aggregates into per-outcome snapshot stats."""
+        self.stat_snapshot_merges += 1
         green_stats.merge_aggregate(self.green_agg)
         baseline_stats.merge_aggregate(self.base_agg)
+
+    def bucket_probes(self) -> int:
+        """Total buckets/shape groups examined across every pool view."""
+        return (
+            self.green.probes
+            + self.base_all.probes
+            + sum(view.probes for view in self.base_by_gen.values())
+        )

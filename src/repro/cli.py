@@ -9,11 +9,14 @@ Commands:
 - ``savings`` — the Table VIII per-core savings table.
 - ``evaluate`` — end-to-end GSF on a synthetic trace.
 - ``trace`` — generate a synthetic VM trace and write it to CSV.
+- ``stats`` — validate and pretty-print a telemetry run manifest.
 
 Global flags: ``--jobs N`` sets the worker-process count for the
 trace-suite experiments (default: the ``REPRO_JOBS`` env var, else all
 cores); ``--cache`` / ``--no-cache`` toggle the opt-in on-disk result
-cache (default: the ``REPRO_CACHE`` env var, else off).
+cache (default: the ``REPRO_CACHE`` env var, else off);
+``--telemetry PATH`` instruments the run and writes a JSON manifest of
+counters, timers, and phase spans (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -26,7 +29,7 @@ from .allocation.io import save_trace
 from .allocation.traces import TraceParams, generate_trace
 from .carbon.model import CarbonModel
 from .carbon.savings import paper_savings_table, render_savings_table
-from .core import runner
+from .core import runner, telemetry
 from .core.errors import ConfigError, ReproError
 from .experiments.registry import EXPERIMENTS, get_experiment
 from .gsf.framework import Gsf
@@ -50,7 +53,8 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     experiment = get_experiment(args.experiment)
-    experiment.module.main()
+    with telemetry.span(f"experiment.{experiment.experiment_id}"):
+        experiment.module.main()
     return 0
 
 
@@ -166,6 +170,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", dest="cache", action="store_false",
         help="disable the on-disk result cache even if REPRO_CACHE is set",
     )
+    parser.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="instrument the run and write a JSON telemetry manifest "
+             "(counters, timers, phase spans) to PATH",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list paper experiments").set_defaults(
@@ -222,6 +231,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="include the heavy trace-driven experiments",
     )
     export.set_defaults(func=cmd_export)
+
+    stats = sub.add_parser(
+        "stats", help="validate and pretty-print a telemetry manifest"
+    )
+    stats.add_argument("manifest", help="path to a --telemetry JSON file")
+    stats.set_defaults(func=cmd_stats)
     return parser
 
 
@@ -236,6 +251,35 @@ def cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    try:
+        manifest = telemetry.load_manifest(args.manifest)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read manifest: {exc}", file=sys.stderr)
+        return 2
+    problems = telemetry.validate_manifest(manifest)
+    if problems:
+        for problem in problems:
+            print(f"invalid manifest: {problem}", file=sys.stderr)
+        return 2
+    print(telemetry.render_manifest(manifest))
+    return 0
+
+
+def _run_command(args: argparse.Namespace, argv: List[str]) -> int:
+    if args.telemetry is None:
+        return args.func(args)
+    with telemetry.capture() as tel:
+        try:
+            return args.func(args)
+        finally:
+            telemetry.write_manifest(
+                tel.manifest(command=args.command, argv=argv),
+                args.telemetry,
+            )
+            print(f"telemetry written to {args.telemetry}", file=sys.stderr)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -243,7 +287,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         runner.set_default_jobs(args.jobs)
         runner.set_cache_enabled(args.cache)
-        return args.func(args)
+        return _run_command(
+            args, list(sys.argv[1:] if argv is None else argv)
+        )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
+from . import telemetry
 from .errors import ConfigError
 
 T = TypeVar("T")
@@ -163,32 +164,47 @@ def reset_runner_stats() -> RunnerStats:
 # -- deterministic parallel map ------------------------------------------------
 
 
-class _SizingTrackedTask:
-    """Picklable wrapper carrying per-task sizing-counter deltas back.
+class _StatsTrackedTask:
+    """Picklable wrapper carrying per-task instrumentation back to the parent.
 
     Each worker snapshots its process-local ``sizing_stats()`` counters
-    around the task and returns ``(result, (simulate_delta, memo_delta))``.
-    Deltas — not absolute values — because fork-started workers inherit a
-    copy of the parent's counters, and one worker process runs many
-    tasks.  The parent folds the deltas into its own global stats so
-    ``--jobs > 1`` runs report true simulate/memo-hit counts.
+    around the task and returns ``(result, (simulate_delta, memo_delta),
+    drained_telemetry)``.  Sizing counters travel as deltas — not
+    absolute values — because fork-started workers inherit a copy of the
+    parent's counters, and one worker process runs many tasks.  The
+    parent folds the deltas into its own global stats so ``--jobs > 1``
+    runs report true simulate/memo-hit counts.
+
+    Telemetry instead runs each task under a *fresh* capture (shadowing
+    whatever the worker inherited via fork), so the drained counters and
+    timers are exactly this task's activity and merge associatively into
+    the parent's manifest.  Whether to capture is decided in the parent
+    at submit time, so workers never need the parent's sink.
     """
 
     def __init__(self, fn: Callable[[T], R]):
         self._fn = fn
+        self._telemetry = telemetry.enabled()
 
-    def __call__(self, item: T) -> Tuple[R, Tuple[int, int]]:
+    def __call__(self, item: T):
         from ..gsf.sizing import sizing_stats  # lazy: avoids core->gsf cycle
 
         stats = sizing_stats()
         calls_before = stats.simulate_calls
         hits_before = stats.memo_hits
-        result = self._fn(item)
+        drained = None
+        if self._telemetry:
+            with telemetry.capture() as tel:
+                with tel.timer("runner.task"):
+                    result = self._fn(item)
+            drained = tel.drain()
+        else:
+            result = self._fn(item)
         stats = sizing_stats()
         return result, (
             stats.simulate_calls - calls_before,
             stats.memo_hits - hits_before,
-        )
+        ), drained
 
 
 def parallel_map(
@@ -210,18 +226,31 @@ def parallel_map(
     items = list(items)
     jobs = resolve_jobs(jobs)
     _GLOBAL_STATS.tasks += len(items)
+    tel = telemetry.active()
+    if tel is not None:
+        tel.count("runner.tasks", len(items))
     if jobs <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        if tel is None:
+            return [fn(item) for item in items]
+        results = []
+        for item in items:
+            with tel.timer("runner.task"):
+                results.append(fn(item))
+        return results
     workers = min(jobs, len(items))
     _GLOBAL_STATS.parallel_tasks += len(items)
+    if tel is not None:
+        tel.count("runner.parallel_tasks", len(items))
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        tracked = list(pool.map(_SizingTrackedTask(fn), items))
+        tracked = list(pool.map(_StatsTrackedTask(fn), items))
     results: List[R] = []
     simulate_delta = memo_delta = 0
-    for result, (calls, hits) in tracked:
+    for result, (calls, hits), drained in tracked:
         results.append(result)
         simulate_delta += calls
         memo_delta += hits
+        if tel is not None and drained is not None:
+            tel.absorb(*drained)
     if simulate_delta or memo_delta:
         from ..gsf.sizing import sizing_stats  # lazy: avoids core->gsf cycle
 
@@ -263,9 +292,11 @@ class DiskCache:
         except (OSError, pickle.PickleError, EOFError, AttributeError):
             self.misses += 1
             _GLOBAL_STATS.cache_misses += 1
+            telemetry.count("runner.cache_misses")
             return MISSING
         self.hits += 1
         _GLOBAL_STATS.cache_hits += 1
+        telemetry.count("runner.cache_hits")
         return value
 
     def put(self, key: str, value: object) -> None:

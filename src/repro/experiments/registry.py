@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from types import ModuleType
 from typing import Dict, List
 
+from ..core import telemetry
 from ..core.errors import ConfigError
 from . import (
     end_to_end,
@@ -92,7 +93,8 @@ def run_all(verbose: bool = True) -> Dict[str, object]:
     for exp in _EXPERIMENTS:
         if verbose:
             print(f"=== {exp.experiment_id}: {exp.title} ===")
-        results[exp.experiment_id] = exp.module.main()
+        with telemetry.span(f"experiment.{exp.experiment_id}"):
+            results[exp.experiment_id] = exp.module.main()
         if verbose:
             print()
     return results

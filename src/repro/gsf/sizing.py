@@ -35,6 +35,7 @@ from ..allocation.cluster import (
 from ..allocation.index import PlacementEngine
 from ..allocation.scheduler import Server
 from ..allocation.traces import VmTrace
+from ..core import telemetry
 from ..core.errors import CapacityError, ConfigError, SizingError
 from ..hardware.sku import ServerSKU
 
@@ -277,10 +278,14 @@ def right_size(
 
     feasible = _FeasibilityMemo(probe)
     floor = max(lower, 1)
+    bracket_steps = 0
+    bisect_steps = 0
+    verify_steps = 0
     # Exponential bracket, optionally warm-started from a hint.  The
     # invariant entering the bisection: ``lo`` infeasible (or the floor's
     # sentinel below it), ``hi`` feasible.
     start = max(floor, min(hint, MAX_SERVERS) if hint else floor)
+    bracket_steps += 1
     if feasible(start):
         hi = start
         lo = floor - 1  # sentinel: never probed, counts below floor
@@ -288,6 +293,7 @@ def right_size(
         step = max(1, hi // 2)
         probe_down = hi - step
         while probe_down > lo:
+            bracket_steps += 1
             if feasible(probe_down):
                 hi = probe_down
                 step = max(1, hi // 2)
@@ -304,12 +310,14 @@ def right_size(
                     f"trace {trace.name} does not fit {MAX_SERVERS} "
                     f"{sku.name} servers"
                 )
+            bracket_steps += 1
             if feasible(hi):
                 break
             lo = hi
             hi *= 2
     while lo + 1 < hi:
         mid = (lo + hi) // 2
+        bisect_steps += 1
         if feasible(mid):
             hi = mid
         else:
@@ -317,10 +325,25 @@ def right_size(
     # Downward verification: ensure hi-1 truly infeasible.  When the
     # bisection just probed hi-1 (the common case), the memo answers and
     # nothing is re-simulated.
-    while hi > floor and feasible(hi - 1):
+    while hi > floor:
+        verify_steps += 1
+        if not feasible(hi - 1):
+            break
         hi -= 1
     if stats is not None:
         stats.merge(feasible.stats)
+    tel = telemetry.active()
+    if tel is not None:
+        tel.count_many(
+            {
+                "sizing.searches": 1,
+                "sizing.bracket_steps": bracket_steps,
+                "sizing.bisect_steps": bisect_steps,
+                "sizing.verify_steps": verify_steps,
+                "sizing.simulate_calls": feasible.stats.simulate_calls,
+                "sizing.memo_hits": feasible.stats.memo_hits,
+            }
+        )
     return max(hi, lower)
 
 
@@ -416,25 +439,41 @@ def size_mixed_cluster(
                 return prober(nb, ng)
 
         feasible = _FeasibilityMemo(probe)
+        grow_steps = 0
         while not feasible(n_base, n_green):
             n_green += 1
+            grow_steps += 1
             if n_base + n_green > MAX_SERVERS:
                 raise SizingError(
                     f"mixed sizing for {trace.name} exceeded {MAX_SERVERS}"
                 )
         # Greedy trim: prefer dropping baseline SKUs (the replacement the
         # paper's search performs), then try dropping GreenSKUs.
+        trim_steps = 0
         trimmed = True
         while trimmed:
             trimmed = False
             while n_base > 0 and feasible(n_base - 1, n_green):
                 n_base -= 1
+                trim_steps += 1
                 trimmed = True
             while n_green > 0 and feasible(n_base, n_green - 1):
                 n_green -= 1
+                trim_steps += 1
                 trimmed = True
         if stats is not None:
             stats.merge(feasible.stats)
+        tel = telemetry.active()
+        if tel is not None:
+            tel.count_many(
+                {
+                    "sizing.mixed_verifications": 1,
+                    "sizing.grow_steps": grow_steps,
+                    "sizing.trim_steps": trim_steps,
+                    "sizing.simulate_calls": feasible.stats.simulate_calls,
+                    "sizing.memo_hits": feasible.stats.memo_hits,
+                }
+            )
     return ClusterSizing(
         baseline_only_servers=n_reference,
         mixed_baseline_servers=n_base,
@@ -553,13 +592,16 @@ def size_generation_aware(
         def feasible(mixed_counts: "dict[int, int]", ng: int) -> bool:
             return memo(tuple(sorted(mixed_counts.items())), ng)
 
+        grow_steps = 0
         while not feasible(mixed, n_green):
             n_green += 1
+            grow_steps += 1
             if sum(mixed.values()) + n_green > MAX_SERVERS:
                 raise SizingError(
                     f"generation-aware sizing for {trace.name} exceeded "
                     f"{MAX_SERVERS}"
                 )
+        trim_steps = 0
         trimmed = True
         while trimmed:
             trimmed = False
@@ -569,14 +611,27 @@ def size_generation_aware(
                     candidate[gen] -= 1
                     if feasible(candidate, n_green):
                         mixed = candidate
+                        trim_steps += 1
                         trimmed = True
                     else:
                         break
             while n_green > 0 and feasible(mixed, n_green - 1):
                 n_green -= 1
+                trim_steps += 1
                 trimmed = True
         if stats is not None:
             stats.merge(memo.stats)
+        tel = telemetry.active()
+        if tel is not None:
+            tel.count_many(
+                {
+                    "sizing.mixed_verifications": 1,
+                    "sizing.grow_steps": grow_steps,
+                    "sizing.trim_steps": trim_steps,
+                    "sizing.simulate_calls": memo.stats.simulate_calls,
+                    "sizing.memo_hits": memo.stats.memo_hits,
+                }
+            )
     return GenerationAwareSizing(
         reference_by_gen=reference,
         mixed_baselines_by_gen=mixed,

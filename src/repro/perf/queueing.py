@@ -21,11 +21,13 @@ from __future__ import annotations
 
 import heapq
 import math
+import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
 
+from ..core import telemetry
 from ..core.errors import SimulationError
 from ..core.rng import RngFactory
 
@@ -110,6 +112,9 @@ def simulate_fcfs(
         raise SimulationError(f"offered QPS must be > 0, got {offered_qps}")
     if cores < 1:
         raise SimulationError(f"need at least 1 core, got {cores}")
+    tel = telemetry.active()
+    if tel is not None:
+        t_start = time.perf_counter()
     total = requests + warmup
     rngs = RngFactory(seed)
     inter_ms = rngs.stream("arrivals").exponential(
@@ -148,6 +153,13 @@ def simulate_fcfs(
     measured = responses[warmup:]
     utilization = offered_qps * (mean_service_ms / 1000.0) / cores
     p50, p95, p99 = np.percentile(measured, [50, 95, 99])
+    if tel is not None:
+        tel.count_many(
+            {"queueing.runs": 1, "queueing.events_simulated": total}
+        )
+        tel.record_timer(
+            "queueing.simulate_fcfs", time.perf_counter() - t_start
+        )
     return SimResult(
         offered_qps=offered_qps,
         cores=cores,

@@ -15,6 +15,7 @@ from repro.allocation.cluster import ClusterSpec, adopt_everything, simulate
 from repro.allocation.scheduler import BestFitScheduler, Server
 from repro.allocation.traces import TraceParams, VmTrace
 from repro.allocation.vm import VmRequest
+from repro.core import telemetry
 from repro.hardware.sku import baseline_gen3, greensku_cxl
 
 
@@ -129,3 +130,100 @@ class TestSimulationInvariants:
         small = simulate(trace, ClusterSpec.of((baseline_gen3(), 4)))
         large = simulate(trace, ClusterSpec.of((baseline_gen3(), 8)))
         assert len(large.rejected_vms) <= len(small.rejected_vms)
+
+
+class TestTelemetryCounterGroundTruth:
+    """Telemetry counters cross-checked against truth recomputed from
+    the event log: for any trace and cluster, the counted placements,
+    rejections, and departures must equal what the trace itself implies.
+    """
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        servers=st.integers(min_value=3, max_value=12),
+    )
+    @settings(deadline=None, max_examples=10)
+    def test_counters_match_event_log(self, seed, servers):
+        from repro.allocation.traces import generate_trace
+
+        trace = generate_trace(
+            seed=seed,
+            params=TraceParams(duration_days=2, mean_concurrent_vms=40),
+        )
+        spec = ClusterSpec.of((baseline_gen3(), servers))
+        with telemetry.capture() as tel:
+            outcome = simulate(
+                trace, spec, snapshot_hours=6.0, engine="indexed"
+            )
+        c = tel.counters
+
+        # Ground truth from the trace + the outcome's rejected list.
+        rejected = set(outcome.rejected_vms)
+        placed = [vm for vm in trace.vms if vm.vm_id not in rejected]
+        end = trace.duration_hours
+        departed = sum(
+            1
+            for vm in placed
+            if math.isfinite(vm.departure_hours)
+            and vm.departure_hours <= end
+        )
+
+        assert c["alloc.replays"] == 1
+        assert c["alloc.placements"] == len(placed) == outcome.placed_vms
+        assert c["alloc.rejections"] == len(rejected)
+        assert (
+            c["alloc.placements"] + c["alloc.rejections"] == len(trace.vms)
+        )
+        assert c["alloc.departures"] == departed
+        # Conservation: what was placed either departed or is still live.
+        live = sum(
+            1
+            for vm in placed
+            if not (
+                math.isfinite(vm.departure_hours)
+                and vm.departure_hours <= end
+            )
+        )
+        assert c["alloc.placements"] == c["alloc.departures"] + live
+        # Engine mutation counters agree with the replay loop's tallies
+        # (two independently maintained counts of the same events).
+        assert c["engine.places"] == c["alloc.placements"]
+        assert c["engine.removes"] == c["alloc.departures"]
+        assert c["alloc.snapshots"] == c["engine.snapshot_merges"]
+        # Baseline-only, no adoption: exactly one engine query per VM.
+        assert c["engine.queries"] == len(trace.vms)
+        # No greens in the cluster -> no green or fallback placements.
+        assert c["alloc.green_placements"] == 0
+        assert c["alloc.fallback_placements"] == 0
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(deadline=None, max_examples=8)
+    def test_green_counters_partition_placements(self, seed):
+        from repro.allocation.traces import generate_trace
+
+        trace = generate_trace(
+            seed=seed,
+            params=TraceParams(duration_days=2, mean_concurrent_vms=40),
+        )
+        spec = ClusterSpec.of((baseline_gen3(), 4), (greensku_cxl(), 4))
+        with telemetry.capture() as tel:
+            outcome = simulate(
+                trace,
+                spec,
+                adoption=adopt_everything,
+                snapshot_hours=6.0,
+                engine="indexed",
+            )
+        c = tel.counters
+        assert c["alloc.green_placements"] == outcome.green_placements
+        assert c["alloc.fallback_placements"] == outcome.fallback_placements
+        assert c["alloc.green_placements"] <= c["alloc.placements"]
+        # Fallbacks are adopters that landed on baseline: disjoint from
+        # green placements, bounded by total placements.
+        assert (
+            c["alloc.green_placements"] + c["alloc.fallback_placements"]
+            <= c["alloc.placements"]
+        )
+        # Bucket probes only happen inside queries.
+        assert c["engine.bucket_probes"] >= 0
+        assert c["engine.queries"] >= c["alloc.placements"]

@@ -30,7 +30,9 @@ from repro.allocation.index import PlacementEngine
 from repro.allocation.scheduler import PLACEMENT_POLICIES, BestFitScheduler, Server
 from repro.allocation.traces import TraceParams, VmTrace, generate_trace
 from repro.allocation.vm import VmRequest
+from repro.core import telemetry
 from repro.core.errors import ConfigError, SimulationError
+from repro.core.rng import RngFactory
 from repro.hardware.sku import (
     baseline_gen1,
     baseline_gen2,
@@ -142,6 +144,110 @@ class TestReplayEquivalence:
             assert ref_stats.samples == idx_stats.samples
             assert ref_stats._cum == idx_stats._cum
             assert ref_stats.canonical() == idx_stats.canonical()
+
+
+class TestTelemetryDifferential:
+    """Telemetry enabled vs disabled must not change anything observable.
+
+    The instrumentation layer's core guarantee: bit-identical
+    ``SimOutcome`` (including the exact snapshot sums behind the
+    digest), identical sizing results, and untouched RNG streams —
+    for both the reference and the indexed engine.
+    """
+
+    ENGINES = ("reference", "indexed")
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("seed", SEEDS[:3])
+    def test_outcome_bit_identical(self, engine, seed):
+        trace = generate_trace(seed=seed, params=CHURN_PARAMS)
+        spec = ClusterSpec.of((baseline_gen3(), 16), (greensku_full(), 10))
+        kwargs = dict(
+            adoption=adopt_everything,
+            snapshot_hours=3.0,
+            scheduler=BestFitScheduler("best-fit"),
+            engine=engine,
+        )
+        plain = simulate(trace, spec, **kwargs)
+        with telemetry.capture() as tel:
+            instrumented = simulate(trace, spec, **kwargs)
+        assert plain == instrumented
+        assert outcome_digest(plain) == outcome_digest(instrumented)
+        # The capture really saw the replay (guards against silently
+        # passing because instrumentation never ran).
+        assert tel.counters["alloc.replays"] == 1
+        assert tel.counters["alloc.placements"] == plain.placed_vms
+        assert tel.timers["alloc.replay"].count == 1
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_right_size_identical(self, engine, monkeypatch):
+        from repro.gsf.sizing import right_size
+
+        monkeypatch.setenv("REPRO_ALLOC_ENGINE", engine)
+        trace = generate_trace(
+            seed=7,
+            params=TraceParams(duration_days=2, mean_concurrent_vms=60),
+        )
+        plain = right_size(trace, baseline_gen3())
+        with telemetry.capture() as tel:
+            instrumented = right_size(trace, baseline_gen3())
+        assert plain == instrumented
+        assert tel.counters["sizing.searches"] == 1
+        assert tel.counters["sizing.simulate_calls"] > 0
+
+    def test_trace_generation_rng_unperturbed(self):
+        plain = generate_trace(seed=11, params=CHURN_PARAMS)
+        with telemetry.capture():
+            instrumented = generate_trace(seed=11, params=CHURN_PARAMS)
+        assert plain == instrumented
+
+    def test_rng_streams_draw_identically_inside_capture(self):
+        # Draw from named streams with instrumented simulations running
+        # in between: the sequences must match an uninstrumented run.
+        def draws():
+            rngs = RngFactory(123)
+            first = rngs.stream("a").random(32).tolist()
+            simulate(
+                generate_trace(seed=3, params=CHURN_PARAMS),
+                ClusterSpec.of((baseline_gen3(), 20)),
+                engine="indexed",
+            )
+            second = rngs.stream("b").random(32).tolist()
+            return first, second
+
+        plain = draws()
+        with telemetry.capture():
+            instrumented = draws()
+        assert plain == instrumented
+
+    def test_queueing_result_identical(self):
+        from repro.perf.queueing import simulate_fcfs
+
+        kwargs = dict(
+            offered_qps=800.0, cores=4, mean_service_ms=2.0,
+            requests=4000, warmup=500, seed=5,
+        )
+        plain = simulate_fcfs(**kwargs)
+        with telemetry.capture() as tel:
+            instrumented = simulate_fcfs(**kwargs)
+        assert plain == instrumented
+        assert tel.counters["queueing.runs"] == 1
+        assert tel.counters["queueing.events_simulated"] == 4500
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_counters_deterministic_across_repeats(self, engine):
+        # Design rule 3: identical workload -> identical counters.
+        trace = generate_trace(seed=2, params=CHURN_PARAMS)
+        spec = ClusterSpec.of((baseline_gen3(), 16), (greensku_full(), 10))
+
+        def run():
+            with telemetry.capture() as tel:
+                simulate(
+                    trace, spec, adoption=adopt_everything, engine=engine
+                )
+            return tel.counters
+
+        assert run() == run()
 
 
 class TestEngineSelection:

@@ -122,6 +122,62 @@ class TestSizingStatsAggregation:
         assert parallel_counts == serial_counts
 
 
+class TestTelemetryFoldIn:
+    """Worker-process telemetry folds back into the parent's capture.
+
+    The pinned invariant: every counter and timer *count* is identical
+    between ``jobs=1`` and ``jobs=N`` — parallelism changes where work
+    runs, never how much of it is accounted.  The only exception is
+    ``runner.parallel_tasks``, which by definition counts tasks shipped
+    to worker processes.
+    """
+
+    def _run(self, jobs):
+        from repro.core import telemetry
+
+        with telemetry.capture() as tel:
+            results = parallel_map(_size_trace, [21, 22, 23], jobs=jobs)
+        return results, tel
+
+    def test_counters_identical_across_worker_counts(self):
+        serial_results, serial_tel = self._run(jobs=1)
+        parallel_results, parallel_tel = self._run(jobs=2)
+        assert parallel_results == serial_results
+
+        def comparable(tel):
+            counters = dict(tel.counters)
+            counters.pop("runner.parallel_tasks", None)
+            return counters
+
+        serial = comparable(serial_tel)
+        parallel = comparable(parallel_tel)
+        # The searches really ran and were really counted on both paths.
+        assert serial["runner.tasks"] == 3
+        assert serial["sizing.searches"] == 3
+        assert serial["sizing.simulate_calls"] > 0
+        assert serial["alloc.replays"] > 0
+        assert parallel == serial
+        assert parallel_tel.counters["runner.parallel_tasks"] == 3
+
+    def test_timer_counts_identical_across_worker_counts(self):
+        _, serial_tel = self._run(jobs=1)
+        _, parallel_tel = self._run(jobs=2)
+        assert set(serial_tel.timers) == set(parallel_tel.timers)
+        assert serial_tel.timers["runner.task"].count == 3
+        for name, stat in serial_tel.timers.items():
+            assert parallel_tel.timers[name].count == stat.count
+
+    def test_disabled_parent_means_no_worker_capture(self):
+        from repro.core import telemetry
+
+        # With telemetry off, workers must not capture (drained is None)
+        # and the map behaves exactly as before the instrumentation.
+        assert telemetry.active() is None
+        results = parallel_map(_size_trace, [21], jobs=2)
+        assert results == parallel_map(_size_trace, [21], jobs=1)
+        assert telemetry.active() is None
+
+
 class TestDiskCache:
     def test_miss_then_hit_roundtrip(self, tmp_path):
         cache = DiskCache(tmp_path)

@@ -1,0 +1,133 @@
+"""Property tests for the telemetry layer.
+
+Hypothesis drives arbitrary interleavings of counter, timer, and span
+operations against a reference model and asserts the invariants the rest
+of the stack relies on: operations never raise, spans nest and unwind
+correctly, drained state folds losslessly, and every manifest validates
+and survives a JSON round-trip.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.telemetry import Telemetry, validate_manifest
+
+NAMES = st.sampled_from(
+    ["alloc.placements", "engine.queries", "sizing.memo_hits", "t", "x.y"]
+)
+COUNTS = st.integers(min_value=0, max_value=10**9)
+ELAPSED = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+# One telemetry operation: counters, timers, and span pushes/pops in any
+# order (pops may outnumber pushes — the layer must tolerate that).
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("count"), NAMES, COUNTS),
+        st.tuples(st.just("timer"), NAMES, ELAPSED),
+        st.tuples(st.just("push"), NAMES, st.just(0)),
+        st.tuples(st.just("pop"), st.just(""), st.just(0)),
+    ),
+    max_size=60,
+)
+
+
+def run_program(ops):
+    """Interpret an op list against a Telemetry and a reference model."""
+    clock = iter(range(10**9)).__next__
+    tel = Telemetry(clock=lambda: float(clock()))
+    ref_counters = {}
+    ref_timers = {}
+    open_spans = []
+    for op, name, value in ops:
+        if op == "count":
+            tel.count(name, value)
+            ref_counters[name] = ref_counters.get(name, 0) + value
+        elif op == "timer":
+            tel.record_timer(name, value)
+            ref_timers.setdefault(name, []).append(value)
+        elif op == "push":
+            cm = tel.span(name)
+            cm.__enter__()
+            open_spans.append(cm)
+        elif op == "pop" and open_spans:
+            open_spans.pop().__exit__(None, None, None)
+    while open_spans:
+        open_spans.pop().__exit__(None, None, None)
+    return tel, ref_counters, ref_timers
+
+
+@given(OPS)
+@settings(max_examples=200, deadline=None)
+def test_interleavings_never_raise_and_match_reference(ops):
+    tel, ref_counters, ref_timers = run_program(ops)
+    assert tel.span_depth == 0
+    assert tel.counters == ref_counters
+    assert set(tel.timers) == set(ref_timers)
+    for name, samples in ref_timers.items():
+        stat = tel.timers[name]
+        assert stat.count == len(samples)
+        assert stat.total_s == sum(samples)
+        assert stat.min_s == min(samples)
+        assert stat.max_s == max(samples)
+
+
+@given(OPS)
+@settings(max_examples=200, deadline=None)
+def test_manifest_always_validates_and_round_trips(ops):
+    tel, _, _ = run_program(ops)
+    manifest = tel.manifest(command="prop", argv=["prop"])
+    assert validate_manifest(manifest) == []
+    assert json.loads(json.dumps(manifest)) == manifest
+
+
+@given(OPS)
+@settings(max_examples=100, deadline=None)
+def test_span_tree_consumes_all_pushes(ops):
+    tel, _, _ = run_program(ops)
+
+    def count_nodes(nodes):
+        return sum(1 + count_nodes(n["children"]) for n in nodes)
+
+    pushes = sum(1 for op, _, _ in ops if op == "push")
+    assert count_nodes(tel.manifest()["spans"]) == pushes
+
+
+@given(st.lists(OPS, min_size=2, max_size=4))
+@settings(max_examples=100, deadline=None)
+def test_absorb_is_order_insensitive(programs):
+    """Folding worker drains in any order yields the same counters and
+    timer count/min/max (total_s may differ in float rounding only)."""
+    drains = [run_program(ops)[0].drain() for ops in programs]
+
+    def fold(order):
+        parent = Telemetry(clock=lambda: 0.0)
+        for i in order:
+            parent.absorb(*drains[i])
+        return parent
+
+    forward = fold(range(len(drains)))
+    backward = fold(reversed(range(len(drains))))
+    assert forward.counters == backward.counters
+    assert set(forward.timers) == set(backward.timers)
+    for name in forward.timers:
+        f, b = forward.timers[name], backward.timers[name]
+        assert (f.count, f.min_s, f.max_s) == (b.count, b.min_s, b.max_s)
+        assert abs(f.total_s - b.total_s) <= 1e-6 * max(1.0, f.total_s)
+
+
+@given(OPS)
+@settings(max_examples=100, deadline=None)
+def test_drain_absorb_into_empty_is_identity(ops):
+    worker, _, _ = run_program(ops)
+    parent = Telemetry(clock=lambda: 0.0)
+    parent.absorb(*worker.drain())
+    assert parent.counters == worker.counters
+    assert {n: s.as_tuple() for n, s in parent.timers.items()} == {
+        n: s.as_tuple() for n, s in worker.timers.items()
+    }

@@ -74,3 +74,76 @@ class TestTrace:
 
         loaded = load_trace(out_file)
         assert len(loaded.vms) > 0
+
+
+class TestTelemetryFlag:
+    def test_writes_valid_manifest(self, capsys, tmp_path):
+        from repro.core.telemetry import load_manifest, validate_manifest
+
+        path = tmp_path / "tel.json"
+        argv = [
+            "--telemetry", str(path),
+            "evaluate", "--vms", "60", "--days", "4", "--seed", "3",
+        ]
+        assert main(argv) == 0
+        manifest = load_manifest(path)
+        assert validate_manifest(manifest) == []
+        assert manifest["command"] == "evaluate"
+        assert manifest["argv"] == argv
+        assert manifest["counters"]["alloc.replays"] >= 1
+        assert manifest["counters"]["sizing.searches"] >= 1
+        assert "alloc.replay" in manifest["timers"]
+
+    def test_output_identical_with_and_without(self, capsys, tmp_path):
+        argv = ["evaluate", "--vms", "60", "--days", "4", "--seed", "3"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        path = tmp_path / "tel.json"
+        assert main(["--telemetry", str(path)] + argv) == 0
+        instrumented = capsys.readouterr().out
+        assert instrumented == plain
+
+    def test_run_experiment_has_span(self, capsys, tmp_path):
+        from repro.core.telemetry import load_manifest
+
+        path = tmp_path / "tel.json"
+        assert main(["--telemetry", str(path), "run", "table4"]) == 0
+        manifest = load_manifest(path)
+        assert [s["name"] for s in manifest["spans"]] == [
+            "experiment.table4"
+        ]
+
+    def test_telemetry_off_leaves_no_sink(self):
+        from repro.core import telemetry
+
+        assert main(["run", "table4"]) == 0
+        assert telemetry.active() is None
+
+
+class TestStats:
+    def _manifest(self, tmp_path):
+        path = tmp_path / "tel.json"
+        main(
+            ["--telemetry", str(path), "evaluate",
+             "--vms", "60", "--days", "4", "--seed", "3"]
+        )
+        return path
+
+    def test_pretty_prints_manifest(self, capsys, tmp_path):
+        path = self._manifest(tmp_path)
+        capsys.readouterr()
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry manifest: evaluate" in out
+        assert "alloc.replays" in out
+        assert "timers:" in out
+
+    def test_rejects_invalid_manifest(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "bogus/1"}\n')
+        assert main(["stats", str(path)]) == 2
+        assert "invalid manifest" in capsys.readouterr().err
+
+    def test_rejects_missing_file(self, capsys, tmp_path):
+        assert main(["stats", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
