@@ -45,9 +45,15 @@ from repro.perf.autoscale import autoscale
 from repro.perf.dvfs import frequency_sweep
 from repro.perf.pond import mitigated_share
 
+from repro.allocation.store import TraceStore
+from repro.experiments import fig10_memutil
+
 from conftest import run_once
 
 GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_digests.json"
+GOLDEN_TRACE_PATH = (
+    pathlib.Path(__file__).parent / "golden_trace_digests.json"
+)
 
 #: ~1k baseline servers once right-sized (the ISSUE's target scale).
 ENGINE_TRACE_PARAMS = TraceParams(duration_days=3, mean_concurrent_vms=16000)
@@ -143,6 +149,154 @@ def test_alloc_engine_golden_digest(save):
     save(
         "alloc_engine_digests.txt",
         "\n".join(f"{name}: {digest}" for name, digest in sorted(digests.items())),
+    )
+
+
+def _golden_trace_specs():
+    """Fixed (name, seed, params) trace identities pinned in CI.
+
+    Covers the golden-digest replay traces plus the jittered suite path
+    (distinct per-trace params through ``suite_specs``).
+    """
+    from repro.allocation.traces import suite_specs
+
+    base = TraceParams(duration_days=3, mean_concurrent_vms=120)
+    specs = [("seed3", 3, base), ("seed5", 5, base)]
+    for seed, params, name in suite_specs(count=4, params=base):
+        specs.append((name, seed, params))
+    return specs
+
+
+def test_trace_golden_digest(save):
+    """Vectorized trace digests match the reference-generated goldens.
+
+    The digests in ``golden_trace_digests.json`` were produced by the
+    scalar reference generator; refresh with ``REPRO_UPDATE_GOLDEN=1``.
+    Any divergence means the block-drawing backend changed the VM
+    stream — exactly the regression the equivalence contract forbids.
+    """
+    digests = {
+        name: generate_trace(seed, params, method="vectorized").digest()
+        for name, seed, params in _golden_trace_specs()
+    }
+    if os.environ.get("REPRO_UPDATE_GOLDEN", "0") not in ("", "0"):
+        reference = {
+            name: generate_trace(seed, params, method="reference").digest()
+            for name, seed, params in _golden_trace_specs()
+        }
+        GOLDEN_TRACE_PATH.write_text(json.dumps(reference, indent=2) + "\n")
+    golden = json.loads(GOLDEN_TRACE_PATH.read_text())
+    assert digests == golden, (
+        "vectorized trace digests diverged from the reference-generated "
+        "goldens"
+    )
+    save(
+        "trace_pipeline_digests.txt",
+        "\n".join(f"{name}: {digest}" for name, digest in sorted(
+            digests.items()
+        )),
+    )
+
+
+def test_trace_generation_speedup(save):
+    """Block-drawn suite generation beats the scalar loop >= 5x.
+
+    Measures the full 35-trace production suite (the input of every
+    figure) under both backends.  The committed artifact records the
+    measured ratio; the in-test floor is softer (3x) to tolerate noisy
+    shared CI runners.
+    """
+    count = 35
+    t0 = time.perf_counter()
+    reference = production_trace_suite(count=count, method="reference")
+    reference_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    vectorized = production_trace_suite(count=count, method="vectorized")
+    vectorized_s = time.perf_counter() - t0
+
+    total_vms = sum(t.vm_count for t in vectorized)
+    assert [t.digest() for t in vectorized] == [
+        t.digest() for t in reference
+    ]
+    speedup = reference_s / vectorized_s
+    save(
+        "trace_pipeline_generation.txt",
+        f"production_trace_suite({count}) generation, {total_vms} VMs "
+        f"total\n"
+        f"  scalar reference loop: {reference_s:.2f}s "
+        f"({reference_s / total_vms * 1e6:.1f}us/VM)\n"
+        f"  vectorized (block draws): {vectorized_s:.2f}s "
+        f"({vectorized_s / total_vms * 1e6:.1f}us/VM)\n"
+        f"  speedup: {speedup:.1f}x (target >= 5x)\n"
+        f"  digests: bit-identical across all {count} traces",
+    )
+    assert speedup >= 3.0, f"suite generation speedup {speedup:.1f}x < 3x"
+
+
+def test_trace_store_round_trip(save, tmp_path):
+    """Store loads are much cheaper than regeneration and digest-equal."""
+    count = 8
+    store = TraceStore(directory=tmp_path / "traces")
+    t0 = time.perf_counter()
+    generated = production_trace_suite(count=count, store=store)
+    generate_s = time.perf_counter() - t0
+    assert (store.hits, store.misses) == (0, count)
+
+    t0 = time.perf_counter()
+    loaded = production_trace_suite(count=count, store=store)
+    load_s = time.perf_counter() - t0
+    assert (store.hits, store.misses) == (count, count)
+    assert [t.digest() for t in loaded] == [t.digest() for t in generated]
+
+    speedup = generate_s / load_s
+    save(
+        "trace_pipeline_store.txt",
+        f"trace store ({count}-trace suite, "
+        f"{sum(t.vm_count for t in loaded)} VMs)\n"
+        f"  generate (cold, vectorized): {generate_s * 1000:.0f}ms\n"
+        f"  load from .npz store (warm): {load_s * 1000:.0f}ms\n"
+        f"  speedup: {speedup:.1f}x; round trip digest-equal",
+    )
+    assert speedup >= 1.0
+
+
+def test_trace_pipeline_end_to_end(save):
+    """Serial Fig. 9 + Fig. 10 wall-clock, scalar vs columnar pipeline.
+
+    Both runs use the indexed placement engine; only the trace backend
+    differs, so the delta is the generation + trace-plumbing share of
+    the end-to-end pipelines.  Outcomes must be bit-identical.
+    """
+    if not _reference_timing_enabled():
+        pytest.skip("set REPRO_BENCH_REFERENCE=1 to time the end-to-end runs")
+
+    def pipeline(method):
+        traces = production_trace_suite(
+            count=8,
+            params=TraceParams(mean_concurrent_vms=250),
+            method=method,
+        )
+        fig9 = fig9_packing.run(traces=traces, jobs=1)
+        fig10 = fig10_memutil.run(traces=traces, jobs=1)
+        return fig9, fig10
+
+    t0 = time.perf_counter()
+    ref9, ref10 = pipeline("reference")
+    reference_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    vec9, vec10 = pipeline("vectorized")
+    vectorized_s = time.perf_counter() - t0
+
+    assert vec9 == ref9
+    assert vec10 == ref10
+    save(
+        "trace_pipeline_fig9_fig10.txt",
+        f"serial Fig. 9 + Fig. 10 pipeline (8 traces, 250 mean-concurrent "
+        f"VMs, jobs=1, no cache, indexed engine)\n"
+        f"  scalar trace pipeline:   {reference_s:.2f}s\n"
+        f"  columnar trace pipeline: {vectorized_s:.2f}s\n"
+        f"  speedup: {reference_s / vectorized_s:.2f}x end to end; "
+        f"Fig. 9/10 results bit-identical",
     )
 
 

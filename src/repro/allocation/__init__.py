@@ -1,5 +1,6 @@
 """GSF VM allocation component: traces, scheduler, cluster simulation."""
 
+from .columnar import ColumnarTrace
 from .cluster import (
     AdoptionPolicy,
     ClusterSpec,
@@ -21,10 +22,14 @@ from .lifetimes import (
 )
 from .packing import PackingPoint, cdf, fraction_below, packing_point
 from .scheduler import BestFitScheduler, PlacementDecision, Server
+from .store import TraceStore, store_enabled
 from .traces import TraceParams, VmTrace, generate_trace, production_trace_suite
 from .vm import VmRequest
 
 __all__ = [
+    "ColumnarTrace",
+    "TraceStore",
+    "store_enabled",
     "AdoptionPolicy",
     "ClusterSpec",
     "SimOutcome",

@@ -565,10 +565,7 @@ def _wants_stats(trace: VmTrace, snapshot_hours: float) -> bool:
     interval (1e9 h) beyond both, letting the indexed engine skip
     aggregate maintenance entirely in the hot path.
     """
-    horizon = max(
-        trace.duration_hours,
-        max((vm.arrival_hours for vm in trace.vms), default=0.0),
-    )
+    horizon = max(trace.duration_hours, trace.last_arrival_hours)
     return snapshot_hours <= horizon
 
 

@@ -1,0 +1,328 @@
+"""Structure-of-arrays trace representation.
+
+``ColumnarTrace`` holds one numpy array per VM attribute and is the
+canonical in-memory and on-disk form of a trace.  Row objects
+(``VmRequest``) are materialized lazily by ``VmTrace`` for code that
+still walks VMs one at a time; sweeps and reductions (peak cores,
+memory-utilization CDFs, sub-trace filters) operate directly on the
+columns.
+
+Application names are interned: the ``app_index`` column indexes into a
+per-trace ``app_names`` tuple.  Generated traces share the fleet-wide
+table (see ``traces._app_tables``); traces built from arbitrary rows
+(e.g. CSV imports) extend it with first-occurrence ordering, so the
+mapping — and therefore :meth:`ColumnarTrace.digest` — is a pure
+function of the row sequence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import ConfigError
+from .vm import VmRequest
+
+#: Column name -> numpy dtype, in serialization/digest order.
+COLUMN_DTYPES = (
+    ("vm_id", np.int64),
+    ("arrival_hours", np.float64),
+    ("lifetime_hours", np.float64),
+    ("cores", np.int64),
+    ("memory_gb", np.float64),
+    ("generation", np.int64),
+    ("app_index", np.int64),
+    ("max_memory_fraction", np.float64),
+    ("full_node", np.bool_),
+)
+
+COLUMN_NAMES = tuple(name for name, _dtype in COLUMN_DTYPES)
+
+#: ``.npz`` schema tag; bump on any layout change.
+NPZ_SCHEMA = "repro-trace/1"
+
+
+class ColumnarTrace:
+    """The SoA form of a VM trace: one read-only array per attribute.
+
+    Arrays are row-aligned (index ``i`` across all columns is one VM)
+    and frozen (``writeable=False``) so views can be shared without
+    defensive copies.
+    """
+
+    __slots__ = COLUMN_NAMES + ("app_names", "n")
+
+    def __init__(
+        self,
+        *,
+        vm_id: np.ndarray,
+        arrival_hours: np.ndarray,
+        lifetime_hours: np.ndarray,
+        cores: np.ndarray,
+        memory_gb: np.ndarray,
+        generation: np.ndarray,
+        app_index: np.ndarray,
+        max_memory_fraction: np.ndarray,
+        full_node: np.ndarray,
+        app_names: Sequence[str],
+    ) -> None:
+        values = locals()
+        n: Optional[int] = None
+        for name, dtype in COLUMN_DTYPES:
+            array = np.ascontiguousarray(values[name], dtype=dtype)
+            if array.ndim != 1:
+                raise ConfigError(f"column {name!r} must be 1-D")
+            if n is None:
+                n = array.shape[0]
+            elif array.shape[0] != n:
+                raise ConfigError(
+                    f"column {name!r} has {array.shape[0]} rows, "
+                    f"expected {n}"
+                )
+            array.flags.writeable = False
+            object.__setattr__(self, name, array)
+        object.__setattr__(self, "n", int(n or 0))
+        object.__setattr__(self, "app_names", tuple(app_names))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("ColumnarTrace is immutable")
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:
+        return f"ColumnarTrace(n={self.n}, apps={len(self.app_names)})"
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_vms(
+        cls,
+        vms: Iterable[VmRequest],
+        base_app_names: Sequence[str] = (),
+    ) -> "ColumnarTrace":
+        """Build columns from row objects.
+
+        ``base_app_names`` pre-seeds the interning table (generated
+        traces pass the fleet table so row- and block-built columns
+        agree index for index); unseen names append in first-occurrence
+        order.
+        """
+        app_names = list(base_app_names)
+        index_of = {name: i for i, name in enumerate(app_names)}
+        rows = list(vms)
+        app_index = np.empty(len(rows), dtype=np.int64)
+        for i, vm in enumerate(rows):
+            idx = index_of.get(vm.app_name)
+            if idx is None:
+                idx = index_of[vm.app_name] = len(app_names)
+                app_names.append(vm.app_name)
+            app_index[i] = idx
+        return cls(
+            vm_id=np.array([vm.vm_id for vm in rows], dtype=np.int64),
+            arrival_hours=np.array(
+                [vm.arrival_hours for vm in rows], dtype=np.float64
+            ),
+            lifetime_hours=np.array(
+                [vm.lifetime_hours for vm in rows], dtype=np.float64
+            ),
+            cores=np.array([vm.cores for vm in rows], dtype=np.int64),
+            memory_gb=np.array(
+                [vm.memory_gb for vm in rows], dtype=np.float64
+            ),
+            generation=np.array(
+                [vm.generation for vm in rows], dtype=np.int64
+            ),
+            app_index=app_index,
+            max_memory_fraction=np.array(
+                [vm.max_memory_fraction for vm in rows], dtype=np.float64
+            ),
+            full_node=np.array(
+                [vm.full_node for vm in rows], dtype=np.bool_
+            ),
+            app_names=app_names,
+        )
+
+    def to_vms(self) -> Tuple[VmRequest, ...]:
+        """Materialize the row view (exact scalar round-trip)."""
+        names = self.app_names
+        ids = self.vm_id.tolist()
+        arrivals = self.arrival_hours.tolist()
+        lifetimes = self.lifetime_hours.tolist()
+        cores = self.cores.tolist()
+        memory = self.memory_gb.tolist()
+        generations = self.generation.tolist()
+        app_idx = self.app_index.tolist()
+        fractions = self.max_memory_fraction.tolist()
+        full = self.full_node.tolist()
+        return tuple(
+            VmRequest(
+                vm_id=ids[i],
+                arrival_hours=arrivals[i],
+                lifetime_hours=lifetimes[i],
+                cores=cores[i],
+                memory_gb=memory[i],
+                generation=generations[i],
+                app_name=names[app_idx[i]],
+                max_memory_fraction=fractions[i],
+                full_node=full[i],
+            )
+            for i in range(self.n)
+        )
+
+    # -- views ----------------------------------------------------------------
+
+    def take(self, selector: np.ndarray) -> "ColumnarTrace":
+        """A sub-trace from a boolean mask or index array.
+
+        Row order (and ``vm_id``) is preserved; the app table is shared
+        unchanged so indices stay valid.
+        """
+        return ColumnarTrace(
+            app_names=self.app_names,
+            **{name: getattr(self, name)[selector] for name in COLUMN_NAMES},
+        )
+
+    # -- reductions ------------------------------------------------------------
+
+    def peak_concurrent_cores(self) -> int:
+        """Exact event-sweep peak of simultaneously requested cores.
+
+        Equivalent to sorting ``(time, is_arrival, cores)`` event tuples
+        and taking the running-sum maximum: ``lexsort`` orders
+        departures (flag 0) before arrivals (flag 1) at equal times
+        (half-open ``[arrival, departure)`` occupancy), and within any
+        tied block the running sum is monotone, so block-end cumulative
+        sums contain the true peak.
+        """
+        if self.n == 0:
+            return 0
+        departures = self.arrival_hours + self.lifetime_hours
+        finite = np.isfinite(departures)
+        times = np.concatenate([self.arrival_hours, departures[finite]])
+        flags = np.concatenate(
+            [
+                np.ones(self.n, dtype=np.int8),
+                np.zeros(int(finite.sum()), dtype=np.int8),
+            ]
+        )
+        deltas = np.concatenate([self.cores, -self.cores[finite]])
+        order = np.lexsort((flags, times))
+        return int(np.cumsum(deltas[order]).max())
+
+    def last_arrival_hours(self) -> float:
+        return float(self.arrival_hours.max()) if self.n else 0.0
+
+    # -- identity --------------------------------------------------------------
+
+    def digest(self) -> str:
+        """sha256 over the column bytes (the trace's content identity)."""
+        h = hashlib.sha256()
+        h.update(repr((NPZ_SCHEMA, self.n, self.app_names)).encode())
+        for name in COLUMN_NAMES:
+            array = getattr(self, name)
+            h.update(name.encode())
+            h.update(array.dtype.str.encode())
+            h.update(array.tobytes())
+        return h.hexdigest()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ColumnarTrace):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and self.app_names == other.app_names
+            and all(
+                np.array_equal(getattr(self, name), getattr(other, name))
+                for name in COLUMN_NAMES
+            )
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.digest())
+
+    # -- validation ------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Reject columns that could not have come from valid rows.
+
+        Mirrors ``VmRequest.__post_init__`` so store loads fail fast on
+        corrupt or hand-edited entries instead of producing nonsense
+        downstream.
+        """
+        if self.n == 0:
+            return
+        if not (self.cores > 0).all():
+            raise ConfigError("trace columns: cores must be > 0")
+        if not (self.memory_gb > 0).all():
+            raise ConfigError("trace columns: memory must be > 0")
+        if not (self.arrival_hours >= 0).all():
+            raise ConfigError("trace columns: arrivals must be >= 0")
+        lifetimes = self.lifetime_hours
+        if not ((lifetimes > 0) | np.isinf(lifetimes)).all() or (
+            np.isnan(lifetimes).any()
+        ):
+            raise ConfigError("trace columns: lifetimes must be > 0")
+        if not np.isin(self.generation, (1, 2, 3)).all():
+            raise ConfigError("trace columns: generation must be 1, 2 or 3")
+        fractions = self.max_memory_fraction
+        if not ((fractions >= 0) & (fractions <= 1)).all():
+            raise ConfigError(
+                "trace columns: max memory fraction must be in [0, 1]"
+            )
+        app_index = self.app_index
+        if self.n and (
+            app_index.min() < 0 or app_index.max() >= len(self.app_names)
+        ):
+            raise ConfigError("trace columns: app index out of range")
+
+    # -- pickling --------------------------------------------------------------
+
+    def __reduce__(self):
+        state = {name: getattr(self, name) for name in COLUMN_NAMES}
+        state["app_names"] = self.app_names
+        return (_rebuild_columnar, (state,))
+
+
+def _rebuild_columnar(state: dict) -> ColumnarTrace:
+    return ColumnarTrace(**state)
+
+
+# -- .npz serialization --------------------------------------------------------
+
+
+def save_columns_npz(columns: ColumnarTrace, path) -> None:
+    """Write columns to ``path`` as an (uncompressed) ``.npz``."""
+    arrays = {name: getattr(columns, name) for name in COLUMN_NAMES}
+    arrays["app_names"] = np.array(columns.app_names, dtype=np.str_)
+    arrays["schema"] = np.array(NPZ_SCHEMA)
+    with open(path, "wb") as handle:
+        np.savez(handle, **arrays)
+
+
+def load_columns_npz(path) -> ColumnarTrace:
+    """Read columns back; raises ``ConfigError`` on schema/content issues.
+
+    I/O and zip-level corruption surface as the usual ``OSError`` /
+    ``ValueError`` / ``zipfile.BadZipFile`` from ``np.load``.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        files = set(data.files)
+        missing = ({"schema", "app_names"} | set(COLUMN_NAMES)) - files
+        if missing:
+            raise ConfigError(
+                f"trace npz missing entries: {sorted(missing)}"
+            )
+        schema = str(data["schema"])
+        if schema != NPZ_SCHEMA:
+            raise ConfigError(
+                f"trace npz schema {schema!r} != {NPZ_SCHEMA!r}"
+            )
+        columns = ColumnarTrace(
+            app_names=tuple(str(name) for name in data["app_names"]),
+            **{name: data[name] for name in COLUMN_NAMES},
+        )
+    columns.validate()
+    return columns

@@ -1,0 +1,120 @@
+"""Persistent on-disk trace store.
+
+Generated traces are pure functions of ``(seed, TraceParams)``, so their
+columnar form can be cached across processes: entries are ``.npz`` files
+named by a content key over the generation inputs (plus a store version
+that tracks the generator's draw schedule), living next to the PR 1
+result cache (``<cache dir>/traces`` by default).
+
+The store is opt-in, like the result cache: enable it explicitly with a
+``TraceStore`` argument, via ``REPRO_TRACE_STORE=1``, or implicitly
+whenever the result cache itself is on (``--cache`` / ``REPRO_CACHE``).
+Corrupt, truncated, or schema-mismatched entries are treated as misses —
+the trace is regenerated and the entry rewritten — never as errors.
+"""
+
+from __future__ import annotations
+
+import os
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from ..core import telemetry
+from ..core.errors import ConfigError
+from ..core.runner import cache_enabled, content_key, default_cache_dir
+from .columnar import ColumnarTrace, load_columns_npz, save_columns_npz
+
+#: Env vars: force the store on/off, and relocate it.
+STORE_ENV = "REPRO_TRACE_STORE"
+STORE_DIR_ENV = "REPRO_TRACE_STORE_DIR"
+
+#: Part of every entry key; bump when the generator's draw schedule (or
+#: the npz layout) changes so stale entries miss instead of lying.
+STORE_VERSION = "trace-store-v1"
+
+#: Errors that mean "this entry is unusable" (treated as a miss).
+_CORRUPT_ENTRY_ERRORS = (
+    OSError,
+    ValueError,
+    KeyError,
+    EOFError,
+    ConfigError,
+    zipfile.BadZipFile,
+)
+
+
+def store_enabled() -> bool:
+    """Whether suite generation should use the persistent store.
+
+    ``REPRO_TRACE_STORE`` wins when set (``0``/``false``/``no``/empty
+    disable); otherwise the store follows the result-cache opt-in.
+    """
+    env = os.environ.get(STORE_ENV)
+    if env is not None:
+        return env not in ("", "0", "false", "no")
+    return cache_enabled()
+
+
+def default_store_dir() -> Path:
+    env = os.environ.get(STORE_DIR_ENV)
+    if env:
+        return Path(env)
+    return default_cache_dir() / "traces"
+
+
+@dataclass
+class TraceStore:
+    """Content-keyed ``.npz`` store of generated columnar traces."""
+
+    directory: Path = field(default_factory=default_store_dir)
+    hits: int = 0
+    misses: int = 0
+
+    def key(self, seed: int, params: object) -> str:
+        """The entry key: a content hash of the generation inputs."""
+        return content_key(STORE_VERSION, seed, params)
+
+    def path(self, seed: int, params: object) -> Path:
+        return Path(self.directory) / f"{self.key(seed, params)}.npz"
+
+    def get(self, seed: int, params: object, name: str):
+        """The stored trace, or ``None`` on a miss (absent or corrupt).
+
+        Imports lazily to avoid a module cycle with ``traces``.
+        """
+        from .traces import VmTrace
+
+        columns = self.get_columns(seed, params)
+        if columns is None:
+            return None
+        return VmTrace(name=name, params=params, columns=columns)
+
+    def get_columns(self, seed: int, params: object) -> Optional[ColumnarTrace]:
+        path = self.path(seed, params)
+        if path.exists():
+            try:
+                columns = load_columns_npz(path)
+            except _CORRUPT_ENTRY_ERRORS:
+                pass  # unreadable entry == miss; put() will rewrite it
+            else:
+                self.hits += 1
+                telemetry.count("trace.store_hits")
+                return columns
+        self.misses += 1
+        telemetry.count("trace.store_misses")
+        return None
+
+    def put(self, seed: int, params: object, columns: ColumnarTrace) -> Path:
+        """Write one entry atomically (tmp file + rename)."""
+        path = self.path(seed, params)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        try:
+            save_columns_npz(columns, tmp)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        return path

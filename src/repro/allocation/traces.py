@@ -22,24 +22,68 @@ synthesizes traces with the published marginals of Azure's workload
 A trace's applications are assigned the paper's way: sample a class from
 the fleet core-hour shares (Table III), then uniformly choose an
 application within the class.
+
+Two generator backends produce the **bit-identical** VM stream:
+
+- ``vectorized`` (default): block RNG draws — the full size column in
+  one ``random(2n)`` block, ``choice`` calls replaced by one uniform
+  plus a cumulative-weight search (exactly what ``Generator.choice``
+  does internally), scalar loops only where a stream's draw count is
+  data-dependent (diurnal thinning, ziggurat exponentials, rejection
+  beta/integers) — assembled into columnar arrays.
+- ``reference``: the original one-VM-at-a-time loop, kept as the
+  equivalence oracle for tests and golden digests.
+
+Both consume identical draws from identical streams, so traces, digests
+and every downstream experiment outcome match bit for bit; select with
+``REPRO_TRACE_GENERATOR`` or the ``method=`` argument.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import math
+import os
+import warnings
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from functools import lru_cache
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core import telemetry
 from ..core.errors import ConfigError
 from ..core.rng import RngFactory
 from ..perf.apps import (
     FLEET_CORE_HOUR_SHARE,
     apps_in_class,
 )
+from .columnar import ColumnarTrace
 from .vm import VmRequest
+
+#: Generator backends and the env var selecting the process default.
+TRACE_GENERATORS = ("vectorized", "reference")
+GENERATOR_ENV = "REPRO_TRACE_GENERATOR"
+
+#: Full-node VMs request their generation's whole server shape
+#: (Gen1/2: 64 cores; Gen3: 80 cores at 9.6 GB/core); indexed by
+#: generation number (slot 0 unused).
+_FULL_NODE_CORES = np.array([0, 64, 64, 80], dtype=np.int64)
+_FULL_NODE_GB_PER_CORE = np.array([0.0, 6.0, 8.0, 9.6], dtype=np.float64)
+_FULL_NODE_SHAPES = {1: (64, 6.0), 2: (64, 8.0), 3: (80, 9.6)}
+
+
+def resolve_generator(method: Optional[str] = None) -> str:
+    """The generator backend: explicit arg > env var > vectorized."""
+    if method is None:
+        method = os.environ.get(GENERATOR_ENV) or "vectorized"
+    if method not in TRACE_GENERATORS:
+        raise ConfigError(
+            f"unknown trace generator {method!r}; "
+            f"choose from {TRACE_GENERATORS}"
+        )
+    return method
 
 
 @dataclass(frozen=True)
@@ -101,6 +145,21 @@ class TraceParams:
             raise ConfigError("full-node fraction must be in [0, 1)")
         if not 0 <= self.diurnal_amplitude < 1:
             raise ConfigError("diurnal amplitude must be in [0, 1)")
+        for value, label in (
+            (self.short_lifetime_hours, "short lifetime"),
+            (self.long_lifetime_hours, "long lifetime"),
+            (self.full_node_lifetime_hours, "full-node lifetime"),
+        ):
+            if not value > 0 or not math.isfinite(value):
+                raise ConfigError(f"{label} must be a positive finite value")
+        if not 0 <= self.long_lived_fraction <= 1:
+            raise ConfigError("long-lived fraction must be in [0, 1]")
+        for value, label in (
+            (self.mem_touch_alpha, "mem_touch_alpha"),
+            (self.mem_touch_beta, "mem_touch_beta"),
+        ):
+            if not value > 0 or not math.isfinite(value):
+                raise ConfigError(f"{label} must be a positive finite value")
 
     @property
     def mean_lifetime_hours(self) -> float:
@@ -116,92 +175,274 @@ class TraceParams:
         return self.mean_concurrent_vms / self.mean_lifetime_hours
 
 
-@dataclass(frozen=True)
-class VmTrace:
-    """A generated trace: VM requests sorted by arrival time."""
+def _choice_cdf(weights: Sequence[float]) -> np.ndarray:
+    """The cumulative-weight table ``Generator.choice(p=weights)`` builds.
 
-    name: str
-    params: TraceParams
-    vms: Tuple[VmRequest, ...]
-
-    @property
-    def duration_hours(self) -> float:
-        return self.params.duration_days * 24.0
-
-    def peak_concurrent_cores(self, step_hours: Optional[float] = None) -> int:
-        """Peak simultaneous requested cores (sizing lower bound).
-
-        Exact event sweep: sort arrival/departure events and take the
-        running-sum maximum.  A VM occupies cores on the half-open
-        interval ``[arrival, departure)``, so departures at an instant
-        release cores before arrivals at the same instant claim them.
-        (An earlier implementation sampled every ``step_hours`` and
-        missed peaks between sample points; ``step_hours`` is retained
-        for API compatibility and ignored.)
-        """
-        events: List[Tuple[float, int, int]] = []
-        for vm in self.vms:
-            events.append((vm.arrival_hours, 1, vm.cores))
-            departure = vm.departure_hours
-            if math.isfinite(departure):
-                events.append((departure, 0, vm.cores))
-        events.sort()
-        peak = live = 0
-        for _time, is_arrival, cores in events:
-            if is_arrival:
-                live += cores
-                if live > peak:
-                    peak = live
-            else:
-                live -= cores
-        return peak
+    ``choice`` draws one uniform ``u`` and returns
+    ``cdf.searchsorted(u, side="right")`` on exactly this (normalized)
+    cumulative array, so sharing the construction keeps replacement
+    draws bit-identical.
+    """
+    cdf = np.asarray(weights, dtype=np.float64).cumsum()
+    cdf /= cdf[-1]
+    return cdf
 
 
-#: Lazily built application-assignment tables: (class count, normalized
-#: share array, app-name tuples per class).  The share table is a pure
-#: function of the fleet constants, so building it once — instead of per
-#: VM — changes no RNG draw: ``rng.choice`` sees the same length and the
-#: same probability values either way.
-_APP_TABLES: Optional[Tuple[int, np.ndarray, Tuple[Tuple[str, ...], ...]]] = (
-    None
-)
+class _ParamTables:
+    """Per-``TraceParams`` sampling tables, built once per params value."""
+
+    __slots__ = (
+        "core_cdf", "core_values", "mem_cdf", "mem_values",
+        "gen_cdf", "gen_mix",
+    )
+
+    def __init__(self, params: TraceParams) -> None:
+        self.core_cdf = _choice_cdf(params.core_size_weights)
+        self.core_values = np.asarray(params.core_sizes, dtype=np.int64)
+        self.mem_cdf = _choice_cdf(params.memory_per_core_weights)
+        self.mem_values = np.asarray(
+            params.memory_per_core_gb, dtype=np.float64
+        )
+        #: The probability array handed to ``choice`` by the reference
+        #: loop — prebuilt once instead of ``list(params.generation_mix)``
+        #: per VM; ``choice`` sees the same length and values either way.
+        self.gen_mix = np.asarray(params.generation_mix, dtype=np.float64)
+        self.gen_cdf = _choice_cdf(self.gen_mix)
 
 
-def _app_tables() -> Tuple[int, np.ndarray, Tuple[Tuple[str, ...], ...]]:
-    global _APP_TABLES
-    if _APP_TABLES is None:
+@lru_cache(maxsize=128)
+def _params_tables(params: TraceParams) -> _ParamTables:
+    return _ParamTables(params)
+
+
+class _AppTables:
+    """Application-assignment tables (pure functions of fleet constants).
+
+    ``flat_names`` concatenates every class's members in fleet-share
+    order; ``offsets[c]`` is class ``c``'s start index in it, so a flat
+    app index is ``offsets[c] + within-class index``.  This is the
+    app-name interning table every generated trace shares.
+    """
+
+    __slots__ = (
+        "n_classes", "shares", "members", "class_cdf", "class_cdf_list",
+        "member_lens", "offsets", "flat_names",
+    )
+
+    def __init__(self) -> None:
         classes = list(FLEET_CORE_HOUR_SHARE.keys())
         shares = np.array([FLEET_CORE_HOUR_SHARE[c] for c in classes])
-        shares = shares / shares.sum()
-        members = tuple(
+        self.shares = shares / shares.sum()
+        self.n_classes = len(classes)
+        self.members = tuple(
             tuple(app.name for app in apps_in_class(c)) for c in classes
         )
-        _APP_TABLES = (len(classes), shares, members)
+        self.class_cdf = _choice_cdf(self.shares)
+        self.class_cdf_list = self.class_cdf.tolist()
+        self.member_lens = [len(members) for members in self.members]
+        offsets, total = [], 0
+        for length in self.member_lens:
+            offsets.append(total)
+            total += length
+        self.offsets = offsets
+        self.flat_names = tuple(
+            name for members in self.members for name in members
+        )
+
+
+_APP_TABLES: Optional[_AppTables] = None
+
+
+def _app_tables() -> _AppTables:
+    global _APP_TABLES
+    if _APP_TABLES is None:
+        _APP_TABLES = _AppTables()
     return _APP_TABLES
 
 
 def _assign_app(rng: np.random.Generator) -> str:
     """Sample an application the paper's way: class share, then uniform."""
-    n_classes, shares, members_by_class = _app_tables()
-    members = members_by_class[rng.choice(n_classes, p=shares)]
+    apps = _app_tables()
+    members = apps.members[rng.choice(apps.n_classes, p=apps.shares)]
     return members[rng.integers(len(members))]
+
+
+class VmTrace:
+    """A generated trace: VM requests sorted by arrival time.
+
+    Canonically columnar (:class:`ColumnarTrace`); the ``vms`` row tuple
+    is a lazily materialized view for code that walks VMs one at a time.
+    Construct with exactly one of ``vms=`` or ``columns=``; either form
+    converts to the other on demand and round-trips losslessly.
+    """
+
+    __slots__ = ("name", "params", "_rows", "_columns")
+
+    def __init__(
+        self,
+        name: str,
+        params: TraceParams,
+        vms: Optional[Sequence[VmRequest]] = None,
+        columns: Optional[ColumnarTrace] = None,
+    ) -> None:
+        if (vms is None) == (columns is None):
+            raise ConfigError(
+                "VmTrace takes exactly one of vms= or columns="
+            )
+        self.name = name
+        self.params = params
+        self._rows = tuple(vms) if vms is not None else None
+        self._columns = columns
+
+    @property
+    def vms(self) -> Tuple[VmRequest, ...]:
+        """The row view (materialized on first access)."""
+        rows = self._rows
+        if rows is None:
+            rows = self._rows = self._columns.to_vms()
+        return rows
+
+    @property
+    def columns(self) -> ColumnarTrace:
+        """The columnar view (built on first access for row-built traces)."""
+        columns = self._columns
+        if columns is None:
+            columns = self._columns = ColumnarTrace.from_vms(
+                self._rows, base_app_names=_app_tables().flat_names
+            )
+        return columns
+
+    @property
+    def vm_count(self) -> int:
+        """Number of VMs, without materializing rows."""
+        columns = self._columns
+        return len(self._rows) if columns is None else columns.n
+
+    @property
+    def duration_hours(self) -> float:
+        return self.params.duration_days * 24.0
+
+    @property
+    def last_arrival_hours(self) -> float:
+        """The latest VM arrival (0.0 for an empty trace)."""
+        return self.columns.last_arrival_hours()
+
+    def filter(self, mask: np.ndarray, name: Optional[str] = None) -> "VmTrace":
+        """A sub-trace of the rows selected by a boolean column mask.
+
+        Row order and ``vm_id`` are preserved; ``params`` carries over.
+        """
+        return VmTrace(
+            name=name or self.name,
+            params=self.params,
+            columns=self.columns.take(mask),
+        )
+
+    def peak_concurrent_cores(self, step_hours: Optional[float] = None) -> int:
+        """Peak simultaneous requested cores (sizing lower bound).
+
+        Exact event sweep over the columns: departures at an instant
+        release cores before arrivals at the same instant claim them
+        (half-open ``[arrival, departure)`` occupancy).
+
+        ``step_hours`` is dead: an earlier implementation sampled every
+        ``step_hours`` and missed interior peaks; the exact sweep
+        ignores it.  Passing it is deprecated and the parameter will be
+        removed in a future release.
+        """
+        if step_hours is not None:
+            warnings.warn(
+                "peak_concurrent_cores(step_hours=...) is deprecated and "
+                "ignored: the exact event sweep needs no sampling step; "
+                "the parameter will be removed",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return self.columns.peak_concurrent_cores()
+
+    def digest(self) -> str:
+        """Content identity of the VM stream (sha256 over the columns)."""
+        return self.columns.digest()
+
+    def __repr__(self) -> str:
+        return (
+            f"VmTrace(name={self.name!r}, params={self.params!r}, "
+            f"vms=<{self.vm_count} VMs>)"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VmTrace):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.params == other.params
+            and self.columns == other.columns
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.params, self.columns.digest()))
+
+    def __reduce__(self):
+        # Pickle the compact columnar form (workers rebuild rows lazily).
+        return (_rebuild_trace, (self.name, self.params, self.columns))
+
+
+def _rebuild_trace(
+    name: str, params: TraceParams, columns: ColumnarTrace
+) -> VmTrace:
+    return VmTrace(name=name, params=params, columns=columns)
 
 
 def generate_trace(
     seed: int,
     params: Optional[TraceParams] = None,
     name: Optional[str] = None,
+    method: Optional[str] = None,
 ) -> VmTrace:
     """Generate one synthetic VM trace.
 
-    Identical ``(seed, params)`` always produce the identical trace.
+    Identical ``(seed, params)`` always produce the identical trace —
+    independent of ``method`` (both backends replay the same per-stream
+    draw schedule; see the module docstring).
     """
     params = params or TraceParams()
+    method = resolve_generator(method)
+    trace_name = name or f"trace-{seed}"
+    with telemetry.timer("trace.generate"):
+        if method == "reference":
+            trace = VmTrace(
+                name=trace_name,
+                params=params,
+                vms=_generate_vms_reference(seed, params),
+            )
+        else:
+            trace = VmTrace(
+                name=trace_name,
+                params=params,
+                columns=_generate_columns(seed, params),
+            )
+    tel = telemetry.active()
+    if tel is not None:
+        tel.count_many(
+            {"trace.generated": 1, "trace.generated_vms": trace.vm_count}
+        )
+    return trace
+
+
+def _generate_vms_reference(
+    seed: int, params: TraceParams
+) -> Tuple[VmRequest, ...]:
+    """The scalar reference generator: one VM, one draw at a time.
+
+    This is the equivalence oracle for the vectorized backend — its
+    draw schedule defines the trace content and must not change.
+    """
     rngs = RngFactory(seed).child("vm-trace")
     arr_rng = rngs.stream("arrivals")
     size_rng = rngs.stream("sizes")
     life_rng = rngs.stream("lifetimes")
     meta_rng = rngs.stream("metadata")
+    tables = _params_tables(params)
 
     duration_hours = params.duration_days * 24.0
     base_rate = params.arrival_rate_per_hour
@@ -244,7 +485,7 @@ def generate_trace(
                 cores=cores,
                 memory_gb=cores * gb_per_core,
                 generation=int(
-                    1 + meta_rng.choice(3, p=list(params.generation_mix))
+                    1 + meta_rng.choice(3, p=tables.gen_mix)
                 ),
                 app_name=_assign_app(meta_rng),
                 max_memory_fraction=float(
@@ -285,18 +526,13 @@ def generate_trace(
             )
         ]
         generation = int(
-            1 + meta_rng.choice(3, p=list(params.generation_mix))
+            1 + meta_rng.choice(3, p=tables.gen_mix)
         )
         full_node = bool(meta_rng.random() < params.full_node_fraction)
         if full_node:
             # Long-living full-node VMs request their generation's whole
-            # server shape (Gen1/2: 64 cores; Gen3: 80 cores at 9.6
-            # GB/core) and hold it for weeks.
-            cores, gb_per_core = {
-                1: (64, 6.0),
-                2: (64, 8.0),
-                3: (80, 9.6),
-            }[generation]
+            # server shape and hold it for weeks.
+            cores, gb_per_core = _FULL_NODE_SHAPES[generation]
             lifetime = life_rng.exponential(params.full_node_lifetime_hours)
         elif life_rng.random() < params.long_lived_fraction:
             lifetime = life_rng.exponential(params.long_lifetime_hours)
@@ -320,26 +556,198 @@ def generate_trace(
             )
         )
         vm_id += 1
-    return VmTrace(
-        name=name or f"trace-{seed}", params=params, vms=tuple(vms)
+    return tuple(vms)
+
+
+def _generate_columns(seed: int, params: TraceParams) -> ColumnarTrace:
+    """Block-drawn trace generation, bit-identical to the reference loop.
+
+    Each of the four RNG streams is consumed in exactly the reference's
+    per-stream order; only *cross-stream* interleaving is reorganized
+    (streams are independent, so that changes nothing):
+
+    - ``sizes``: exactly two uniforms per VM, replayed as one
+      ``random(2n)`` block plus cumulative-weight searches (what
+      ``choice`` does internally, one call at a time).
+    - ``metadata``: the per-VM draw schedule mixes fixed-cost uniforms
+      with rejection-sampled ``integers``/``beta`` on one stream, so the
+      loop stays scalar — but each ``choice`` (a uniform + a cdf search)
+      is replaced by ``random()`` + ``bisect_right`` on the prebuilt
+      cumulative tables, which is ~20x cheaper and draw-identical.
+    - ``arrivals``: the diurnal thinning loop is inherently sequential
+      (each proposal's timestamp feeds the next draw's acceptance test).
+    - ``lifetimes``: branch-dependent draw counts (full-node VMs skip
+      the long/short uniform), so sequential, with the full-node flags
+      resolved from the metadata pass first.
+
+    Columns are assembled with numpy ops whose results are bit-equal to
+    the scalar arithmetic (int64*float64 products, ``maximum`` floors).
+    """
+    rngs = RngFactory(seed).child("vm-trace")
+    arr_rng = rngs.stream("arrivals")
+    size_rng = rngs.stream("sizes")
+    life_rng = rngs.stream("lifetimes")
+    meta_rng = rngs.stream("metadata")
+    tables = _params_tables(params)
+    apps = _app_tables()
+
+    duration_hours = params.duration_days * 24.0
+    base_rate = params.arrival_rate_per_hour
+
+    # -- lifetimes stream, part 1: the initial steady-state population.
+    initial_count = int(life_rng.poisson(params.mean_concurrent_vms))
+    p_long_present = (
+        params.long_lived_fraction
+        * params.long_lifetime_hours
+        / params.mean_lifetime_hours
+    )
+    life_random = life_rng.random
+    life_exponential = life_rng.exponential
+    short_hours = params.short_lifetime_hours
+    long_hours = params.long_lifetime_hours
+    lifetimes = [
+        life_exponential(long_hours)
+        if life_random() < p_long_present
+        else life_exponential(short_hours)
+        for _ in range(initial_count)
+    ]
+
+    # -- arrivals stream: diurnal thinning (sequential by construction).
+    amplitude = params.diurnal_amplitude
+    peak_rate = base_rate * (1.0 + amplitude)
+    mean_gap = 1.0 / peak_rate
+    accept_scale = 1.0 + amplitude
+    arr_exponential = arr_rng.exponential
+    arr_random = arr_rng.random
+    sin = math.sin
+    two_pi = 2.0 * math.pi
+    arrivals: List[float] = []
+    t = 0.0
+    while True:
+        t += arr_exponential(mean_gap)
+        if t >= duration_hours:
+            break
+        intensity = 1.0 + amplitude * sin(two_pi * t / 24.0)
+        if arr_random() > intensity / accept_scale:
+            continue
+        arrivals.append(t)
+    accepted_count = len(arrivals)
+    total = initial_count + accepted_count
+
+    # -- metadata stream: per-VM [gen-u, (full-u,) class-u, integers,
+    #    beta]; choices become uniform + cdf search.
+    meta_random = meta_rng.random
+    meta_integers = meta_rng.integers
+    meta_beta = meta_rng.beta
+    class_cdf = apps.class_cdf_list
+    member_lens = apps.member_lens
+    offsets = apps.offsets
+    alpha = params.mem_touch_alpha
+    beta_param = params.mem_touch_beta
+    gen_uniforms: List[float] = []
+    full_uniforms: List[float] = []
+    app_index: List[int] = []
+    mem_fractions: List[float] = []
+    for _ in range(initial_count):
+        gen_uniforms.append(meta_random())
+        cls = bisect_right(class_cdf, meta_random())
+        app_index.append(offsets[cls] + int(meta_integers(member_lens[cls])))
+        mem_fractions.append(meta_beta(alpha, beta_param))
+    for _ in range(accepted_count):
+        gen_uniforms.append(meta_random())
+        full_uniforms.append(meta_random())
+        cls = bisect_right(class_cdf, meta_random())
+        app_index.append(offsets[cls] + int(meta_integers(member_lens[cls])))
+        mem_fractions.append(meta_beta(alpha, beta_param))
+
+    # -- lifetimes stream, part 2: arrivals (needs the full-node flags).
+    full_fraction = params.full_node_fraction
+    full_hours = params.full_node_lifetime_hours
+    long_fraction = params.long_lived_fraction
+    arrival_full = [u < full_fraction for u in full_uniforms]
+    for is_full in arrival_full:
+        if is_full:
+            lifetimes.append(life_exponential(full_hours))
+        elif life_random() < long_fraction:
+            lifetimes.append(life_exponential(long_hours))
+        else:
+            lifetimes.append(life_exponential(short_hours))
+
+    # -- sizes stream: one block draw for every (core, memory) pair.
+    size_uniforms = size_rng.random(2 * total)
+    core_idx = np.searchsorted(
+        tables.core_cdf, size_uniforms[0::2], side="right"
+    )
+    mem_idx = np.searchsorted(
+        tables.mem_cdf, size_uniforms[1::2], side="right"
+    )
+
+    # -- columnar assembly.
+    generation = 1 + np.searchsorted(
+        tables.gen_cdf,
+        np.asarray(gen_uniforms, dtype=np.float64),
+        side="right",
+    ).astype(np.int64)
+    full_node = np.zeros(total, dtype=np.bool_)
+    full_node[initial_count:] = arrival_full
+    cores = tables.core_values[core_idx]
+    gb_per_core = tables.mem_values[mem_idx]
+    if full_node.any():
+        mask = full_node
+        cores = cores.copy()
+        gb_per_core = gb_per_core.copy()
+        cores[mask] = _FULL_NODE_CORES[generation[mask]]
+        gb_per_core[mask] = _FULL_NODE_GB_PER_CORE[generation[mask]]
+    arrival_hours = np.concatenate(
+        [
+            np.zeros(initial_count, dtype=np.float64),
+            np.asarray(arrivals, dtype=np.float64),
+        ]
+    )
+    return ColumnarTrace(
+        vm_id=np.arange(total, dtype=np.int64),
+        arrival_hours=arrival_hours,
+        lifetime_hours=np.maximum(
+            np.asarray(lifetimes, dtype=np.float64), 0.05
+        ),
+        cores=cores,
+        memory_gb=cores * gb_per_core,
+        generation=generation,
+        app_index=np.asarray(app_index, dtype=np.int64),
+        max_memory_fraction=np.asarray(mem_fractions, dtype=np.float64),
+        full_node=full_node,
+        app_names=apps.flat_names,
     )
 
 
-def production_trace_suite(
+class _SuiteGenerateTask:
+    """Picklable per-spec trace generation for ``parallel_map``."""
+
+    def __init__(self, method: Optional[str]) -> None:
+        self.method = method
+
+    def __call__(self, spec: Tuple[int, TraceParams, str]) -> VmTrace:
+        seed, params, name = spec
+        return generate_trace(
+            seed=seed, params=params, name=name, method=self.method
+        )
+
+
+def suite_specs(
     count: int = 35,
     base_seed: int = 100,
     params: Optional[TraceParams] = None,
-) -> List[VmTrace]:
-    """The stand-in for the paper's 35 production traces.
+) -> List[Tuple[int, TraceParams, str]]:
+    """The ``(seed, params, name)`` spec of each suite trace.
 
-    Each trace uses a distinct seed and mild parameter jitter (population
-    and lifetime mix vary across data centers).
+    Splitting spec derivation from generation lets the trace store key
+    entries without generating anything.
     """
     if count < 1:
         raise ConfigError("need at least one trace")
     base = params or TraceParams()
-    traces = []
     jitter = RngFactory(base_seed).stream("suite-jitter")
+    specs = []
     for i in range(count):
         scale = 0.75 + 0.5 * jitter.random()
         long_frac = min(0.3, max(0.05, base.long_lived_fraction
@@ -349,9 +757,52 @@ def production_trace_suite(
             mean_concurrent_vms=max(60, int(base.mean_concurrent_vms * scale)),
             long_lived_fraction=long_frac,
         )
-        traces.append(
-            generate_trace(
-                seed=base_seed + i, params=trace_params, name=f"dc-{i:02d}"
+        specs.append((base_seed + i, trace_params, f"dc-{i:02d}"))
+    return specs
+
+
+def production_trace_suite(
+    count: int = 35,
+    base_seed: int = 100,
+    params: Optional[TraceParams] = None,
+    jobs: Optional[int] = None,
+    store: Optional[object] = None,
+    method: Optional[str] = None,
+) -> List[VmTrace]:
+    """The stand-in for the paper's 35 production traces.
+
+    Each trace uses a distinct seed and mild parameter jitter (population
+    and lifetime mix vary across data centers).
+
+    When the persistent trace store is enabled (``store=`` argument, or
+    the ``REPRO_TRACE_STORE``/result-cache opt-in — see
+    ``allocation.store``), stored traces load from ``.npz`` and only the
+    misses are generated — in parallel worker processes when ``jobs``
+    (or the runner default) asks for more than one.
+    """
+    specs = suite_specs(count=count, base_seed=base_seed, params=params)
+    if store is None:
+        from .store import TraceStore, store_enabled
+
+        store = TraceStore() if store_enabled() else None
+    results: List[Optional[VmTrace]] = [None] * len(specs)
+    if store is not None:
+        for i, (seed, trace_params, name) in enumerate(specs):
+            results[i] = store.get(seed, trace_params, name)
+    missing = [i for i, trace in enumerate(results) if trace is None]
+    if missing:
+        task = _SuiteGenerateTask(method)
+        if jobs is not None and jobs != 1 and len(missing) > 1:
+            from ..core.runner import parallel_map
+
+            fresh = parallel_map(
+                task, [specs[i] for i in missing], jobs=jobs
             )
-        )
-    return traces
+        else:
+            fresh = [task(specs[i]) for i in missing]
+        for i, trace in zip(missing, fresh):
+            results[i] = trace
+            if store is not None:
+                seed, trace_params, _name = specs[i]
+                store.put(seed, trace_params, trace.columns)
+    return list(results)

@@ -8,7 +8,9 @@ Commands:
 - ``price <sku>`` — carbon-price one SKU (CO2e per core, power, rack fit).
 - ``savings`` — the Table VIII per-core savings table.
 - ``evaluate`` — end-to-end GSF on a synthetic trace.
-- ``trace`` — generate a synthetic VM trace and write it to CSV.
+- ``trace`` — generate/inspect synthetic VM traces: per-trace summary
+  stats, CSV export, content digests (``--digest``), and trace-store
+  pre-warming for a suite (``--suite N --warm``).
 - ``stats`` — validate and pretty-print a telemetry run manifest.
 
 Global flags: ``--jobs N`` sets the worker-process count for the
@@ -26,7 +28,11 @@ import sys
 from typing import List, Optional
 
 from .allocation.io import save_trace
-from .allocation.traces import TraceParams, generate_trace
+from .allocation.traces import (
+    TraceParams,
+    generate_trace,
+    production_trace_suite,
+)
 from .carbon.model import CarbonModel
 from .carbon.savings import paper_savings_table, render_savings_table
 from .core import runner, telemetry
@@ -108,7 +114,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         params=TraceParams(mean_concurrent_vms=args.vms, duration_days=args.days),
     )
     evaluation = gsf.evaluate(skus[args.sku], trace)
-    print(f"trace: {len(trace.vms)} VMs over {args.days:g} days "
+    print(f"trace: {trace.vm_count} VMs over {args.days:g} days "
           f"(seed {args.seed})")
     print(f"sizing: {evaluation.sizing.baseline_only_servers} baseline-only"
           f" -> {evaluation.sizing.mixed_baseline_servers} baseline + "
@@ -135,15 +141,79 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_summary_rows(traces) -> List[List[str]]:
+    rows = []
+    for trace in traces:
+        columns = trace.columns
+        full_share = (
+            float(columns.full_node.mean()) if columns.n else 0.0
+        )
+        rows.append(
+            [
+                trace.name,
+                f"{columns.n}",
+                f"{trace.peak_concurrent_cores()}",
+                f"{full_share:.2%}",
+            ]
+        )
+    return rows
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
-    trace = generate_trace(
-        seed=args.seed,
-        params=TraceParams(
-            mean_concurrent_vms=args.vms, duration_days=args.days
-        ),
+    from .core.tables import render_table
+
+    params = TraceParams(
+        mean_concurrent_vms=args.vms, duration_days=args.days
     )
-    save_trace(trace, args.out)
-    print(f"wrote {len(trace.vms)} VMs to {args.out}")
+    if args.suite:
+        if args.out:
+            raise ConfigError(
+                "--out writes one trace as CSV; it cannot combine with "
+                "--suite"
+            )
+        store = None
+        if args.warm:
+            from .allocation.store import TraceStore
+
+            store = TraceStore()
+        traces = production_trace_suite(
+            count=args.suite,
+            base_seed=args.seed,
+            params=params,
+            jobs=args.jobs,
+            store=store,
+        )
+        print(
+            render_table(
+                ["trace", "VMs", "peak cores", "full-node share"],
+                _trace_summary_rows(traces),
+                title=f"trace suite (count={args.suite}, "
+                      f"base seed {args.seed})",
+            )
+        )
+        if args.digest:
+            for trace in traces:
+                print(f"{trace.name}: {trace.digest()}")
+        if store is not None:
+            print(
+                f"store: {store.hits} hits, {store.misses} misses "
+                f"-> {store.directory}"
+            )
+        return 0
+    if args.warm:
+        raise ConfigError("--warm pre-warms the trace store; it needs --suite")
+    trace = generate_trace(seed=args.seed, params=params)
+    print(
+        render_table(
+            ["trace", "VMs", "peak cores", "full-node share"],
+            _trace_summary_rows([trace]),
+        )
+    )
+    if args.digest:
+        print(f"{trace.name}: {trace.digest()}")
+    if args.out:
+        save_trace(trace, args.out)
+        print(f"wrote {trace.vm_count} VMs to {args.out}")
     return 0
 
 
@@ -214,11 +284,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     evaluate.set_defaults(func=cmd_evaluate)
 
-    trace = sub.add_parser("trace", help="generate a VM trace CSV")
-    trace.add_argument("--seed", type=int, default=1)
+    trace = sub.add_parser(
+        "trace",
+        help="generate/inspect VM traces and pre-warm the trace store",
+    )
+    trace.add_argument("--seed", type=int, default=1,
+                       help="trace seed (suite mode: the base seed)")
     trace.add_argument("--vms", type=int, default=350)
     trace.add_argument("--days", type=float, default=14.0)
-    trace.add_argument("--out", required=True)
+    trace.add_argument("--out", default=None,
+                       help="write the generated trace to this CSV path")
+    trace.add_argument(
+        "--suite", type=int, default=None, metavar="N",
+        help="operate on the N-trace production suite instead of one trace",
+    )
+    trace.add_argument(
+        "--warm", action="store_true",
+        help="pre-warm the persistent trace store for the suite "
+             "(REPRO_TRACE_STORE_DIR, default <cache dir>/traces)",
+    )
+    trace.add_argument(
+        "--digest", action="store_true",
+        help="print each trace's content digest (the CI golden values)",
+    )
     trace.set_defaults(func=cmd_trace)
 
     export = sub.add_parser(

@@ -28,7 +28,7 @@ from ..hardware.sku import ServerSKU, baseline_gen3, greensku_cxl
 
 #: Bumped when the per-trace computation changes, invalidating disk-cache
 #: entries from older code.
-_CACHE_VERSION = "fig10-v2"
+_CACHE_VERSION = "fig10-v3"
 
 
 @dataclass(frozen=True)
@@ -99,11 +99,7 @@ def run_trace(
     pressure, and keeping them out of both replays keeps the comparison
     apples to apples.
     """
-    shared = VmTrace(
-        name=trace.name,
-        params=trace.params,
-        vms=tuple(vm for vm in trace.vms if not vm.full_node),
-    )
+    shared = trace.filter(~trace.columns.full_node)
     n_base = right_size(shared, baseline)
     base_out = simulate(
         shared, ClusterSpec.of((baseline, n_base)), adoption=adopt_nothing
@@ -129,7 +125,7 @@ def _trace_key(
 ) -> str:
     """Disk-cache key: content hash of the trace, SKUs, and policy."""
     return content_key(
-        _CACHE_VERSION, trace.name, trace.params, trace.vms,
+        _CACHE_VERSION, trace.name, trace.params, trace.digest(),
         baseline, greensku, adoption.decision_key(),
     )
 

@@ -27,7 +27,7 @@ from ..hardware.sku import ServerSKU, baseline_gen3, greensku_full
 
 #: Bumped when the per-trace computation changes, invalidating disk-cache
 #: entries from older code.
-_CACHE_VERSION = "fig9-v2"
+_CACHE_VERSION = "fig9-v3"
 
 
 @dataclass(frozen=True)
@@ -93,7 +93,7 @@ def _trace_key(
         )
     )
     return content_key(
-        _CACHE_VERSION, trace.name, trace.params, trace.vms,
+        _CACHE_VERSION, trace.name, trace.params, trace.digest(),
         baseline, greensku, decisions,
     )
 

@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..allocation.cluster import (
     AdoptionPolicy,
     ClusterSpec,
@@ -262,7 +264,7 @@ def right_size(
 
         def probe(n: int) -> bool:
             if n == 0:
-                return len(trace.vms) == 0
+                return trace.vm_count == 0
             return _feasible(trace, ClusterSpec.of((sku, n)), adoption)
 
     else:
@@ -270,10 +272,10 @@ def right_size(
 
         def probe(n: int) -> bool:
             if n == 0:
-                return len(trace.vms) == 0
+                return trace.vm_count == 0
             return prober(n)
 
-    if not trace.vms:
+    if not trace.vm_count:
         return 0
 
     feasible = _FeasibilityMemo(probe)
@@ -350,20 +352,32 @@ def right_size(
 def _split_trace(
     trace: VmTrace, adoption: AdoptionPolicy
 ) -> Tuple[VmTrace, VmTrace]:
-    """Partition a trace into (adopters scaled implicitly later, rest)."""
-    adopters = []
-    rest = []
-    for vm in trace.vms:
-        if not vm.full_node and adoption(vm.app_name, vm.generation) is not None:
-            adopters.append(vm)
-        else:
-            rest.append(vm)
-    green_trace = VmTrace(
-        name=f"{trace.name}-adopters", params=trace.params, vms=tuple(adopters)
-    )
-    base_trace = VmTrace(
-        name=f"{trace.name}-rest", params=trace.params, vms=tuple(rest)
-    )
+    """Partition a trace into (adopters scaled implicitly later, rest).
+
+    The adoption policy is a pure function of ``(app_name, generation)``,
+    so it is evaluated once per distinct pair appearing in the trace
+    (full-node VMs never consult it — they are always "rest") and the
+    partition masks come from a vectorized lookup over the columns.
+    """
+    columns = trace.columns
+    pair_keys = columns.app_index * 8 + columns.generation
+    candidate = ~columns.full_node
+    adopts = np.zeros(columns.n, dtype=np.bool_)
+    if candidate.any():
+        unique_keys, inverse = np.unique(
+            pair_keys[candidate], return_inverse=True
+        )
+        decisions = np.array(
+            [
+                adoption(columns.app_names[int(key) >> 3], int(key) & 7)
+                is not None
+                for key in unique_keys
+            ],
+            dtype=np.bool_,
+        )
+        adopts[candidate] = decisions[inverse]
+    green_trace = trace.filter(adopts, name=f"{trace.name}-adopters")
+    base_trace = trace.filter(~adopts, name=f"{trace.name}-rest")
     return green_trace, base_trace
 
 
@@ -408,14 +422,14 @@ def size_mixed_cluster(
     # trace needed baselines, and is usually close below it.
     n_base = (
         right_size(base_trace, baseline, hint=n_reference, stats=stats)
-        if base_trace.vms
+        if base_trace.vm_count
         else 0
     )
     n_green = (
         right_size(
             green_trace, greensku, adoption, hint=n_reference, stats=stats
         )
-        if green_trace.vms
+        if green_trace.vm_count
         else 0
     )
     if verify and (n_base or n_green):
@@ -423,7 +437,7 @@ def size_mixed_cluster(
 
             def probe(nb: int, ng: int) -> bool:
                 if nb + ng == 0:
-                    return not trace.vms
+                    return not trace.vm_count
                 return _feasible(
                     trace,
                     ClusterSpec.of((baseline, nb), (greensku, ng)),
@@ -435,7 +449,7 @@ def size_mixed_cluster(
 
             def probe(nb: int, ng: int) -> bool:
                 if nb + ng == 0:
-                    return not trace.vms
+                    return not trace.vm_count
                 return prober(nb, ng)
 
         feasible = _FeasibilityMemo(probe)
@@ -532,36 +546,31 @@ def size_generation_aware(
     # Reference: per-generation right-size on that generation's sub-trace.
     reference: "dict[int, int]" = {}
     for gen in generations:
-        sub = VmTrace(
-            name=f"{trace.name}-g{gen}",
-            params=trace.params,
-            vms=tuple(vm for vm in trace.vms if vm.generation == gen),
+        sub = trace.filter(
+            trace.columns.generation == gen, name=f"{trace.name}-g{gen}"
         )
         reference[gen] = (
-            right_size(sub, baselines[gen], stats=stats) if sub.vms else 0
+            right_size(sub, baselines[gen], stats=stats) if sub.vm_count else 0
         )
 
     # Mixed: non-adopters per generation + greens for adopters.
     green_trace, base_trace = _split_trace(trace, adoption)
     mixed: "dict[int, int]" = {}
     for gen in generations:
-        sub = VmTrace(
+        sub = base_trace.filter(
+            base_trace.columns.generation == gen,
             name=f"{trace.name}-rest-g{gen}",
-            params=trace.params,
-            vms=tuple(
-                vm for vm in base_trace.vms if vm.generation == gen
-            ),
         )
         mixed[gen] = (
             right_size(
                 sub, baselines[gen], hint=reference[gen] or None, stats=stats
             )
-            if sub.vms
+            if sub.vm_count
             else 0
         )
     n_green = (
         right_size(green_trace, greensku, adoption, stats=stats)
-        if green_trace.vms
+        if green_trace.vm_count
         else 0
     )
 

@@ -1,0 +1,176 @@
+"""Persistent trace store: npz round trips, hits, corruption fallback."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.allocation.columnar import (
+    NPZ_SCHEMA,
+    load_columns_npz,
+    save_columns_npz,
+)
+from repro.allocation.store import (
+    STORE_ENV,
+    TraceStore,
+    store_enabled,
+)
+from repro.allocation.traces import (
+    TraceParams,
+    generate_trace,
+    production_trace_suite,
+    suite_specs,
+)
+from repro.core import telemetry
+from repro.core.errors import ConfigError
+
+PARAMS = TraceParams(duration_days=2, mean_concurrent_vms=100)
+SUITE_PARAMS = TraceParams(duration_days=2, mean_concurrent_vms=80)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return TraceStore(directory=tmp_path / "traces")
+
+
+class TestNpzRoundTrip:
+    def test_lossless(self, tmp_path):
+        trace = generate_trace(seed=5, params=PARAMS)
+        path = tmp_path / "t.npz"
+        save_columns_npz(trace.columns, path)
+        loaded = load_columns_npz(path)
+        assert loaded == trace.columns
+        assert loaded.digest() == trace.digest()
+        assert loaded.to_vms() == trace.vms
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        trace = generate_trace(seed=5, params=PARAMS)
+        path = tmp_path / "t.npz"
+        arrays = {
+            name: getattr(trace.columns, name)
+            for name in (
+                "vm_id", "arrival_hours", "lifetime_hours", "cores",
+                "memory_gb", "generation", "app_index",
+                "max_memory_fraction", "full_node",
+            )
+        }
+        arrays["app_names"] = np.array(trace.columns.app_names)
+        arrays["schema"] = np.array("repro-trace/0")
+        np.savez(path, **arrays)
+        with pytest.raises(ConfigError):
+            load_columns_npz(path)
+
+    def test_missing_column_rejected(self, tmp_path):
+        path = tmp_path / "t.npz"
+        np.savez(path, schema=np.array(NPZ_SCHEMA))
+        with pytest.raises(ConfigError):
+            load_columns_npz(path)
+
+    def test_invalid_content_rejected(self, tmp_path):
+        trace = generate_trace(seed=5, params=PARAMS)
+        path = tmp_path / "t.npz"
+        save_columns_npz(trace.columns, path)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {name: data[name] for name in data.files}
+        cores = arrays["cores"].copy()
+        cores[0] = -4
+        arrays["cores"] = cores
+        np.savez(path, **arrays)
+        with pytest.raises(ConfigError):
+            load_columns_npz(path)
+
+
+class TestStore:
+    def test_miss_then_hit(self, store):
+        assert store.get(seed=5, params=PARAMS, name="t") is None
+        trace = generate_trace(seed=5, params=PARAMS)
+        store.put(5, PARAMS, trace.columns)
+        loaded = store.get(seed=5, params=PARAMS, name="t")
+        assert loaded is not None
+        assert loaded.name == "t"
+        assert loaded.digest() == trace.digest()
+        assert loaded.vms == trace.vms
+        assert (store.hits, store.misses) == (1, 1)
+
+    def test_key_depends_on_seed_and_params(self, store):
+        k = store.key(5, PARAMS)
+        assert k != store.key(6, PARAMS)
+        assert k != store.key(5, TraceParams(duration_days=3))
+
+    def test_suite_hits_skip_generation(self, store):
+        first = production_trace_suite(
+            count=2, params=SUITE_PARAMS, store=store
+        )
+        assert (store.hits, store.misses) == (0, 2)
+        with telemetry.capture() as tel:
+            second = production_trace_suite(
+                count=2, params=SUITE_PARAMS, store=store
+            )
+        # Every trace came from the store: nothing was generated.
+        assert tel.counters.get("trace.store_hits") == 2
+        assert "trace.generated" not in tel.counters
+        assert (store.hits, store.misses) == (2, 2)
+        assert [t.digest() for t in second] == [t.digest() for t in first]
+        assert [t.name for t in second] == [t.name for t in first]
+
+    def test_corrupted_entry_falls_back_to_generation(self, store):
+        production_trace_suite(count=2, params=SUITE_PARAMS, store=store)
+        specs = suite_specs(count=2, params=SUITE_PARAMS)
+        seed, params, _name = specs[0]
+        path = store.path(seed, params)
+        path.write_bytes(b"not a zip file at all")
+        with telemetry.capture() as tel:
+            suite = production_trace_suite(
+                count=2, params=SUITE_PARAMS, store=store
+            )
+        assert tel.counters["trace.generated"] == 1
+        assert tel.counters["trace.store_hits"] == 1
+        assert tel.counters["trace.store_misses"] == 1
+        # The regenerated trace matches the pristine one...
+        assert suite[0].digest() == generate_trace(
+            seed, params, name="x"
+        ).digest()
+        # ...and the entry was repaired in place.
+        assert store.get(seed, params, "again") is not None
+
+    def test_truncated_entry_falls_back(self, store):
+        trace = generate_trace(seed=5, params=PARAMS)
+        path = store.put(5, PARAMS, trace.columns)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        assert store.get(seed=5, params=PARAMS, name="t") is None
+
+    def test_parallel_generation_matches_serial(self, store, tmp_path):
+        serial = production_trace_suite(count=3, params=SUITE_PARAMS)
+        parallel = production_trace_suite(
+            count=3,
+            params=SUITE_PARAMS,
+            jobs=2,
+            store=TraceStore(directory=tmp_path / "par"),
+        )
+        assert [t.digest() for t in parallel] == [
+            t.digest() for t in serial
+        ]
+
+    def test_store_pickles_with_trace(self, store):
+        # parallel_map ships traces back from workers; the store must not
+        # leak unpicklable state into them.
+        trace = store.get(5, PARAMS, "t") or generate_trace(5, PARAMS)
+        clone = pickle.loads(pickle.dumps(trace))
+        assert clone.digest() == trace.digest()
+
+
+class TestStoreEnabled:
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv(STORE_ENV, "1")
+        assert store_enabled()
+        for off in ("0", "false", "no", ""):
+            monkeypatch.setenv(STORE_ENV, off)
+            assert not store_enabled()
+
+    def test_follows_result_cache(self, monkeypatch):
+        monkeypatch.delenv(STORE_ENV, raising=False)
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        assert not store_enabled()
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        assert store_enabled()

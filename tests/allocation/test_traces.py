@@ -97,7 +97,7 @@ class TestShape:
         assert all(0 <= vm.max_memory_fraction <= 1 for vm in trace.vms)
 
     def test_peak_concurrent_cores_positive(self, trace):
-        assert trace.peak_concurrent_cores(step_hours=6) > 0
+        assert trace.peak_concurrent_cores() > 0
 
 
 class TestParams:
@@ -129,6 +129,26 @@ class TestParams:
     def test_generation_mix_validation(self):
         with pytest.raises(ConfigError):
             TraceParams(generation_mix=(0.5, 0.5, 0.5))
+
+    @pytest.mark.parametrize("field", [
+        "short_lifetime_hours",
+        "long_lifetime_hours",
+        "full_node_lifetime_hours",
+    ])
+    @pytest.mark.parametrize("value", [0.0, -1.0, math.inf, math.nan])
+    def test_lifetime_validation(self, field, value):
+        with pytest.raises(ConfigError):
+            TraceParams(**{field: value})
+
+    @pytest.mark.parametrize("field", ["mem_touch_alpha", "mem_touch_beta"])
+    @pytest.mark.parametrize("value", [0.0, -2.75, math.inf, math.nan])
+    def test_mem_touch_validation(self, field, value):
+        with pytest.raises(ConfigError):
+            TraceParams(**{field: value})
+
+    def test_long_lived_fraction_validation(self):
+        with pytest.raises(ConfigError):
+            TraceParams(long_lived_fraction=1.5)
 
 
 def _spike_vm(vm_id, arrival, lifetime, cores):
@@ -172,8 +192,9 @@ class TestPeakConcurrentCores:
         )
         assert _sampled_peak(trace, step_hours=2.0) == 8
         assert trace.peak_concurrent_cores() == 8 + 3 * 16
-        # step_hours is retained for API compatibility but ignored.
-        assert trace.peak_concurrent_cores(step_hours=2.0) == 8 + 3 * 16
+        # step_hours is deprecated: still accepted (and ignored) but warns.
+        with pytest.deprecated_call():
+            assert trace.peak_concurrent_cores(step_hours=2.0) == 8 + 3 * 16
 
     def test_half_open_interval_back_to_back(self):
         """A departure releases cores before an arrival at the same time."""
