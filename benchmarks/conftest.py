@@ -27,11 +27,16 @@ def out_dir() -> pathlib.Path:
 
 @pytest.fixture(scope="session")
 def save(out_dir):
-    """Writer: ``save(name, text)`` persists one artifact and echoes it."""
+    """Writer: ``save(name, text)`` persists one artifact and echoes it.
+
+    Artifacts are written atomically (temp file + rename) so an aborted
+    benchmark run never leaves a truncated file under a final name.
+    """
+    from repro.core.ioutil import atomic_write_text
 
     def _save(name: str, text: str) -> None:
         path = out_dir / name
-        path.write_text(text + "\n")
+        atomic_write_text(path, text + "\n")
         print(f"\n{text}\n[written to {path}]")
 
     return _save

@@ -294,10 +294,16 @@ def _rebuild_columnar(state: dict) -> ColumnarTrace:
 
 
 def save_columns_npz(columns: ColumnarTrace, path) -> None:
-    """Write columns to ``path`` as an (uncompressed) ``.npz``."""
+    """Write columns to ``path`` as an (uncompressed) ``.npz``.
+
+    The entry embeds the trace's own content digest so a later load can
+    detect *silent* corruption — zip-valid files whose column bytes were
+    flipped — not just truncation and schema drift.
+    """
     arrays = {name: getattr(columns, name) for name in COLUMN_NAMES}
     arrays["app_names"] = np.array(columns.app_names, dtype=np.str_)
     arrays["schema"] = np.array(NPZ_SCHEMA)
+    arrays["content_digest"] = np.array(columns.digest())
     with open(path, "wb") as handle:
         np.savez(handle, **arrays)
 
@@ -306,7 +312,11 @@ def load_columns_npz(path) -> ColumnarTrace:
     """Read columns back; raises ``ConfigError`` on schema/content issues.
 
     I/O and zip-level corruption surface as the usual ``OSError`` /
-    ``ValueError`` / ``zipfile.BadZipFile`` from ``np.load``.
+    ``ValueError`` / ``zipfile.BadZipFile`` from ``np.load``.  When the
+    entry carries a ``content_digest`` (every entry written since the
+    resilience layer does; older entries lack it and skip the check),
+    the columns' recomputed digest must match, so bit rot inside a
+    structurally valid ``.npz`` is rejected rather than replayed.
     """
     with np.load(path, allow_pickle=False) as data:
         files = set(data.files)
@@ -320,9 +330,18 @@ def load_columns_npz(path) -> ColumnarTrace:
             raise ConfigError(
                 f"trace npz schema {schema!r} != {NPZ_SCHEMA!r}"
             )
+        expected_digest = (
+            str(data["content_digest"]) if "content_digest" in files else None
+        )
         columns = ColumnarTrace(
             app_names=tuple(str(name) for name in data["app_names"]),
             **{name: data[name] for name in COLUMN_NAMES},
         )
     columns.validate()
+    if expected_digest is not None and columns.digest() != expected_digest:
+        raise ConfigError(
+            f"trace npz content digest mismatch: stored "
+            f"{expected_digest[:12]}..., recomputed "
+            f"{columns.digest()[:12]}..."
+        )
     return columns

@@ -9,8 +9,16 @@ result cache (``<cache dir>/traces`` by default).
 The store is opt-in, like the result cache: enable it explicitly with a
 ``TraceStore`` argument, via ``REPRO_TRACE_STORE=1``, or implicitly
 whenever the result cache itself is on (``--cache`` / ``REPRO_CACHE``).
-Corrupt, truncated, or schema-mismatched entries are treated as misses —
-the trace is regenerated and the entry rewritten — never as errors.
+
+Corrupt entries — truncated ``.npz`` files, schema drift, content-digest
+mismatches (bit rot inside a structurally valid zip), torn writes from
+a crashed concurrent writer — are **quarantined**: the damaged file is
+moved to ``<directory>/quarantine/`` (preserving the evidence), the
+``trace.store_quarantined`` telemetry counter ticks, and the lookup
+reports a miss so the trace regenerates and a clean entry is rewritten.
+Nothing is ever silently overwritten in place, and a lookup never
+raises on bad bytes.  Writes are atomic (per-PID temp file + rename),
+so readers only ever observe complete entries.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from typing import Optional
 
 from ..core import telemetry
 from ..core.errors import ConfigError
+from ..core.ioutil import atomic_writer
 from ..core.runner import cache_enabled, content_key, default_cache_dir
 from .columnar import ColumnarTrace, load_columns_npz, save_columns_npz
 
@@ -58,6 +67,7 @@ def store_enabled() -> bool:
 
 
 def default_store_dir() -> Path:
+    """``REPRO_TRACE_STORE_DIR`` if set, else ``<cache dir>/traces``."""
     env = os.environ.get(STORE_DIR_ENV)
     if env:
         return Path(env)
@@ -71,13 +81,30 @@ class TraceStore:
     directory: Path = field(default_factory=default_store_dir)
     hits: int = 0
     misses: int = 0
+    quarantined: int = 0
 
     def key(self, seed: int, params: object) -> str:
         """The entry key: a content hash of the generation inputs."""
         return content_key(STORE_VERSION, seed, params)
 
     def path(self, seed: int, params: object) -> Path:
+        """Where the ``.npz`` entry for ``(seed, params)`` lives."""
         return Path(self.directory) / f"{self.key(seed, params)}.npz"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt entries are moved for post-mortem inspection."""
+        return Path(self.directory) / "quarantine"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside; never delete or overwrite it."""
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            path.replace(self.quarantine_dir / f"{path.name}.quarantined")
+        except OSError:
+            return  # a concurrent reader already quarantined it
+        self.quarantined += 1
+        telemetry.count("trace.store_quarantined")
 
     def get(self, seed: int, params: object, name: str):
         """The stored trace, or ``None`` on a miss (absent or corrupt).
@@ -92,12 +119,15 @@ class TraceStore:
         return VmTrace(name=name, params=params, columns=columns)
 
     def get_columns(self, seed: int, params: object) -> Optional[ColumnarTrace]:
+        """The stored columns, or ``None``; corrupt entries quarantine."""
         path = self.path(seed, params)
         if path.exists():
             try:
                 columns = load_columns_npz(path)
             except _CORRUPT_ENTRY_ERRORS:
-                pass  # unreadable entry == miss; put() will rewrite it
+                # Unusable entry: quarantine the evidence, report a
+                # miss, let regeneration write a fresh entry.
+                self._quarantine(path)
             else:
                 self.hits += 1
                 telemetry.count("trace.store_hits")
@@ -107,14 +137,8 @@ class TraceStore:
         return None
 
     def put(self, seed: int, params: object, columns: ColumnarTrace) -> Path:
-        """Write one entry atomically (tmp file + rename)."""
+        """Write one entry atomically (per-PID tmp file + rename)."""
         path = self.path(seed, params)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp-{os.getpid()}")
-        try:
+        with atomic_writer(path) as tmp:
             save_columns_npz(columns, tmp)
-            os.replace(tmp, path)
-        finally:
-            if tmp.exists():
-                tmp.unlink()
         return path

@@ -19,6 +19,16 @@ cores); ``--cache`` / ``--no-cache`` toggle the opt-in on-disk result
 cache (default: the ``REPRO_CACHE`` env var, else off);
 ``--telemetry PATH`` instruments the run and writes a JSON manifest of
 counters, timers, and phase spans (see ``docs/observability.md``).
+
+Resilience flags (see ``docs/resilience.md``): ``--resume`` checkpoints
+every completed suite task to an on-disk journal and loads completed
+tasks from it on the next run, so an interrupted 35-seed suite picks up
+where it stopped, bit-identically; ``--journal DIR`` relocates the
+journal (implies ``--resume``); ``--retries N`` / ``--task-timeout S``
+bound each task's attempts and wall clock; ``--keep-going`` records
+failing experiments as structured failures instead of aborting
+``run-all``; ``--faults SPEC`` injects deterministic worker kills and
+latency for testing the layer itself.
 """
 
 from __future__ import annotations
@@ -35,8 +45,9 @@ from .allocation.traces import (
 )
 from .carbon.model import CarbonModel
 from .carbon.savings import paper_savings_table, render_savings_table
-from .core import runner, telemetry
+from .core import resilience, runner, telemetry
 from .core.errors import ConfigError, ReproError
+from .core.faults import parse_fault_spec
 from .experiments.registry import EXPERIMENTS, get_experiment
 from .gsf.framework import Gsf
 from .hardware.datacenter import DataCenterConfig
@@ -67,7 +78,24 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_run_all(args: argparse.Namespace) -> int:
     from .experiments.registry import run_all
 
-    run_all(verbose=True)
+    on_failure = (
+        "record"
+        if args.keep_going or resilience.active_policy() is not None
+        else "raise"
+    )
+    results = run_all(verbose=True, on_failure=on_failure)
+    failures = [
+        value
+        for value in results.values()
+        if isinstance(value, resilience.TaskFailure)
+    ]
+    if failures:
+        print(
+            f"{len(failures)}/{len(results)} experiments degraded: "
+            + ", ".join(str(f.key) for f in failures),
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -245,6 +273,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="instrument the run and write a JSON telemetry manifest "
              "(counters, timers, phase spans) to PATH",
     )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="checkpoint completed suite tasks to the on-disk journal "
+             "and resume from it (bit-identical to an uninterrupted run)",
+    )
+    parser.add_argument(
+        "--journal", default=None, metavar="DIR",
+        help="checkpoint-journal directory (implies --resume; default "
+             "<cache dir>/journal)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry each failed suite task up to N times with "
+             "exponential backoff (default 2 when resilience is active)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task wall-clock bound; a timed-out attempt counts as "
+             "a failure and its worker is reclaimed",
+    )
+    parser.add_argument(
+        "--keep-going", action="store_true",
+        help="record failing experiments as structured failures and "
+             "continue instead of aborting (run-all)",
+    )
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="inject deterministic faults, e.g. 'kill=0;3 p=0.1 "
+             "attempts=1 mode=hard latency=0.01 seed=7' (testing only)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list paper experiments").set_defaults(
@@ -368,6 +426,34 @@ def _run_command(args: argparse.Namespace, argv: List[str]) -> int:
             print(f"telemetry written to {args.telemetry}", file=sys.stderr)
 
 
+def _build_policy(
+    args: argparse.Namespace,
+) -> Optional[resilience.ResiliencePolicy]:
+    """The process-wide resilience policy the flags ask for, if any."""
+    wants_resilience = (
+        args.resume
+        or args.journal is not None
+        or args.retries is not None
+        or args.task_timeout is not None
+        or args.faults is not None
+    )
+    if not wants_resilience:
+        return None
+    journal = None
+    if args.resume or args.journal is not None:
+        journal = resilience.CheckpointJournal(
+            directory=args.journal if args.journal is not None else None
+        )
+    retry = resilience.RetryPolicy(
+        max_retries=args.retries if args.retries is not None else 2,
+        timeout_s=args.task_timeout,
+    )
+    faults = parse_fault_spec(args.faults) if args.faults else None
+    return resilience.ResiliencePolicy(
+        journal=journal, retry=retry, faults=faults, on_failure="record"
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -375,6 +461,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         runner.set_default_jobs(args.jobs)
         runner.set_cache_enabled(args.cache)
+        resilience.set_active_policy(_build_policy(args))
         return _run_command(
             args, list(sys.argv[1:] if argv is None else argv)
         )
@@ -384,6 +471,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     finally:
         runner.set_default_jobs(None)
         runner.set_cache_enabled(None)
+        resilience.set_active_policy(None)
 
 
 if __name__ == "__main__":

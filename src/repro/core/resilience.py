@@ -1,0 +1,645 @@
+"""Fault-tolerant execution: checkpoint journals, retries, degradation.
+
+PRs 1–4 made the suite experiments fast (parallel, memoized, columnar)
+but brittle: one dead worker, one corrupt store entry, or one OOM'd
+seed threw away a whole 35-trace run.  This layer makes partial failure
+a first-class outcome:
+
+- :class:`CheckpointJournal` — a content-hash-keyed on-disk journal of
+  per-task results (the same hashing scheme as the trace store and the
+  PR 1 disk cache).  A rerun against the same journal — the CLI's
+  ``--resume`` — loads every completed task and executes only the rest;
+  because every task is a pure function of its item, the resumed suite
+  is bit-identical to an uninterrupted one.
+- :class:`RetryPolicy` — bounded retry with exponential backoff and an
+  optional per-task timeout.  Worker deaths (``BrokenProcessPool``),
+  timeouts, and task exceptions all consume attempts; the pool is
+  recycled after a breakage so one bad task cannot take the suite down.
+- **graceful degradation** — a task that exhausts its attempts becomes
+  a structured :class:`TaskFailure`, recorded in the journal and in the
+  telemetry manifest; the suite completes on the surviving results (or
+  raises, with ``on_failure="raise"``).
+- :func:`resilient_map` — the composition: journal lookups, disk-cache
+  lookups, retried parallel execution of the misses, checkpoint after
+  every completion.  ``repro.core.runner.cached_map`` routes through it
+  automatically whenever a policy is active (the CLI's ``--resume`` /
+  ``--retries`` / ``--task-timeout`` / ``--faults`` flags), so every
+  suite experiment inherits resilience without code changes.
+
+Telemetry: counters ``resilience.tasks`` / ``.resumed`` /
+``.checkpointed`` / ``.retries`` / ``.timeouts`` / ``.failures`` /
+``.pool_restarts`` / ``.journal_quarantined`` and a ``resilience.map``
+span per fan-out.  Fault injection (``repro.core.faults``) hooks in here
+and nowhere else.  See ``docs/resilience.md``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from . import runner, telemetry
+from .errors import ConfigError, SimulationError
+from .faults import FaultPlan
+from .ioutil import atomic_write_text, atomic_writer
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Journal metadata schema; bump on breaking layout changes.
+JOURNAL_SCHEMA = "repro-journal/1"
+
+#: Default journal location, next to the PR 1 result cache.
+JOURNAL_DIRNAME = "journal"
+
+
+def default_journal_dir() -> Path:
+    """``<cache dir>/journal`` — stable across runs, so ``--resume`` works."""
+    return runner.default_cache_dir() / JOURNAL_DIRNAME
+
+
+# -- retry policy --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and per-task timeout.
+
+    A task gets ``max_retries + 1`` attempts.  Attempt ``k``'s failure
+    is followed by a ``backoff_base_s * backoff_factor**k`` sleep
+    (capped at ``max_backoff_s``) before the retry.  ``timeout_s`` (when
+    set) bounds each *attempt's* wall clock in parallel runs; a timed
+    out attempt counts as a failure and the worker pool is recycled to
+    reclaim the stuck worker.  ``sleep`` is injectable so tests can
+    assert backoff schedules without waiting.
+    """
+
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 2.0
+    timeout_s: Optional[float] = None
+    sleep: Callable[[float], None] = time.sleep
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.backoff_base_s < 0 or self.max_backoff_s < 0:
+            raise ConfigError("backoff must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigError("backoff_factor must be >= 1")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigError("timeout_s must be > 0")
+
+    @property
+    def attempts(self) -> int:
+        """Total executions allowed per task."""
+        return self.max_retries + 1
+
+    def backoff_s(self, failed_attempt: int) -> float:
+        """The sleep after attempt ``failed_attempt`` (0-based) fails."""
+        delay = self.backoff_base_s * self.backoff_factor**failed_attempt
+        return min(delay, self.max_backoff_s)
+
+
+# -- structured failure record -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One task that exhausted its attempts (the degraded-result record)."""
+
+    index: int
+    key: Optional[str]
+    attempts: int
+    error_type: str
+    message: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form, as stored in journals and manifests."""
+        return {
+            "index": self.index,
+            "key": self.key,
+            "attempts": self.attempts,
+            "error_type": self.error_type,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TaskFailure":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            index=int(data["index"]),
+            key=data.get("key"),
+            attempts=int(data["attempts"]),
+            error_type=str(data["error_type"]),
+            message=str(data["message"]),
+        )
+
+
+# -- checkpoint journal --------------------------------------------------------
+
+
+class CheckpointJournal:
+    """Content-keyed on-disk journal of completed task results.
+
+    Entries are one pickle per task, named by the task's content key
+    (``runner.content_key`` over the work item — the same scheme the
+    trace store and disk cache use), written atomically.  A sidecar
+    ``journal.json`` records the schema and any :class:`TaskFailure`\\ s
+    so a resumed run knows what degraded previously.  Corrupt entries
+    are quarantined under ``<directory>/quarantine/`` — never silently
+    rewritten in place — and count as misses.
+    """
+
+    def __init__(self, directory: Optional[Path] = None) -> None:
+        self.directory = Path(
+            directory if directory is not None else default_journal_dir()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.quarantined = 0
+
+    # -- paths -----------------------------------------------------------------
+
+    def entry_path(self, key: str) -> Path:
+        """Where the pickled result for ``key`` lives."""
+        return self.directory / f"{key}.pkl"
+
+    @property
+    def meta_path(self) -> Path:
+        """The ``journal.json`` sidecar (schema + recorded failures)."""
+        return self.directory / "journal.json"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt entries are moved for post-mortem inspection."""
+        return self.directory / "quarantine"
+
+    # -- entries ---------------------------------------------------------------
+
+    def get(self, key: str) -> object:
+        """The journaled result for ``key``, or ``runner.MISSING``.
+
+        An unreadable entry is quarantined (moved aside with its
+        original name plus a ``.quarantined`` suffix) and reported as a
+        miss, so the task reruns and the evidence survives.
+        """
+        path = self.entry_path(key)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return runner.MISSING
+        except (OSError, pickle.PickleError, EOFError, AttributeError,
+                ValueError):
+            self._quarantine(path)
+            self.misses += 1
+            return runner.MISSING
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: object) -> None:
+        """Checkpoint one completed task atomically."""
+        with atomic_writer(self.entry_path(key)) as tmp:
+            with open(tmp, "wb") as fh:
+                pickle.dump(value, fh)
+        self.writes += 1
+        telemetry.count("resilience.checkpointed")
+
+    def _quarantine(self, path: Path) -> None:
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        target = self.quarantine_dir / f"{path.name}.quarantined"
+        try:
+            path.replace(target)
+        except OSError:
+            return  # a concurrent reader beat us to it; nothing to move
+        self.quarantined += 1
+        telemetry.count("resilience.journal_quarantined")
+
+    # -- metadata --------------------------------------------------------------
+
+    def record_failures(self, failures: Sequence[TaskFailure]) -> None:
+        """Merge this run's failures into ``journal.json`` atomically."""
+        meta = self.load_meta()
+        seen = {
+            (f.get("key"), f.get("index")): f
+            for f in meta.get("failures", [])
+        }
+        for failure in failures:
+            seen[(failure.key, failure.index)] = failure.to_dict()
+        meta["schema"] = JOURNAL_SCHEMA
+        meta["failures"] = sorted(
+            seen.values(), key=lambda f: (f["index"], f["key"] or "")
+        )
+        import json
+
+        atomic_write_text(self.meta_path, json.dumps(meta, indent=2) + "\n")
+
+    def load_meta(self) -> Dict[str, Any]:
+        """The journal's metadata document (empty when absent/corrupt)."""
+        import json
+
+        try:
+            with open(self.meta_path, "r", encoding="utf-8") as fh:
+                meta = json.load(fh)
+        except (OSError, ValueError):
+            return {}
+        return meta if isinstance(meta, dict) else {}
+
+    def failures(self) -> List[TaskFailure]:
+        """The recorded failures, as structured records."""
+        out = []
+        for data in self.load_meta().get("failures", []):
+            try:
+                out.append(TaskFailure.from_dict(data))
+            except (KeyError, TypeError, ValueError):
+                continue
+        return out
+
+
+# -- process-wide policy (the CLI's resilience flags) --------------------------
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Everything :func:`resilient_map` needs to execute a fan-out."""
+
+    journal: Optional[CheckpointJournal] = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    faults: Optional[FaultPlan] = None
+    on_failure: str = "record"
+
+    def __post_init__(self) -> None:
+        if self.on_failure not in ("record", "raise"):
+            raise ConfigError(
+                f"on_failure must be 'record' or 'raise', "
+                f"got {self.on_failure!r}"
+            )
+
+
+_ACTIVE_POLICY: Optional[ResiliencePolicy] = None
+
+
+def active_policy() -> Optional[ResiliencePolicy]:
+    """The process-wide policy installed by the CLI flags, or ``None``."""
+    return _ACTIVE_POLICY
+
+
+def set_active_policy(policy: Optional[ResiliencePolicy]) -> None:
+    """Install (or clear) the process-wide resilience policy."""
+    global _ACTIVE_POLICY
+    _ACTIVE_POLICY = policy
+
+
+@contextmanager
+def activated(policy: ResiliencePolicy) -> Iterator[ResiliencePolicy]:
+    """Scoped :func:`set_active_policy` (the test-suite entry point)."""
+    previous = _ACTIVE_POLICY
+    set_active_policy(policy)
+    try:
+        yield policy
+    finally:
+        set_active_policy(previous)
+
+
+# -- execution -----------------------------------------------------------------
+
+
+class _ResilientTask:
+    """Picklable task wrapper: fault injection + worker instrumentation.
+
+    Composes the runner's ``_StatsTrackedTask`` (sizing-counter deltas,
+    per-task telemetry capture) with the fault plan, which fires in the
+    executing process — so hard kills really kill the worker.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[T], R],
+        faults: Optional[FaultPlan],
+        index: int,
+        attempt: int,
+    ) -> None:
+        self._inner = runner._StatsTrackedTask(fn)
+        self._faults = faults
+        self._index = index
+        self._attempt = attempt
+
+    def __call__(self, item: T):
+        if self._faults is not None:
+            self._faults.apply(self._index, self._attempt)
+        return self._inner(item)
+
+
+@dataclass
+class _Pending:
+    """Book-keeping for one not-yet-completed task."""
+
+    index: int
+    item: Any
+    attempt: int = 0
+    last_error: Optional[BaseException] = None
+
+
+def _describe(exc: BaseException) -> Tuple[str, str]:
+    return type(exc).__name__, str(exc) or type(exc).__name__
+
+
+def _run_serial(
+    fn: Callable[[T], R],
+    pending: List[_Pending],
+    policy: ResiliencePolicy,
+) -> Dict[int, object]:
+    """In-process execution with retry (the ``jobs=1`` path)."""
+    retry = policy.retry
+    tel = telemetry.active()
+    outcomes: Dict[int, object] = {}
+    for task in pending:
+        while True:
+            try:
+                if policy.faults is not None:
+                    policy.faults.apply(task.index, task.attempt)
+                if tel is not None:
+                    with tel.timer("runner.task"):
+                        outcomes[task.index] = fn(task.item)
+                else:
+                    outcomes[task.index] = fn(task.item)
+                break
+            except Exception as exc:  # noqa: BLE001 — retries bound it
+                task.last_error = exc
+                task.attempt += 1
+                if task.attempt >= retry.attempts:
+                    name, message = _describe(exc)
+                    outcomes[task.index] = TaskFailure(
+                        index=task.index,
+                        key=None,
+                        attempts=task.attempt,
+                        error_type=name,
+                        message=message,
+                    )
+                    break
+                telemetry.count("resilience.retries")
+                retry.sleep(retry.backoff_s(task.attempt - 1))
+    return outcomes
+
+
+def _run_parallel(
+    fn: Callable[[T], R],
+    pending: List[_Pending],
+    policy: ResiliencePolicy,
+    workers: int,
+) -> Dict[int, object]:
+    """Process-pool execution with retry, timeout, and pool recycling."""
+    retry = policy.retry
+    tel = telemetry.active()
+    outcomes: Dict[int, object] = {}
+    queue: List[_Pending] = list(pending)
+    pool = ProcessPoolExecutor(max_workers=workers)
+    inflight: Dict[Any, Tuple[_Pending, Optional[float]]] = {}
+
+    def fail_or_requeue(task: _Pending, exc: BaseException) -> None:
+        task.last_error = exc
+        task.attempt += 1
+        if task.attempt >= retry.attempts:
+            name, message = _describe(exc)
+            outcomes[task.index] = TaskFailure(
+                index=task.index,
+                key=None,
+                attempts=task.attempt,
+                error_type=name,
+                message=message,
+            )
+            return
+        telemetry.count("resilience.retries")
+        retry.sleep(retry.backoff_s(task.attempt - 1))
+        queue.append(task)
+
+    def recycle_pool(old: ProcessPoolExecutor) -> ProcessPoolExecutor:
+        old.shutdown(wait=False, cancel_futures=True)
+        telemetry.count("resilience.pool_restarts")
+        return ProcessPoolExecutor(max_workers=workers)
+
+    try:
+        while queue or inflight:
+            while queue:
+                task = queue.pop(0)
+                future = pool.submit(
+                    _ResilientTask(fn, policy.faults, task.index, task.attempt),
+                    task.item,
+                )
+                deadline = (
+                    time.monotonic() + retry.timeout_s
+                    if retry.timeout_s is not None
+                    else None
+                )
+                inflight[future] = (task, deadline)
+            deadlines = [d for _, d in inflight.values() if d is not None]
+            wait_s = (
+                max(0.0, min(deadlines) - time.monotonic())
+                if deadlines
+                else None
+            )
+            done, _ = wait(
+                list(inflight), timeout=wait_s, return_when=FIRST_COMPLETED
+            )
+            broken = False
+            for future in done:
+                task, _deadline = inflight.pop(future)
+                try:
+                    result, deltas, drained = future.result()
+                except BrokenProcessPool as exc:
+                    broken = True
+                    fail_or_requeue(task, exc)
+                except Exception as exc:  # noqa: BLE001 — retries bound it
+                    fail_or_requeue(task, exc)
+                else:
+                    outcomes[task.index] = result
+                    runner._fold_worker_stats(deltas)
+                    if tel is not None and drained is not None:
+                        tel.absorb(*drained)
+            now = time.monotonic()
+            expired = [
+                future
+                for future, (_task, deadline) in inflight.items()
+                if deadline is not None and deadline <= now
+            ]
+            if expired:
+                # A stuck worker cannot be cancelled, only abandoned:
+                # requeue everything in flight (expired tasks pay an
+                # attempt, innocent bystanders do not) and recycle the
+                # pool to reclaim the processes.
+                for future in expired:
+                    task, _deadline = inflight.pop(future)
+                    telemetry.count("resilience.timeouts")
+                    fail_or_requeue(
+                        task,
+                        TimeoutError(
+                            f"task {task.index} exceeded "
+                            f"{retry.timeout_s}s (attempt {task.attempt})"
+                        ),
+                    )
+                for future, (task, _deadline) in inflight.items():
+                    queue.append(task)
+                inflight = {}
+                pool = recycle_pool(pool)
+            elif broken:
+                # The pool died under us; every in-flight future fails
+                # with BrokenProcessPool almost immediately.
+                for future, (task, _deadline) in inflight.items():
+                    try:
+                        result, deltas, drained = future.result(timeout=10.0)
+                    except Exception as exc:  # noqa: BLE001
+                        fail_or_requeue(task, exc)
+                    else:
+                        outcomes[task.index] = result
+                        runner._fold_worker_stats(deltas)
+                        if tel is not None and drained is not None:
+                            tel.absorb(*drained)
+                inflight = {}
+                pool = recycle_pool(pool)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return outcomes
+
+
+def resilient_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    key_fn: Optional[Callable[[T], str]] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[runner.DiskCache] = None,
+    policy: Optional[ResiliencePolicy] = None,
+) -> List[R]:
+    """Fault-tolerant :func:`repro.core.runner.cached_map`.
+
+    Resolution order per item: checkpoint journal, disk cache, then
+    retried execution (serial or process pool).  Every fresh completion
+    is checkpointed (and cached) before the call returns, so a crash
+    mid-suite loses at most the in-flight tasks.  Tasks that exhaust
+    their attempts become :class:`TaskFailure` records — written to the
+    journal and the telemetry manifest — and are **excluded** from the
+    returned list (``on_failure="raise"`` raises instead, after
+    checkpointing the survivors).  With no failures the result is
+    exactly ``cached_map``'s: input order, bit-identical across worker
+    counts and resumes, because tasks are pure functions of their items.
+    """
+    items = list(items)
+    policy = policy if policy is not None else active_policy()
+    if policy is None:
+        policy = ResiliencePolicy()
+    journal = policy.journal
+    keys: Optional[List[str]] = (
+        [key_fn(item) for item in items] if key_fn is not None else None
+    )
+
+    stats = runner.runner_stats()
+    stats.tasks += len(items)
+    telemetry.count("resilience.tasks", len(items))
+    tel = telemetry.active()
+    if tel is not None:
+        tel.count("runner.tasks", len(items))
+
+    results: List[object] = [runner.MISSING] * len(items)
+    if journal is not None and keys is not None:
+        for i, key in enumerate(keys):
+            value = journal.get(key)
+            if value is not runner.MISSING:
+                results[i] = value
+                telemetry.count("resilience.resumed")
+    if cache is not None and keys is not None:
+        for i, key in enumerate(keys):
+            if results[i] is runner.MISSING:
+                value = cache.get(key)
+                if value is not runner.MISSING:
+                    results[i] = value
+                    if journal is not None:
+                        journal.put(key, value)
+
+    pending = [
+        _Pending(index=i, item=items[i])
+        for i in range(len(items))
+        if results[i] is runner.MISSING
+    ]
+    with telemetry.span("resilience.map"):
+        if pending:
+            resolved_jobs = runner.resolve_jobs(jobs)
+            if resolved_jobs <= 1 or len(pending) <= 1:
+                outcomes = _run_serial(fn, pending, policy)
+            else:
+                workers = min(resolved_jobs, len(pending))
+                stats.parallel_tasks += len(pending)
+                if tel is not None:
+                    tel.count("runner.parallel_tasks", len(pending))
+                outcomes = _run_parallel(fn, pending, policy, workers)
+            for index, outcome in outcomes.items():
+                results[index] = outcome
+                if isinstance(outcome, TaskFailure):
+                    continue
+                if keys is not None:
+                    if journal is not None:
+                        journal.put(keys[index], outcome)
+                    if cache is not None:
+                        cache.put(keys[index], outcome)
+
+    failures = [
+        (
+            replace(value, key=keys[i]) if keys is not None else value
+        )
+        for i, value in enumerate(results)
+        if isinstance(value, TaskFailure)
+    ]
+    if failures:
+        telemetry.count("resilience.failures", len(failures))
+        if tel is not None:
+            for failure in failures:
+                tel.record_failure(failure.to_dict())
+        if journal is not None:
+            journal.record_failures(failures)
+        if policy.on_failure == "raise":
+            detail = "; ".join(
+                f"task {f.index}: {f.error_type}: {f.message}"
+                for f in failures
+            )
+            raise SimulationError(
+                f"{len(failures)}/{len(items)} tasks failed after "
+                f"{policy.retry.attempts} attempts: {detail}"
+            )
+    return [
+        value
+        for value in results
+        if not isinstance(value, TaskFailure) and value is not runner.MISSING
+    ]
+
+
+__all__ = [
+    "JOURNAL_DIRNAME",
+    "JOURNAL_SCHEMA",
+    "CheckpointJournal",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "TaskFailure",
+    "activated",
+    "active_policy",
+    "default_journal_dir",
+    "resilient_map",
+    "set_active_policy",
+]

@@ -35,6 +35,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from . import telemetry
 from .errors import ConfigError
+from .ioutil import atomic_writer
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -207,6 +208,17 @@ class _StatsTrackedTask:
         ), drained
 
 
+def _fold_worker_stats(deltas: Tuple[int, int]) -> None:
+    """Fold one worker task's sizing-counter deltas into this process."""
+    simulate_delta, memo_delta = deltas
+    if simulate_delta or memo_delta:
+        from ..gsf.sizing import sizing_stats  # lazy: avoids core->gsf cycle
+
+        stats = sizing_stats()
+        stats.simulate_calls += simulate_delta
+        stats.memo_hits += memo_delta
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Sequence[T],
@@ -251,12 +263,7 @@ def parallel_map(
         memo_delta += hits
         if tel is not None and drained is not None:
             tel.absorb(*drained)
-    if simulate_delta or memo_delta:
-        from ..gsf.sizing import sizing_stats  # lazy: avoids core->gsf cycle
-
-        stats = sizing_stats()
-        stats.simulate_calls += simulate_delta
-        stats.memo_hits += memo_delta
+    _fold_worker_stats((simulate_delta, memo_delta))
     return results
 
 
@@ -272,16 +279,31 @@ class DiskCache:
     """Content-addressed pickle cache for experiment results.
 
     Entries live one-per-file under ``directory`` named by their content
-    key.  A corrupt or unreadable entry counts as a miss and is
-    overwritten on the next :meth:`put`.
+    key, written atomically (per-PID temp file + rename) so concurrent
+    writers never tear an entry.  An *absent* entry is a plain miss; an
+    entry that exists but cannot be unpickled is **quarantined** — moved
+    to ``<directory>/quarantine/`` and counted — then reported as a
+    miss, so corruption leaves evidence instead of being silently
+    overwritten.
     """
 
     directory: Path = field(default_factory=default_cache_dir)
     hits: int = 0
     misses: int = 0
+    quarantined: int = 0
 
     def _path(self, key: str) -> Path:
         return Path(self.directory) / f"{key}.pkl"
+
+    def _quarantine(self, path: Path) -> None:
+        quarantine_dir = Path(self.directory) / "quarantine"
+        quarantine_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            path.replace(quarantine_dir / f"{path.name}.quarantined")
+        except OSError:
+            return  # a concurrent reader already moved it
+        self.quarantined += 1
+        telemetry.count("runner.cache_quarantined")
 
     def get(self, key: str) -> object:
         """Return the cached value or the :data:`MISSING` sentinel."""
@@ -289,23 +311,26 @@ class DiskCache:
         try:
             with open(path, "rb") as fh:
                 value = pickle.load(fh)
-        except (OSError, pickle.PickleError, EOFError, AttributeError):
-            self.misses += 1
-            _GLOBAL_STATS.cache_misses += 1
-            telemetry.count("runner.cache_misses")
-            return MISSING
-        self.hits += 1
-        _GLOBAL_STATS.cache_hits += 1
-        telemetry.count("runner.cache_hits")
-        return value
+        except FileNotFoundError:
+            pass
+        except (OSError, pickle.PickleError, EOFError, AttributeError,
+                ValueError):
+            self._quarantine(path)
+        else:
+            self.hits += 1
+            _GLOBAL_STATS.cache_hits += 1
+            telemetry.count("runner.cache_hits")
+            return value
+        self.misses += 1
+        _GLOBAL_STATS.cache_misses += 1
+        telemetry.count("runner.cache_misses")
+        return MISSING
 
     def put(self, key: str, value: object) -> None:
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        with open(tmp, "wb") as fh:
-            pickle.dump(value, fh)
-        os.replace(tmp, path)
+        """Write one entry atomically (per-PID tmp file + rename)."""
+        with atomic_writer(self._path(key)) as tmp:
+            with open(tmp, "wb") as fh:
+                pickle.dump(value, fh)
 
 
 def cached_map(
@@ -321,10 +346,23 @@ def cached_map(
     switch (:func:`cache_enabled`) is on.  Cached items are returned
     directly; only the misses fan out to workers.  The result list is in
     input order either way, so cached and uncached runs are identical.
+
+    When a process-wide resilience policy is active (the CLI's
+    ``--resume`` / ``--retries`` / ``--task-timeout`` / ``--faults``
+    flags), execution routes through
+    :func:`repro.core.resilience.resilient_map` instead: checkpoint
+    journal first, then the cache, then retried execution of the misses
+    — same ordering and bit-identical results on success.
     """
     items = list(items)
     if cache is None:
         cache = DiskCache() if cache_enabled() else None
+    from . import resilience  # lazy: resilience builds on this module
+
+    if resilience.active_policy() is not None:
+        return resilience.resilient_map(
+            fn, items, key_fn=key_fn, jobs=jobs, cache=cache
+        )
     if cache is None:
         return parallel_map(fn, items, jobs=jobs)
 

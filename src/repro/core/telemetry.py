@@ -41,6 +41,7 @@ from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from .errors import ConfigError
+from .ioutil import atomic_write_text
 
 #: Manifest schema identifier; bump on breaking manifest changes.
 SCHEMA = "repro-telemetry/1"
@@ -134,6 +135,7 @@ class Telemetry:
         self._clock = clock
         self.counters: Dict[str, int] = {}
         self.timers: Dict[str, TimerStat] = {}
+        self.failures: List[Dict[str, Any]] = []
         self._root = SpanNode("root")
         self._stack: List[SpanNode] = [self._root]
         self._started_at = clock()
@@ -195,6 +197,17 @@ class Telemetry:
         """Current nesting depth (0 at top level); test hook."""
         return len(self._stack) - 1
 
+    # -- failures -------------------------------------------------------------
+
+    def record_failure(self, failure: Mapping[str, Any]) -> None:
+        """Append one structured degraded-result record (a plain dict).
+
+        The resilience layer reports tasks that exhausted their retry
+        budget here, so a manifest shows *what* degraded, not just that
+        something did (see ``repro.core.resilience.TaskFailure``).
+        """
+        self.failures.append(dict(failure))
+
     # -- worker fold-in -------------------------------------------------------
 
     def drain(self) -> Tuple[Dict[str, int], Dict[str, Tuple[int, float, float, float]]]:
@@ -240,6 +253,7 @@ class Telemetry:
                 for name, stat in sorted(self.timers.items())
             },
             "spans": [child.to_dict() for child in self._root.children],
+            "failures": [dict(failure) for failure in self.failures],
         }
 
 
@@ -407,6 +421,29 @@ def validate_manifest(manifest: Any) -> List[str]:
     else:
         for i, node in enumerate(spans):
             _validate_span(node, f"spans[{i}]", errors)
+
+    failures = manifest.get("failures")
+    if failures is not None:  # optional: absent in pre-resilience manifests
+        if not isinstance(failures, list):
+            errors.append("failures must be a list")
+        else:
+            for i, failure in enumerate(failures):
+                if not isinstance(failure, dict):
+                    errors.append(f"failures[{i}] must be an object")
+                    continue
+                if not isinstance(failure.get("error_type"), str):
+                    errors.append(
+                        f"failures[{i}].error_type must be a string"
+                    )
+                attempts = failure.get("attempts")
+                if attempts is not None and (
+                    not isinstance(attempts, int)
+                    or isinstance(attempts, bool)
+                    or attempts < 1
+                ):
+                    errors.append(
+                        f"failures[{i}].attempts must be an integer >= 1"
+                    )
     return errors
 
 
@@ -462,16 +499,32 @@ def render_manifest(manifest: Dict[str, Any]) -> str:
         lines.append("spans:")
         for node in spans:
             _render_span(node, 1, lines)
-    if not counters and not timers and not spans:
+
+    failures = manifest.get("failures") or []
+    if failures:
+        lines.append(f"failures ({len(failures)} degraded tasks):")
+        for failure in failures:
+            where = failure.get("key") or f"task {failure.get('index')}"
+            lines.append(
+                f"  - {where}: {failure.get('error_type', '?')} after "
+                f"{failure.get('attempts', '?')} attempts: "
+                f"{failure.get('message', '')}"
+            )
+    if not counters and not timers and not spans and not failures:
         lines.append("  (empty capture)")
     return "\n".join(lines)
 
 
 def write_manifest(manifest: Dict[str, Any], path) -> None:
-    """Write a manifest as stable, human-diffable JSON."""
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(manifest, fh, indent=2, sort_keys=False)
-        fh.write("\n")
+    """Write a manifest as stable, human-diffable JSON (atomically).
+
+    The temp-file + rename discipline means a killed run can never
+    leave a half-written manifest: readers see the previous complete
+    manifest or the new one, nothing in between.
+    """
+    atomic_write_text(
+        path, json.dumps(manifest, indent=2, sort_keys=False) + "\n"
+    )
 
 
 __all__ = [

@@ -87,14 +87,51 @@ def get_experiment(experiment_id: str) -> Experiment:
         ) from None
 
 
-def run_all(verbose: bool = True) -> Dict[str, object]:
-    """Run every experiment's ``main()``; returns id -> result."""
-    results = {}
-    for exp in _EXPERIMENTS:
+def run_all(
+    verbose: bool = True, on_failure: str = "raise"
+) -> Dict[str, object]:
+    """Run every experiment's ``main()``; returns id -> result.
+
+    ``on_failure="record"`` (the CLI's ``--keep-going``, and the default
+    whenever a resilience policy is active) degrades gracefully: a
+    failing experiment becomes a structured
+    :class:`repro.core.resilience.TaskFailure` in the returned mapping —
+    and in the telemetry manifest — instead of aborting the runs that
+    follow it.
+    """
+    from ..core import resilience
+
+    if on_failure not in ("raise", "record"):
+        raise ConfigError(
+            f"on_failure must be 'raise' or 'record', got {on_failure!r}"
+        )
+    results: Dict[str, object] = {}
+    for index, exp in enumerate(_EXPERIMENTS):
         if verbose:
             print(f"=== {exp.experiment_id}: {exp.title} ===")
-        with telemetry.span(f"experiment.{exp.experiment_id}"):
-            results[exp.experiment_id] = exp.module.main()
+        try:
+            with telemetry.span(f"experiment.{exp.experiment_id}"):
+                results[exp.experiment_id] = exp.module.main()
+        except Exception as exc:
+            if on_failure == "raise":
+                raise
+            failure = resilience.TaskFailure(
+                index=index,
+                key=exp.experiment_id,
+                attempts=1,
+                error_type=type(exc).__name__,
+                message=str(exc) or type(exc).__name__,
+            )
+            results[exp.experiment_id] = failure
+            telemetry.count("resilience.failures")
+            tel = telemetry.active()
+            if tel is not None:
+                tel.record_failure(failure.to_dict())
+            if verbose:
+                print(
+                    f"FAILED (recorded, continuing): "
+                    f"{failure.error_type}: {failure.message}"
+                )
         if verbose:
             print()
     return results

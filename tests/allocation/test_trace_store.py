@@ -24,6 +24,7 @@ from repro.allocation.traces import (
 )
 from repro.core import telemetry
 from repro.core.errors import ConfigError
+from repro.core.faults import corrupt_file
 
 PARAMS = TraceParams(duration_days=2, mean_concurrent_vms=100)
 SUITE_PARAMS = TraceParams(duration_days=2, mean_concurrent_vms=80)
@@ -131,7 +132,8 @@ class TestStore:
         assert suite[0].digest() == generate_trace(
             seed, params, name="x"
         ).digest()
-        # ...and the entry was repaired in place.
+        # ...and the suite re-put a fresh entry (the corrupt one moved
+        # to quarantine — see TestCorruptionQuarantine).
         assert store.get(seed, params, "again") is not None
 
     def test_truncated_entry_falls_back(self, store):
@@ -158,6 +160,102 @@ class TestStore:
         trace = store.get(5, PARAMS, "t") or generate_trace(5, PARAMS)
         clone = pickle.loads(pickle.dumps(trace))
         assert clone.digest() == trace.digest()
+
+
+class TestCorruptionQuarantine:
+    """Corrupt entries are quarantined with telemetry — never silently
+    regenerated in place, never raised to the caller."""
+
+    def _entry(self, store):
+        trace = generate_trace(seed=5, params=PARAMS)
+        path = store.put(5, PARAMS, trace.columns)
+        return trace, path
+
+    def _quarantined_names(self, store):
+        if not store.quarantine_dir.exists():
+            return []
+        return sorted(p.name for p in store.quarantine_dir.iterdir())
+
+    def test_truncated_entry_quarantined(self, store):
+        _trace, path = self._entry(store)
+        corrupt_file(path, mode="truncate")
+        with telemetry.capture() as tel:
+            assert store.get(seed=5, params=PARAMS, name="t") is None
+        assert tel.counters["trace.store_quarantined"] == 1
+        assert tel.counters["trace.store_misses"] == 1
+        assert "trace.store_hits" not in tel.counters
+        assert store.quarantined == 1
+        assert not path.exists()
+        assert self._quarantined_names(store) == [
+            f"{path.name}.quarantined"
+        ]
+
+    def test_hash_mismatch_quarantined(self, store):
+        # Bit rot that leaves a structurally valid .npz: flip one value
+        # in a column (still passing shape/range validation) while
+        # keeping the stored content digest — only digest verification
+        # can catch this.
+        trace, path = self._entry(store)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {name: data[name] for name in data.files}
+        cores = arrays["cores"].copy()
+        cores[0] = 8 if cores[0] != 8 else 4  # plausible but wrong
+        arrays["cores"] = cores
+        np.savez(path, **arrays)
+        with pytest.raises(ConfigError, match="digest mismatch"):
+            load_columns_npz(path)
+        with telemetry.capture() as tel:
+            assert store.get(seed=5, params=PARAMS, name="t") is None
+        assert tel.counters["trace.store_quarantined"] == 1
+        assert not path.exists()
+
+    def test_concurrent_writer_crash_mid_rename(self, store):
+        # A writer that died between writing its temp file and renaming
+        # it leaves scratch debris plus (at worst) a torn final entry
+        # from an unrelated partial copy.  The scratch file must never
+        # be read as an entry, and the torn entry must be quarantined.
+        trace, path = self._entry(store)
+        stale_tmp = path.with_name(f"{path.name}.tmp-99999")
+        stale_tmp.write_bytes(path.read_bytes()[: path.stat().st_size // 3])
+        corrupt_file(path, mode="truncate")
+        with telemetry.capture() as tel:
+            assert store.get(seed=5, params=PARAMS, name="t") is None
+        assert tel.counters["trace.store_quarantined"] == 1
+        assert stale_tmp.exists()  # debris untouched: it is evidence too
+        # A fresh put() repairs the entry and the next lookup hits.
+        store.put(5, PARAMS, trace.columns)
+        loaded = store.get(seed=5, params=PARAMS, name="t")
+        assert loaded is not None
+        assert loaded.digest() == trace.digest()
+
+    def test_garbled_zip_quarantined(self, store):
+        _trace, path = self._entry(store)
+        corrupt_file(path, mode="garble", seed=11)
+        with telemetry.capture() as tel:
+            assert store.get(seed=5, params=PARAMS, name="t") is None
+        assert tel.counters["trace.store_quarantined"] == 1
+
+    def test_suite_regenerates_after_quarantine(self, store):
+        # End to end: corrupt one suite entry, rerun the suite — the
+        # damaged seed regenerates bit-identically and the evidence
+        # lands in quarantine (replacing the PR 4 silent fallback).
+        production_trace_suite(count=2, params=SUITE_PARAMS, store=store)
+        specs = suite_specs(count=2, params=SUITE_PARAMS)
+        seed, params, _name = specs[0]
+        path = store.path(seed, params)
+        corrupt_file(path, mode="truncate")
+        with telemetry.capture() as tel:
+            suite = production_trace_suite(
+                count=2, params=SUITE_PARAMS, store=store
+            )
+        assert tel.counters["trace.store_quarantined"] == 1
+        assert tel.counters["trace.generated"] == 1
+        assert suite[0].digest() == generate_trace(
+            seed, params, name="x"
+        ).digest()
+        assert self._quarantined_names(store) == [
+            f"{path.name}.quarantined"
+        ]
 
 
 class TestStoreEnabled:

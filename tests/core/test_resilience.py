@@ -1,0 +1,335 @@
+"""The resilience layer: journal, retry, degradation, runner routing."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.core import resilience, runner, telemetry
+from repro.core.errors import ConfigError, SimulationError
+from repro.core.faults import FaultPlan
+from repro.core.resilience import (
+    CheckpointJournal,
+    ResiliencePolicy,
+    RetryPolicy,
+    TaskFailure,
+    activated,
+    active_policy,
+    resilient_map,
+)
+
+NO_SLEEP = lambda _s: None  # noqa: E731 — backoff stub for fast tests
+
+
+def fast_retry(**kwargs):
+    kwargs.setdefault("backoff_base_s", 0.0)
+    kwargs.setdefault("sleep", NO_SLEEP)
+    return RetryPolicy(**kwargs)
+
+
+def square(x):
+    return x * x
+
+
+def key_of(x):
+    return f"key-{x}"
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule(self):
+        policy = RetryPolicy(
+            backoff_base_s=0.1, backoff_factor=2.0, max_backoff_s=0.3
+        )
+        assert policy.backoff_s(0) == pytest.approx(0.1)
+        assert policy.backoff_s(1) == pytest.approx(0.2)
+        assert policy.backoff_s(2) == pytest.approx(0.3)  # capped
+        assert policy.backoff_s(9) == pytest.approx(0.3)
+
+    def test_attempts(self):
+        assert RetryPolicy(max_retries=0).attempts == 1
+        assert RetryPolicy(max_retries=3).attempts == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ConfigError):
+            RetryPolicy(timeout_s=0)
+
+
+class TestCheckpointJournal:
+    def test_miss_then_hit_round_trip(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j")
+        assert journal.get("k") is runner.MISSING
+        journal.put("k", {"answer": 42})
+        assert journal.get("k") == {"answer": 42}
+        assert (journal.hits, journal.misses, journal.writes) == (1, 1, 1)
+
+    def test_corrupt_entry_quarantined_not_rewritten_in_place(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j")
+        journal.put("k", [1, 2, 3])
+        journal.entry_path("k").write_bytes(b"\x80\x05 not a pickle")
+        with telemetry.capture() as tel:
+            assert journal.get("k") is runner.MISSING
+        assert tel.counters["resilience.journal_quarantined"] == 1
+        assert not journal.entry_path("k").exists()
+        quarantined = list(journal.quarantine_dir.iterdir())
+        assert len(quarantined) == 1
+        assert quarantined[0].name.endswith(".quarantined")
+
+    def test_failure_records_merge_and_round_trip(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j")
+        first = TaskFailure(0, "a", 3, "ValueError", "boom")
+        journal.record_failures([first])
+        second = TaskFailure(1, "b", 2, "TimeoutError", "slow")
+        journal.record_failures([second])
+        assert journal.failures() == [first, second]
+        # Re-recording the same (key, index) replaces, not duplicates.
+        journal.record_failures([TaskFailure(0, "a", 4, "ValueError", "x")])
+        assert len(journal.failures()) == 2
+
+    def test_put_is_atomic(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j")
+        journal.put("k", "value")
+        leftovers = [
+            p for p in journal.directory.iterdir() if ".tmp-" in p.name
+        ]
+        assert leftovers == []
+
+
+class TestResilientMapSerial:
+    def test_plain_map_matches_inputs(self):
+        assert resilient_map(square, [1, 2, 3], key_fn=key_of, jobs=1) == [
+            1, 4, 9,
+        ]
+
+    def test_retries_recover_from_injected_kills(self, tmp_path):
+        policy = ResiliencePolicy(
+            retry=fast_retry(max_retries=2),
+            faults=FaultPlan(kill_indices=(0, 2), kill_attempts=1),
+        )
+        with telemetry.capture() as tel:
+            out = resilient_map(
+                square, [1, 2, 3], key_fn=key_of, jobs=1, policy=policy
+            )
+        assert out == [1, 4, 9]
+        assert tel.counters["resilience.retries"] == 2
+
+    def test_exhausted_retries_degrade_and_record(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j")
+        policy = ResiliencePolicy(
+            journal=journal,
+            retry=fast_retry(max_retries=1),
+            faults=FaultPlan(kill_indices=(1,), kill_attempts=99),
+        )
+        with telemetry.capture() as tel:
+            out = resilient_map(
+                square, [1, 2, 3], key_fn=key_of, jobs=1, policy=policy
+            )
+        assert out == [1, 9]  # the degraded seed is excluded, not None
+        assert tel.counters["resilience.failures"] == 1
+        [failure] = journal.failures()
+        assert failure.key == key_of(2)
+        assert failure.attempts == 2
+        assert failure.error_type == "InjectedFault"
+        [recorded] = tel.manifest()["failures"]
+        assert recorded["error_type"] == "InjectedFault"
+
+    def test_on_failure_raise(self):
+        policy = ResiliencePolicy(
+            retry=fast_retry(max_retries=0),
+            faults=FaultPlan(kill_indices=(0,), kill_attempts=99),
+            on_failure="raise",
+        )
+        with pytest.raises(SimulationError, match="1/2 tasks failed"):
+            resilient_map(
+                square, [1, 2], key_fn=key_of, jobs=1, policy=policy
+            )
+
+    def test_resume_skips_completed_work(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j")
+        policy = ResiliencePolicy(journal=journal, retry=fast_retry())
+        calls = []
+
+        def tracked(x):
+            calls.append(x)
+            return x * x
+
+        first = resilient_map(
+            tracked, [1, 2, 3], key_fn=key_of, jobs=1, policy=policy
+        )
+        assert calls == [1, 2, 3]
+        with telemetry.capture() as tel:
+            second = resilient_map(
+                tracked, [1, 2, 3], key_fn=key_of, jobs=1, policy=policy
+            )
+        assert second == first
+        assert calls == [1, 2, 3]  # nothing recomputed
+        assert tel.counters["resilience.resumed"] == 3
+
+    def test_partial_journal_resumes_bit_identically(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j")
+        policy = ResiliencePolicy(journal=journal, retry=fast_retry())
+        clean = resilient_map(square, [1, 2, 3, 4], key_fn=key_of, jobs=1)
+        # Pretend the run died after two tasks: journal only 1 and 3.
+        journal.put(key_of(1), 1)
+        journal.put(key_of(3), 9)
+        with telemetry.capture() as tel:
+            resumed = resilient_map(
+                square, [1, 2, 3, 4], key_fn=key_of, jobs=1, policy=policy
+            )
+        assert resumed == clean
+        assert tel.counters["resilience.resumed"] == 2
+
+    def test_backoff_sleeps_follow_the_schedule(self):
+        sleeps = []
+        policy = ResiliencePolicy(
+            retry=RetryPolicy(
+                max_retries=3,
+                backoff_base_s=0.1,
+                backoff_factor=2.0,
+                max_backoff_s=10.0,
+                sleep=sleeps.append,
+            ),
+            faults=FaultPlan(kill_indices=(0,), kill_attempts=3),
+        )
+        out = resilient_map(square, [5], key_fn=key_of, jobs=1, policy=policy)
+        assert out == [25]
+        assert sleeps == pytest.approx([0.1, 0.2, 0.4])
+
+
+class TestResilientMapParallel:
+    def test_matches_serial(self, tmp_path):
+        serial = resilient_map(square, list(range(6)), key_fn=key_of, jobs=1)
+        parallel = resilient_map(
+            square, list(range(6)), key_fn=key_of, jobs=2
+        )
+        assert parallel == serial
+
+    def test_exception_kills_retried_in_workers(self):
+        policy = ResiliencePolicy(
+            retry=fast_retry(max_retries=2),
+            faults=FaultPlan(kill_indices=(1, 3), kill_attempts=1),
+        )
+        with telemetry.capture() as tel:
+            out = resilient_map(
+                square, [1, 2, 3, 4], key_fn=key_of, jobs=2, policy=policy
+            )
+        assert out == [1, 4, 9, 16]
+        assert tel.counters["resilience.retries"] == 2
+
+    def test_hard_worker_kill_recovers_via_pool_restart(self):
+        policy = ResiliencePolicy(
+            retry=fast_retry(max_retries=3),
+            faults=FaultPlan(
+                kill_indices=(0,), kill_attempts=1, kill_mode="hard"
+            ),
+        )
+        with telemetry.capture() as tel:
+            out = resilient_map(
+                square, [1, 2, 3, 4], key_fn=key_of, jobs=2, policy=policy
+            )
+        assert out == [1, 4, 9, 16]
+        assert tel.counters["resilience.pool_restarts"] >= 1
+
+    def test_task_timeout_reclaims_stuck_worker(self):
+        policy = ResiliencePolicy(
+            retry=fast_retry(max_retries=2, timeout_s=0.5),
+            faults=FaultPlan(
+                latency_s=5.0, latency_indices=(2,), kill_attempts=0
+            ),
+        )
+        # The latency only fires while the fault plan selects index 2;
+        # after one timed-out attempt the plan still delays it, so give
+        # the task a fault-free retry by limiting latency via attempts:
+        # instead assert the timeout path itself: with latency forever,
+        # the task degrades to a TaskFailure.
+        with telemetry.capture() as tel:
+            out = resilient_map(
+                square, [1, 2, 3, 4], key_fn=key_of, jobs=2, policy=policy
+            )
+        assert out == [1, 4, 16]
+        assert tel.counters["resilience.timeouts"] >= 1
+        assert tel.counters["resilience.failures"] == 1
+
+    def test_checkpoints_survive_for_resume_across_modes(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j")
+        policy = ResiliencePolicy(journal=journal, retry=fast_retry())
+        parallel = resilient_map(
+            square, list(range(5)), key_fn=key_of, jobs=2, policy=policy
+        )
+        with telemetry.capture() as tel:
+            serial = resilient_map(
+                square, list(range(5)), key_fn=key_of, jobs=1, policy=policy
+            )
+        assert serial == parallel
+        assert tel.counters["resilience.resumed"] == 5
+
+
+class TestRunnerRouting:
+    def test_cached_map_routes_through_active_policy(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j")
+        policy = ResiliencePolicy(journal=journal, retry=fast_retry())
+        with activated(policy):
+            assert active_policy() is policy
+            out = runner.cached_map(
+                square, [1, 2, 3], key_fn=key_of, jobs=1, cache=None
+            )
+        assert out == [1, 4, 9]
+        assert journal.writes == 3
+        assert active_policy() is None
+
+    def test_cache_hits_are_rejournaled_for_future_resumes(self, tmp_path):
+        cache = runner.DiskCache(tmp_path / "cache")
+        cache.put(key_of(2), 4)
+        journal = CheckpointJournal(tmp_path / "j")
+        policy = ResiliencePolicy(journal=journal, retry=fast_retry())
+        out = resilient_map(
+            square, [1, 2, 3], key_fn=key_of, jobs=1, cache=cache,
+            policy=policy,
+        )
+        assert out == [1, 4, 9]
+        assert journal.get(key_of(2)) == 4
+
+    def test_no_policy_means_no_routing(self, tmp_path):
+        # Without an active policy cached_map keeps its PR 1 behavior.
+        cache = runner.DiskCache(tmp_path / "cache")
+        out = runner.cached_map(square, [1, 2], key_fn=key_of, cache=cache)
+        assert out == [1, 4]
+        assert cache.misses == 2
+
+
+class TestDiskCacheQuarantine:
+    def test_corrupt_entry_quarantined(self, tmp_path):
+        cache = runner.DiskCache(tmp_path / "cache")
+        cache.put("k", [1, 2])
+        path = tmp_path / "cache" / "k.pkl"
+        path.write_bytes(b"definitely not a pickle")
+        with telemetry.capture() as tel:
+            assert cache.get("k") is runner.MISSING
+        assert cache.quarantined == 1
+        assert tel.counters["runner.cache_quarantined"] == 1
+        assert not path.exists()
+        assert list((tmp_path / "cache" / "quarantine").iterdir())
+
+    def test_absent_entry_is_a_plain_miss(self, tmp_path):
+        cache = runner.DiskCache(tmp_path / "cache")
+        assert cache.get("nope") is runner.MISSING
+        assert cache.quarantined == 0
+
+    def test_put_leaves_no_temp_files(self, tmp_path):
+        cache = runner.DiskCache(tmp_path / "cache")
+        cache.put("k", "value")
+        names = [p.name for p in (tmp_path / "cache").iterdir()]
+        assert names == ["k.pkl"]
+
+
+class TestTaskFailure:
+    def test_dict_round_trip(self):
+        failure = TaskFailure(3, "k3", 2, "ValueError", "boom")
+        assert TaskFailure.from_dict(failure.to_dict()) == failure
+
+    def test_pickles(self):
+        failure = TaskFailure(3, "k3", 2, "ValueError", "boom")
+        assert pickle.loads(pickle.dumps(failure)) == failure

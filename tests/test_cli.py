@@ -120,6 +120,55 @@ class TestTelemetryFlag:
         assert telemetry.active() is None
 
 
+class TestResilienceFlags:
+    def test_faulty_run_then_resume_is_bit_identical(self, capsys, tmp_path):
+        from repro.core.telemetry import load_manifest
+
+        journal = tmp_path / "journal"
+
+        assert main(["run", "fig9"]) == 0
+        clean_out = capsys.readouterr().out
+
+        # Kill the worker for two tasks on their first attempt; retries
+        # recover them and every task checkpoints to the journal.
+        faulty_tel = tmp_path / "faulty.json"
+        code = main([
+            "--journal", str(journal),
+            "--retries", "2",
+            "--faults", "kill=1;4 attempts=1",
+            "--telemetry", str(faulty_tel),
+            "run", "fig9",
+        ])
+        assert code == 0
+        assert capsys.readouterr().out == clean_out
+        counters = load_manifest(faulty_tel)["counters"]
+        assert counters["resilience.retries"] == 2
+        assert counters["resilience.checkpointed"] == 12
+
+        # --resume alone: every task is a journal hit, output identical.
+        resume_tel = tmp_path / "resume.json"
+        code = main([
+            "--journal", str(journal),
+            "--telemetry", str(resume_tel),
+            "run", "fig9",
+        ])
+        assert code == 0
+        assert capsys.readouterr().out == clean_out
+        counters = load_manifest(resume_tel)["counters"]
+        assert counters["resilience.resumed"] == 12
+        assert "resilience.checkpointed" not in counters
+
+    def test_policy_cleared_after_main(self):
+        from repro.core import resilience
+
+        assert main(["--retries", "1", "run", "table4"]) == 0
+        assert resilience.active_policy() is None
+
+    def test_bad_fault_spec_rejected(self, capsys):
+        assert main(["--faults", "banana=1", "run", "table4"]) == 2
+        assert "fault spec" in capsys.readouterr().err
+
+
 class TestStats:
     def _manifest(self, tmp_path):
         path = tmp_path / "tel.json"

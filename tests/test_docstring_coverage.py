@@ -1,0 +1,91 @@
+"""Docstring-coverage lint for the public API surface.
+
+Walks every module under ``src/repro`` with ``ast`` (no imports, so a
+syntax-broken or slow-to-import module cannot hide) and requires a
+docstring on:
+
+- every module,
+- every public module-level function and class,
+- every public method of a public class.
+
+Names starting with ``_`` are private and exempt, as are test helpers
+and ``__main__``-style guards.  Pre-existing gaps live in
+``tests/docstring_baseline.txt`` — one dotted name per line.  The
+baseline is a ratchet: a documented symbol must also be *removed* from
+it, so coverage can only go up.
+"""
+
+import ast
+import pathlib
+
+SRC = pathlib.Path(__file__).parent.parent / "src" / "repro"
+BASELINE_FILE = pathlib.Path(__file__).parent / "docstring_baseline.txt"
+
+
+def _public(name):
+    return not name.startswith("_")
+
+
+def _missing_in_module(path):
+    rel = path.relative_to(SRC.parent)
+    dotted = ".".join(rel.with_suffix("").parts)
+    if dotted.endswith(".__init__"):
+        dotted = dotted[: -len(".__init__")]
+    tree = ast.parse(path.read_text(), filename=str(path))
+    missing = []
+    if ast.get_docstring(tree) is None:
+        missing.append(dotted)
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _public(node.name) and ast.get_docstring(node) is None:
+                missing.append(f"{dotted}.{node.name}")
+        elif isinstance(node, ast.ClassDef) and _public(node.name):
+            if ast.get_docstring(node) is None:
+                missing.append(f"{dotted}.{node.name}")
+            for sub in node.body:
+                if (
+                    isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and _public(sub.name)
+                    and ast.get_docstring(sub) is None
+                ):
+                    missing.append(f"{dotted}.{node.name}.{sub.name}")
+    return missing
+
+
+def _all_missing():
+    missing = []
+    for path in sorted(SRC.rglob("*.py")):
+        missing.extend(_missing_in_module(path))
+    return missing
+
+
+def _baseline():
+    if not BASELINE_FILE.exists():
+        return set()
+    lines = BASELINE_FILE.read_text().splitlines()
+    return {
+        line.strip()
+        for line in lines
+        if line.strip() and not line.strip().startswith("#")
+    }
+
+
+def test_public_api_is_documented():
+    missing = set(_all_missing())
+    baseline = _baseline()
+    new_gaps = sorted(missing - baseline)
+    assert not new_gaps, (
+        "public symbols without docstrings (add one, or — for "
+        "pre-existing code only — append to tests/docstring_baseline.txt):"
+        "\n  " + "\n  ".join(new_gaps)
+    )
+
+
+def test_baseline_is_a_ratchet():
+    missing = set(_all_missing())
+    stale = sorted(_baseline() - missing)
+    assert not stale, (
+        "baseline entries now documented (or gone) — delete them from "
+        "tests/docstring_baseline.txt so coverage cannot regress:\n  "
+        + "\n  ".join(stale)
+    )
