@@ -25,10 +25,12 @@ every completed suite task to an on-disk journal and loads completed
 tasks from it on the next run, so an interrupted 35-seed suite picks up
 where it stopped, bit-identically; ``--journal DIR`` relocates the
 journal (implies ``--resume``); ``--retries N`` / ``--task-timeout S``
-bound each task's attempts and wall clock; ``--keep-going`` records
-failing experiments as structured failures instead of aborting
-``run-all``; ``--faults SPEC`` injects deterministic worker kills and
-latency for testing the layer itself.
+bound each task's attempts and wall clock; ``--keep-going`` opts into
+graceful degradation — a task or experiment that exhausts its retry
+budget is recorded as a structured failure and the run continues
+(without it, a degraded task aborts the run after checkpointing the
+survivors, so a fixed rerun resumes); ``--faults SPEC`` injects
+deterministic worker kills and latency for testing the layer itself.
 """
 
 from __future__ import annotations
@@ -78,11 +80,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_run_all(args: argparse.Namespace) -> int:
     from .experiments.registry import run_all
 
-    on_failure = (
-        "record"
-        if args.keep_going or resilience.active_policy() is not None
-        else "raise"
-    )
+    on_failure = "record" if args.keep_going else "raise"
     results = run_all(verbose=True, on_failure=on_failure)
     failures = [
         value
@@ -295,8 +293,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--keep-going", action="store_true",
-        help="record failing experiments as structured failures and "
-             "continue instead of aborting (run-all)",
+        help="degrade gracefully: record tasks/experiments that exhaust "
+             "their retry budget as structured failures and continue "
+             "instead of aborting",
     )
     parser.add_argument(
         "--faults", default=None, metavar="SPEC",
@@ -450,7 +449,12 @@ def _build_policy(
     )
     faults = parse_fault_spec(args.faults) if args.faults else None
     return resilience.ResiliencePolicy(
-        journal=journal, retry=retry, faults=faults, on_failure="record"
+        journal=journal, retry=retry, faults=faults,
+        # Degradation is an explicit opt-in: without --keep-going a
+        # task that exhausts its budget aborts the run (survivors stay
+        # checkpointed for --resume) instead of silently thinning the
+        # seed set behind a figure.
+        on_failure="record" if args.keep_going else "raise",
     )
 
 

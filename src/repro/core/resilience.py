@@ -12,13 +12,20 @@ a first-class outcome:
   because every task is a pure function of its item, the resumed suite
   is bit-identical to an uninterrupted one.
 - :class:`RetryPolicy` — bounded retry with exponential backoff and an
-  optional per-task timeout.  Worker deaths (``BrokenProcessPool``),
-  timeouts, and task exceptions all consume attempts; the pool is
-  recycled after a breakage so one bad task cannot take the suite down.
+  optional per-task timeout.  Task exceptions and timeouts consume
+  attempts; worker deaths (``BrokenProcessPool``) cannot be attributed,
+  so in-flight tasks requeue without being charged (bounded, so a
+  persistent worker-killer still degrades) and the pool is recycled so
+  one bad task cannot take the suite down.
 - **graceful degradation** — a task that exhausts its attempts becomes
   a structured :class:`TaskFailure`, recorded in the journal and in the
-  telemetry manifest; the suite completes on the surviving results (or
-  raises, with ``on_failure="raise"``).
+  telemetry manifest.  With ``on_failure="raise"`` (the default) the
+  suite aborts — after checkpointing every survivor, so a rerun
+  resumes; with ``on_failure="record"`` (the CLI's ``--keep-going``)
+  the failure is returned *in place*, so the result list always has
+  one entry per input and callers can never silently misalign.
+  :func:`drop_failures` makes computing over the survivors an explicit
+  decision.
 - :func:`resilient_map` — the composition: journal lookups, disk-cache
   lookups, retried parallel execution of the misses, checkpoint after
   every completion.  ``repro.core.runner.cached_map`` routes through it
@@ -28,8 +35,8 @@ a first-class outcome:
 
 Telemetry: counters ``resilience.tasks`` / ``.resumed`` /
 ``.checkpointed`` / ``.retries`` / ``.timeouts`` / ``.failures`` /
-``.pool_restarts`` / ``.journal_quarantined`` and a ``resilience.map``
-span per fan-out.  Fault injection (``repro.core.faults``) hooks in here
+``.degraded_dropped`` / ``.pool_restarts`` / ``.journal_quarantined``
+and a ``resilience.map`` span per fan-out.  Fault injection (``repro.core.faults``) hooks in here
 and nowhere else.  See ``docs/resilience.md``.
 """
 
@@ -37,7 +44,12 @@ from __future__ import annotations
 
 import pickle
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    ProcessPoolExecutor,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
@@ -82,12 +94,17 @@ class RetryPolicy:
     """Bounded retry with exponential backoff and per-task timeout.
 
     A task gets ``max_retries + 1`` attempts.  Attempt ``k``'s failure
-    is followed by a ``backoff_base_s * backoff_factor**k`` sleep
+    is followed by a ``backoff_base_s * backoff_factor**k`` delay
     (capped at ``max_backoff_s``) before the retry.  ``timeout_s`` (when
-    set) bounds each *attempt's* wall clock in parallel runs; a timed
-    out attempt counts as a failure and the worker pool is recycled to
-    reclaim the stuck worker.  ``sleep`` is injectable so tests can
-    assert backoff schedules without waiting.
+    set) bounds each *attempt's* wall clock in parallel runs, measured
+    from when the attempt starts executing — the scheduler never submits
+    more tasks than there are workers, so queueing behind busy workers
+    does not burn a task's budget.  A timed out attempt counts as a
+    failure and the worker pool is recycled to reclaim the stuck worker.
+    ``sleep`` is injectable so tests can assert backoff schedules
+    without waiting; parallel runs defer resubmission instead of
+    blocking the scheduler and only call ``sleep`` when the backoff
+    leaves them otherwise idle.
     """
 
     max_retries: int = 2
@@ -237,15 +254,32 @@ class CheckpointJournal:
 
     # -- metadata --------------------------------------------------------------
 
-    def record_failures(self, failures: Sequence[TaskFailure]) -> None:
-        """Merge this run's failures into ``journal.json`` atomically."""
+    def record_failures(
+        self,
+        failures: Sequence[TaskFailure],
+        resolved: Sequence[Optional[str]] = (),
+    ) -> None:
+        """Merge this run's failures into ``journal.json`` atomically.
+
+        ``resolved`` is the content keys that completed successfully in
+        this run: any previously recorded failure for one of those keys
+        is dropped, so a fully successful resume leaves the journal
+        reporting no failures.  The sidecar is rewritten only when the
+        failure set actually changed.
+        """
         meta = self.load_meta()
-        seen = {
-            (f.get("key"), f.get("index")): f
-            for f in meta.get("failures", [])
-        }
+        existing = meta.get("failures", [])
+        resolved_keys = {key for key in resolved if key is not None}
+        kept = [f for f in existing if f.get("key") not in resolved_keys]
+        seen = {(f.get("key"), f.get("index")): f for f in kept}
+        changed = len(kept) != len(existing)
         for failure in failures:
-            seen[(failure.key, failure.index)] = failure.to_dict()
+            slot = (failure.key, failure.index)
+            entry = failure.to_dict()
+            changed = changed or seen.get(slot) != entry
+            seen[slot] = entry
+        if not changed:
+            return
         meta["schema"] = JOURNAL_SCHEMA
         meta["failures"] = sorted(
             seen.values(), key=lambda f: (f["index"], f["key"] or "")
@@ -281,12 +315,19 @@ class CheckpointJournal:
 
 @dataclass(frozen=True)
 class ResiliencePolicy:
-    """Everything :func:`resilient_map` needs to execute a fan-out."""
+    """Everything :func:`resilient_map` needs to execute a fan-out.
+
+    ``on_failure`` defaults to ``"raise"``: a task that exhausts its
+    attempts aborts the map (after checkpointing the survivors, so a
+    rerun resumes).  ``"record"`` — the CLI's ``--keep-going`` — is the
+    explicit opt-in for degraded results: the :class:`TaskFailure` is
+    returned in the task's slot instead.
+    """
 
     journal: Optional[CheckpointJournal] = None
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     faults: Optional[FaultPlan] = None
-    on_failure: str = "record"
+    on_failure: str = "raise"
 
     def __post_init__(self) -> None:
         if self.on_failure not in ("record", "raise"):
@@ -352,11 +393,22 @@ class _ResilientTask:
 
 @dataclass
 class _Pending:
-    """Book-keeping for one not-yet-completed task."""
+    """Book-keeping for one not-yet-completed task.
+
+    ``attempt`` counts executions started (it feeds fault plans and the
+    failure record); ``charged`` counts only the failures attributable
+    to the task itself, which is what exhausts the retry budget.  A pool
+    breakage destroys executions without a known culprit, so it advances
+    ``attempt`` and ``pool_breaks`` but charges nobody.  ``not_before``
+    defers a backed-off resubmission without sleeping the scheduler.
+    """
 
     index: int
     item: Any
     attempt: int = 0
+    charged: int = 0
+    pool_breaks: int = 0
+    not_before: float = 0.0
     last_error: Optional[BaseException] = None
 
 
@@ -387,7 +439,8 @@ def _run_serial(
             except Exception as exc:  # noqa: BLE001 — retries bound it
                 task.last_error = exc
                 task.attempt += 1
-                if task.attempt >= retry.attempts:
+                task.charged += 1
+                if task.charged >= retry.attempts:
                     name, message = _describe(exc)
                     outcomes[task.index] = TaskFailure(
                         index=task.index,
@@ -408,7 +461,15 @@ def _run_parallel(
     policy: ResiliencePolicy,
     workers: int,
 ) -> Dict[int, object]:
-    """Process-pool execution with retry, timeout, and pool recycling."""
+    """Process-pool execution with retry, timeout, and pool recycling.
+
+    At most ``workers`` tasks are submitted at a time (refilled as
+    futures complete), so a task's ``timeout_s`` deadline — set at
+    submission — measures execution, not time spent queued behind busy
+    workers.  Backed-off retries carry a per-task not-before time
+    instead of sleeping the scheduler thread, so one retry's backoff
+    never stalls the collection of everyone else's results.
+    """
     retry = policy.retry
     tel = telemetry.active()
     outcomes: Dict[int, object] = {}
@@ -416,21 +477,47 @@ def _run_parallel(
     pool = ProcessPoolExecutor(max_workers=workers)
     inflight: Dict[Any, Tuple[_Pending, Optional[float]]] = {}
 
+    def fail(task: _Pending, exc: BaseException) -> None:
+        name, message = _describe(exc)
+        outcomes[task.index] = TaskFailure(
+            index=task.index,
+            key=None,
+            attempts=task.attempt,
+            error_type=name,
+            message=message,
+        )
+
     def fail_or_requeue(task: _Pending, exc: BaseException) -> None:
+        """Charge one attempt to the task's own retry budget."""
         task.last_error = exc
         task.attempt += 1
-        if task.attempt >= retry.attempts:
-            name, message = _describe(exc)
-            outcomes[task.index] = TaskFailure(
-                index=task.index,
-                key=None,
-                attempts=task.attempt,
-                error_type=name,
-                message=message,
-            )
+        task.charged += 1
+        if task.charged >= retry.attempts:
+            fail(task, exc)
             return
         telemetry.count("resilience.retries")
-        retry.sleep(retry.backoff_s(task.attempt - 1))
+        task.not_before = time.monotonic() + retry.backoff_s(
+            task.charged - 1
+        )
+        queue.append(task)
+
+    def requeue_after_break(task: _Pending, exc: BaseException) -> None:
+        """Requeue a task whose pool died under it, charging nobody.
+
+        The culprit of a ``BrokenProcessPool`` cannot be attributed, so
+        no in-flight task's retry budget is consumed — but ``attempt``
+        still advances (these executions really started and were
+        destroyed), which keeps deterministic fault plans moving.  A
+        task in flight for ``retry.attempts`` breakages degrades anyway,
+        so a task that hard-kills its worker every time is bounded
+        instead of recycling the pool forever.
+        """
+        task.last_error = exc
+        task.attempt += 1
+        task.pool_breaks += 1
+        if task.pool_breaks >= retry.attempts:
+            fail(task, exc)
+            return
         queue.append(task)
 
     def recycle_pool(old: ProcessPoolExecutor) -> ProcessPoolExecutor:
@@ -438,10 +525,21 @@ def _run_parallel(
         telemetry.count("resilience.pool_restarts")
         return ProcessPoolExecutor(max_workers=workers)
 
+    def absorb(task: _Pending, result, deltas, drained) -> None:
+        outcomes[task.index] = result
+        runner._fold_worker_stats(deltas)
+        if tel is not None and drained is not None:
+            tel.absorb(*drained)
+
     try:
         while queue or inflight:
-            while queue:
-                task = queue.pop(0)
+            now = time.monotonic()
+            i = 0
+            while len(inflight) < workers and i < len(queue):
+                if queue[i].not_before > now:
+                    i += 1
+                    continue
+                task = queue.pop(i)
                 future = pool.submit(
                     _ResilientTask(fn, policy.faults, task.index, task.attempt),
                     task.item,
@@ -452,10 +550,21 @@ def _run_parallel(
                     else None
                 )
                 inflight[future] = (task, deadline)
-            deadlines = [d for _, d in inflight.values() if d is not None]
+            if not inflight:
+                # Everything runnable is backing off.  Sleep (injectable)
+                # until the earliest not-before, then force it runnable so
+                # a stubbed sleep cannot busy-spin.
+                soonest = min(queue, key=lambda t: t.not_before)
+                retry.sleep(max(0.0, soonest.not_before - time.monotonic()))
+                soonest.not_before = 0.0
+                continue
+            wake_times = [d for _, d in inflight.values() if d is not None]
+            if len(inflight) < workers:
+                # A free slot is waiting on a backoff window.
+                wake_times.extend(t.not_before for t in queue)
             wait_s = (
-                max(0.0, min(deadlines) - time.monotonic())
-                if deadlines
+                max(0.0, min(wake_times) - time.monotonic())
+                if wake_times
                 else None
             )
             done, _ = wait(
@@ -466,16 +575,13 @@ def _run_parallel(
                 task, _deadline = inflight.pop(future)
                 try:
                     result, deltas, drained = future.result()
-                except BrokenProcessPool as exc:
+                except (BrokenProcessPool, CancelledError) as exc:
                     broken = True
-                    fail_or_requeue(task, exc)
+                    requeue_after_break(task, exc)
                 except Exception as exc:  # noqa: BLE001 — retries bound it
                     fail_or_requeue(task, exc)
                 else:
-                    outcomes[task.index] = result
-                    runner._fold_worker_stats(deltas)
-                    if tel is not None and drained is not None:
-                        tel.absorb(*drained)
+                    absorb(task, result, deltas, drained)
             now = time.monotonic()
             expired = [
                 future
@@ -503,17 +609,18 @@ def _run_parallel(
                 pool = recycle_pool(pool)
             elif broken:
                 # The pool died under us; every in-flight future fails
-                # with BrokenProcessPool almost immediately.
+                # with BrokenProcessPool almost immediately.  Completed
+                # results are kept; attributable task exceptions are
+                # charged; breakage casualties requeue uncharged.
                 for future, (task, _deadline) in inflight.items():
                     try:
                         result, deltas, drained = future.result(timeout=10.0)
+                    except (BrokenProcessPool, CancelledError) as exc:
+                        requeue_after_break(task, exc)
                     except Exception as exc:  # noqa: BLE001
                         fail_or_requeue(task, exc)
                     else:
-                        outcomes[task.index] = result
-                        runner._fold_worker_stats(deltas)
-                        if tel is not None and drained is not None:
-                            tel.absorb(*drained)
+                        absorb(task, result, deltas, drained)
                 inflight = {}
                 pool = recycle_pool(pool)
     finally:
@@ -536,11 +643,15 @@ def resilient_map(
     is checkpointed (and cached) before the call returns, so a crash
     mid-suite loses at most the in-flight tasks.  Tasks that exhaust
     their attempts become :class:`TaskFailure` records — written to the
-    journal and the telemetry manifest — and are **excluded** from the
-    returned list (``on_failure="raise"`` raises instead, after
-    checkpointing the survivors).  With no failures the result is
-    exactly ``cached_map``'s: input order, bit-identical across worker
-    counts and resumes, because tasks are pure functions of their items.
+    journal and the telemetry manifest.  Under ``on_failure="raise"``
+    (the default) the map then raises, after checkpointing the
+    survivors so a rerun resumes; under ``on_failure="record"`` the
+    :class:`TaskFailure` is returned **in the failed task's slot**, so
+    the returned list always has exactly ``len(items)`` entries and can
+    never silently misalign with the inputs (:func:`drop_failures`
+    filters it explicitly).  With no failures the result is exactly
+    ``cached_map``'s: input order, bit-identical across worker counts
+    and resumes, because tasks are pure functions of their items.
     """
     items = list(items)
     policy = policy if policy is not None else active_policy()
@@ -600,20 +711,37 @@ def resilient_map(
                     if cache is not None:
                         cache.put(keys[index], outcome)
 
-    failures = [
-        (
-            replace(value, key=keys[i]) if keys is not None else value
-        )
-        for i, value in enumerate(results)
-        if isinstance(value, TaskFailure)
-    ]
+    failures: List[TaskFailure] = []
+    for i, value in enumerate(results):
+        if value is runner.MISSING:  # pragma: no cover — defensive
+            value = TaskFailure(
+                index=i,
+                key=keys[i] if keys is not None else None,
+                attempts=0,
+                error_type="LostResult",
+                message="task produced no outcome",
+            )
+            results[i] = value
+        if isinstance(value, TaskFailure):
+            if keys is not None and value.key is None:
+                value = replace(value, key=keys[i])
+                results[i] = value
+            failures.append(value)
+    if journal is not None:
+        # Reconcile journal.json: newly degraded tasks are recorded,
+        # previously recorded failures whose key succeeded this run are
+        # cleared — a fully successful resume leaves a clean journal.
+        resolved = [
+            keys[i]
+            for i, value in enumerate(results)
+            if not isinstance(value, TaskFailure)
+        ] if keys is not None else []
+        journal.record_failures(failures, resolved=resolved)
     if failures:
         telemetry.count("resilience.failures", len(failures))
         if tel is not None:
             for failure in failures:
                 tel.record_failure(failure.to_dict())
-        if journal is not None:
-            journal.record_failures(failures)
         if policy.on_failure == "raise":
             detail = "; ".join(
                 f"task {f.index}: {f.error_type}: {f.message}"
@@ -623,11 +751,26 @@ def resilient_map(
                 f"{len(failures)}/{len(items)} tasks failed after "
                 f"{policy.retry.attempts} attempts: {detail}"
             )
-    return [
-        value
-        for value in results
-        if not isinstance(value, TaskFailure) and value is not runner.MISSING
-    ]
+    return list(results)
+
+
+def drop_failures(results: Sequence[object]) -> List[object]:
+    """The surviving results of a degraded map, failures removed.
+
+    :func:`resilient_map` preserves input length by returning
+    :class:`TaskFailure` placeholders at failed indices (under
+    ``on_failure="record"``).  A caller that deliberately computes over
+    the survivors — e.g. a suite experiment taking medians over the
+    seeds that completed — calls this to make that decision explicit
+    rather than inheriting a silently shortened list.  Dropping is
+    counted (``resilience.degraded_dropped``) so a manifest shows when
+    a figure was computed from fewer seeds than requested.
+    """
+    survivors = [r for r in results if not isinstance(r, TaskFailure)]
+    dropped = len(results) - len(survivors)
+    if dropped:
+        telemetry.count("resilience.degraded_dropped", dropped)
+    return survivors
 
 
 __all__ = [
@@ -640,6 +783,7 @@ __all__ = [
     "activated",
     "active_policy",
     "default_journal_dir",
+    "drop_failures",
     "resilient_map",
     "set_active_policy",
 ]

@@ -19,6 +19,7 @@ import numpy as np
 from ..allocation.cluster import ClusterSpec, adopt_nothing, simulate
 from ..allocation.packing import cdf, fraction_below
 from ..allocation.traces import TraceParams, VmTrace, production_trace_suite
+from ..core.resilience import drop_failures
 from ..core.runner import DiskCache, cached_map, content_key
 from ..core.tables import render_csv
 from ..gsf.adoption import AdoptionModel
@@ -145,6 +146,9 @@ def run(
     non-adopters keep their size.  Traces fan out over ``jobs`` worker
     processes with results in trace order (byte-identical to serial);
     ``cache`` skips traces whose content hash already has a result.
+    Under a degrading resilience policy (the CLI's ``--keep-going``)
+    traces whose tasks exhausted their retry budget are explicitly
+    dropped from the study (``resilience.degraded_dropped``).
     """
     if traces is None:
         traces = production_trace_suite(
@@ -155,7 +159,7 @@ def run(
     baseline, greensku = baseline_gen3(), greensku_cxl()
     permissive = PermissiveAdoption(gsf.adoption_model(greensku))
 
-    triples = cached_map(
+    triples = drop_failures(cached_map(
         functools.partial(
             run_trace,
             baseline=baseline,
@@ -171,7 +175,7 @@ def run(
         ),
         jobs=jobs,
         cache=cache,
-    )
+    ))
     base_utils = [b for b, _g, _c in triples]
     green_utils = [g for _b, g, _c in triples]
     cxl_utils = [c for _b, _g, c in triples]

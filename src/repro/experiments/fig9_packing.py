@@ -19,6 +19,7 @@ import numpy as np
 from ..allocation.cluster import ClusterSpec, adopt_nothing, simulate
 from ..allocation.packing import PackingPoint, packing_point
 from ..allocation.traces import TraceParams, VmTrace, production_trace_suite
+from ..core.resilience import drop_failures
 from ..core.runner import DiskCache, cached_map, content_key
 from ..core.tables import render_csv
 from ..gsf.framework import Gsf
@@ -112,7 +113,11 @@ def run(
     ``jobs`` worker processes (resolved by the runner's precedence
     rules) with results collected in trace order — byte-identical to the
     serial path.  ``cache`` (or the opt-in global switch) skips traces
-    whose content hash already has a stored result.
+    whose content hash already has a stored result.  Under a degrading
+    resilience policy (the CLI's ``--keep-going``) a trace whose task
+    exhausted its retry budget is explicitly dropped from the study —
+    medians are computed over the surviving traces, and the drop is
+    visible in the telemetry manifest (``resilience.degraded_dropped``).
     """
     if traces is None:
         traces = production_trace_suite(
@@ -121,7 +126,7 @@ def run(
         )
     gsf = gsf or Gsf()
     baseline, greensku = baseline_gen3(), greensku_full()
-    pairs = cached_map(
+    pairs = drop_failures(cached_map(
         functools.partial(
             run_trace, gsf=gsf, baseline=baseline, greensku=greensku
         ),
@@ -131,7 +136,7 @@ def run(
         ),
         jobs=jobs,
         cache=cache,
-    )
+    ))
     return Fig9Result(
         baseline_points=[bp for bp, _gp in pairs],
         green_points=[gp for _bp, gp in pairs],

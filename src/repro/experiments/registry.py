@@ -92,12 +92,12 @@ def run_all(
 ) -> Dict[str, object]:
     """Run every experiment's ``main()``; returns id -> result.
 
-    ``on_failure="record"`` (the CLI's ``--keep-going``, and the default
-    whenever a resilience policy is active) degrades gracefully: a
-    failing experiment becomes a structured
+    ``on_failure="record"`` (the CLI's ``--keep-going``) degrades
+    gracefully: a failing experiment becomes a structured
     :class:`repro.core.resilience.TaskFailure` in the returned mapping —
     and in the telemetry manifest — instead of aborting the runs that
-    follow it.
+    follow it.  The default (``"raise"``) aborts on the first failing
+    experiment.
     """
     from ..core import resilience
 

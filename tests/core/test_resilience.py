@@ -2,6 +2,7 @@
 
 import os
 import pickle
+import time
 
 import pytest
 
@@ -28,6 +29,11 @@ def fast_retry(**kwargs):
 
 
 def square(x):
+    return x * x
+
+
+def slow_square(x):
+    time.sleep(0.5)
     return x * x
 
 
@@ -89,6 +95,27 @@ class TestCheckpointJournal:
         journal.record_failures([TaskFailure(0, "a", 4, "ValueError", "x")])
         assert len(journal.failures()) == 2
 
+    def test_resolved_keys_clear_recorded_failures(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j")
+        journal.record_failures([
+            TaskFailure(0, "a", 2, "ValueError", "boom"),
+            TaskFailure(1, "b", 2, "ValueError", "boom"),
+        ])
+        journal.record_failures([], resolved=["a", None])
+        assert [f.key for f in journal.failures()] == ["b"]
+        journal.record_failures([], resolved=["b"])
+        assert journal.failures() == []
+
+    def test_record_failures_skips_rewrite_when_unchanged(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j")
+        journal.record_failures([], resolved=["never-failed"])
+        assert not journal.meta_path.exists()
+        failure = TaskFailure(0, "a", 2, "ValueError", "boom")
+        journal.record_failures([failure])
+        stamp = journal.meta_path.stat().st_mtime_ns
+        journal.record_failures([failure], resolved=["unrelated"])
+        assert journal.meta_path.stat().st_mtime_ns == stamp
+
     def test_put_is_atomic(self, tmp_path):
         journal = CheckpointJournal(tmp_path / "j")
         journal.put("k", "value")
@@ -122,12 +149,17 @@ class TestResilientMapSerial:
             journal=journal,
             retry=fast_retry(max_retries=1),
             faults=FaultPlan(kill_indices=(1,), kill_attempts=99),
+            on_failure="record",
         )
         with telemetry.capture() as tel:
             out = resilient_map(
                 square, [1, 2, 3], key_fn=key_of, jobs=1, policy=policy
             )
-        assert out == [1, 9]  # the degraded seed is excluded, not None
+        # The degraded seed stays in its slot as a structured record, so
+        # results can never silently misalign with inputs.
+        assert len(out) == 3
+        assert (out[0], out[2]) == (1, 9)
+        assert isinstance(out[1], TaskFailure)
         assert tel.counters["resilience.failures"] == 1
         [failure] = journal.failures()
         assert failure.key == key_of(2)
@@ -136,16 +168,48 @@ class TestResilientMapSerial:
         [recorded] = tel.manifest()["failures"]
         assert recorded["error_type"] == "InjectedFault"
 
-    def test_on_failure_raise(self):
+    def test_drop_failures_makes_degradation_explicit(self):
+        policy = ResiliencePolicy(
+            retry=fast_retry(max_retries=0),
+            faults=FaultPlan(kill_indices=(1,), kill_attempts=99),
+            on_failure="record",
+        )
+        with telemetry.capture() as tel:
+            out = resilient_map(
+                square, [1, 2, 3], key_fn=key_of, jobs=1, policy=policy
+            )
+            survivors = resilience.drop_failures(out)
+        assert survivors == [1, 9]
+        assert tel.counters["resilience.degraded_dropped"] == 1
+
+    def test_on_failure_raise_is_the_default(self):
+        assert ResiliencePolicy().on_failure == "raise"
         policy = ResiliencePolicy(
             retry=fast_retry(max_retries=0),
             faults=FaultPlan(kill_indices=(0,), kill_attempts=99),
-            on_failure="raise",
         )
         with pytest.raises(SimulationError, match="1/2 tasks failed"):
             resilient_map(
                 square, [1, 2], key_fn=key_of, jobs=1, policy=policy
             )
+
+    def test_raise_still_checkpoints_survivors(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j")
+        policy = ResiliencePolicy(
+            journal=journal,
+            retry=fast_retry(max_retries=0),
+            faults=FaultPlan(kill_indices=(1,), kill_attempts=99),
+        )
+        with pytest.raises(SimulationError):
+            resilient_map(
+                square, [1, 2, 3], key_fn=key_of, jobs=1, policy=policy
+            )
+        # The survivors are journaled before the raise, so a fixed
+        # rerun resumes instead of recomputing.
+        assert journal.get(key_of(1)) == 1
+        assert journal.get(key_of(3)) == 9
+        [failure] = journal.failures()
+        assert failure.key == key_of(2)
 
     def test_resume_skips_completed_work(self, tmp_path):
         journal = CheckpointJournal(tmp_path / "j")
@@ -181,6 +245,25 @@ class TestResilientMapSerial:
             )
         assert resumed == clean
         assert tel.counters["resilience.resumed"] == 2
+
+    def test_successful_resume_clears_recorded_failures(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j")
+        doomed = ResiliencePolicy(
+            journal=journal,
+            retry=fast_retry(max_retries=0),
+            faults=FaultPlan(kill_indices=(1,), kill_attempts=99),
+            on_failure="record",
+        )
+        resilient_map(square, [1, 2, 3], key_fn=key_of, jobs=1, policy=doomed)
+        assert [f.key for f in journal.failures()] == [key_of(2)]
+        # Faults cleared: the resumed run recomputes only the casualty
+        # and the journal stops reporting it as failed.
+        healed = ResiliencePolicy(journal=journal, retry=fast_retry())
+        out = resilient_map(
+            square, [1, 2, 3], key_fn=key_of, jobs=1, policy=healed
+        )
+        assert out == [1, 4, 9]
+        assert journal.failures() == []
 
     def test_backoff_sleeps_follow_the_schedule(self):
         sleeps = []
@@ -239,19 +322,80 @@ class TestResilientMapParallel:
             faults=FaultPlan(
                 latency_s=5.0, latency_indices=(2,), kill_attempts=0
             ),
+            on_failure="record",
         )
-        # The latency only fires while the fault plan selects index 2;
-        # after one timed-out attempt the plan still delays it, so give
-        # the task a fault-free retry by limiting latency via attempts:
-        # instead assert the timeout path itself: with latency forever,
-        # the task degrades to a TaskFailure.
+        # The fault plan delays index 2 on every attempt, so it times
+        # out repeatedly and degrades to a TaskFailure in its slot.
         with telemetry.capture() as tel:
             out = resilient_map(
                 square, [1, 2, 3, 4], key_fn=key_of, jobs=2, policy=policy
             )
-        assert out == [1, 4, 16]
+        assert (out[0], out[1], out[3]) == (1, 4, 16)
+        assert isinstance(out[2], TaskFailure)
+        assert out[2].error_type == "TimeoutError"
         assert tel.counters["resilience.timeouts"] >= 1
         assert tel.counters["resilience.failures"] == 1
+
+    def test_timeout_measures_execution_not_queueing(self):
+        # 8 tasks x ~0.5 s over 2 workers is ~2 s of wall clock; a task
+        # that only starts in the fourth wave spends ~1.5 s queued.  The
+        # 1.2 s timeout must bound each task's *execution*, so a healthy
+        # backlog finishes with zero timeouts — deadlines that started
+        # at submission would spuriously expire the later waves.
+        policy = ResiliencePolicy(
+            retry=fast_retry(max_retries=1, timeout_s=1.2),
+        )
+        with telemetry.capture() as tel:
+            out = resilient_map(
+                slow_square, list(range(8)), key_fn=key_of, jobs=2,
+                policy=policy,
+            )
+        assert out == [x * x for x in range(8)]
+        assert "resilience.timeouts" not in tel.counters
+        assert "resilience.failures" not in tel.counters
+
+    def test_persistent_worker_killer_degrades_without_charging_others(
+        self,
+    ):
+        # Task 0 hard-kills its worker on every attempt.  The culprit of
+        # a broken pool cannot be attributed, so nobody's retry budget
+        # is charged — but the killer is bounded by its breakage count
+        # and degrades, while every innocent bystander completes.
+        policy = ResiliencePolicy(
+            retry=fast_retry(max_retries=1),
+            faults=FaultPlan(
+                kill_indices=(0,), kill_attempts=99, kill_mode="hard"
+            ),
+            on_failure="record",
+        )
+        with telemetry.capture() as tel:
+            out = resilient_map(
+                square, [1, 2, 3, 4], key_fn=key_of, jobs=2, policy=policy
+            )
+        assert isinstance(out[0], TaskFailure)
+        assert (out[1], out[2], out[3]) == (4, 9, 16)
+        assert tel.counters["resilience.pool_restarts"] >= 2
+        assert tel.counters["resilience.failures"] == 1
+
+    def test_parallel_backoff_defers_instead_of_blocking(self):
+        sleeps = []
+        policy = ResiliencePolicy(
+            retry=RetryPolicy(
+                max_retries=2,
+                backoff_base_s=0.05,
+                max_backoff_s=0.05,
+                sleep=sleeps.append,
+            ),
+            faults=FaultPlan(kill_indices=(0, 1), kill_attempts=1),
+        )
+        out = resilient_map(
+            square, [1, 2], key_fn=key_of, jobs=2, policy=policy
+        )
+        assert out == [1, 4]
+        # The injected sleep is only consulted when the scheduler is
+        # otherwise idle; backoff never blocks result collection.
+        assert sleeps
+        assert all(0.0 <= s <= 0.05 for s in sleeps)
 
     def test_checkpoints_survive_for_resume_across_modes(self, tmp_path):
         journal = CheckpointJournal(tmp_path / "j")
