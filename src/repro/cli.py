@@ -18,7 +18,11 @@ trace-suite experiments (default: the ``REPRO_JOBS`` env var, else all
 cores); ``--cache`` / ``--no-cache`` toggle the opt-in on-disk result
 cache (default: the ``REPRO_CACHE`` env var, else off);
 ``--telemetry PATH`` instruments the run and writes a JSON manifest of
-counters, timers, and phase spans (see ``docs/observability.md``).
+counters, timers, and phase spans (see ``docs/observability.md``);
+``--queueing {vectorized,reference}`` selects the queueing grid
+dispatch backend for sim-mode experiments (default: the
+``REPRO_QUEUEING`` env var, else the vectorized path; ``reference`` is
+the scalar oracle, bit-identical but slower).
 
 Resilience flags (see ``docs/resilience.md``): ``--resume`` checkpoints
 every completed suite task to an on-disk journal and loads completed
@@ -54,6 +58,7 @@ from .experiments.registry import EXPERIMENTS, get_experiment
 from .gsf.framework import Gsf
 from .hardware.datacenter import DataCenterConfig
 from .hardware.sku import paper_skus
+from .perf import queueing
 
 
 def _model(args: argparse.Namespace) -> CarbonModel:
@@ -272,6 +277,12 @@ def build_parser() -> argparse.ArgumentParser:
              "(counters, timers, phase spans) to PATH",
     )
     parser.add_argument(
+        "--queueing", default=None, choices=queueing.QUEUEING_BACKENDS,
+        help="queueing grid dispatch backend: 'vectorized' (default) "
+             "or the scalar 'reference' oracle (default: the "
+             "REPRO_QUEUEING env var, else vectorized)",
+    )
+    parser.add_argument(
         "--resume", action="store_true",
         help="checkpoint completed suite tasks to the on-disk journal "
              "and resume from it (bit-identical to an uninterrupted run)",
@@ -465,6 +476,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         runner.set_default_jobs(args.jobs)
         runner.set_cache_enabled(args.cache)
+        queueing.set_default_backend(args.queueing)
         resilience.set_active_policy(_build_policy(args))
         return _run_command(
             args, list(sys.argv[1:] if argv is None else argv)
@@ -475,6 +487,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     finally:
         runner.set_default_jobs(None)
         runner.set_cache_enabled(None)
+        queueing.set_default_backend(None)
         resilience.set_active_policy(None)
 
 

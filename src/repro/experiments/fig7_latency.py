@@ -19,7 +19,13 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..core.tables import render_csv
 from ..perf.apps import ApplicationProfile, get_app
-from ..perf.latency import LatencyCurve, Slo, derive_slo, latency_curve
+from ..perf.latency import (
+    CurveSpec,
+    LatencyCurve,
+    Slo,
+    derive_slo,
+    latency_curves,
+)
 from ..perf.scaling import CANDIDATE_CORES, scaling_factor
 
 #: The representative application per class shown in Fig. 7.
@@ -50,17 +56,10 @@ def run_panel(
     app: ApplicationProfile,
     generation: int = 3,
     method: str = "analytic",
+    backend: Optional[str] = None,
 ) -> Fig7Panel:
-    """Build one Fig. 7 panel for one application."""
+    """Build one Fig. 7 panel: the whole panel is one batched grid call."""
     slo = derive_slo(app, generation, method=method)
-    baseline = latency_curve(
-        app,
-        platform={3: "gen3", 2: "gen2", 1: "gen1"}[generation],
-        cores=8,
-        load_fractions=LOAD_FRACTIONS,
-        label=f"Gen{generation} (8 cores)",
-        method=method,
-    )
     result = scaling_factor(app, generation, method=method)
     # Show curves up to the minimum core count approaching the baseline's
     # peak (all candidates when the SLO is never met).
@@ -68,23 +67,30 @@ def run_panel(
         counts = [c for c in CANDIDATE_CORES if c <= result.cores]
     else:
         counts = list(CANDIDATE_CORES)
-    green_curves = [
-        latency_curve(
-            app,
+    specs = [
+        CurveSpec(
+            platform={3: "gen3", 2: "gen2", 1: "gen1"}[generation],
+            cores=8,
+            label=f"Gen{generation} (8 cores)",
+        )
+    ] + [
+        CurveSpec(
             platform="bergamo",
             cores=cores,
-            load_fractions=LOAD_FRACTIONS,
             reference_peak_qps=slo.baseline_peak_qps,
             label=f"GreenSKU-Efficient ({cores} cores)",
-            method=method,
         )
         for cores in counts
     ]
+    curves = latency_curves(
+        app, specs, load_fractions=LOAD_FRACTIONS, method=method,
+        backend=backend,
+    )
     return Fig7Panel(
         app_name=app.name,
         slo=slo,
-        baseline_curve=baseline,
-        green_curves=green_curves,
+        baseline_curve=curves[0],
+        green_curves=list(curves[1:]),
         green_cores_needed=result.cores,
     )
 
@@ -93,10 +99,12 @@ def run(
     app_names: Sequence[str] = FIG7_APPS,
     generation: int = 3,
     method: str = "analytic",
+    backend: Optional[str] = None,
 ) -> List[Fig7Panel]:
     """All Fig. 7 panels."""
     return [
-        run_panel(get_app(name), generation, method) for name in app_names
+        run_panel(get_app(name), generation, method, backend=backend)
+        for name in app_names
     ]
 
 

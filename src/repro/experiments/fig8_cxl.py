@@ -11,11 +11,18 @@ loses ~11% of peak throughput.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.tables import render_csv
 from ..perf.apps import get_app
-from ..perf.latency import LatencyCurve, Slo, derive_slo, latency_curve, peak_qps
+from ..perf.latency import (
+    CurveSpec,
+    LatencyCurve,
+    Slo,
+    derive_slo,
+    latency_curves,
+    peak_qps,
+)
 from ..perf.scaling import scaling_factor
 from .fig7_latency import LOAD_FRACTIONS
 
@@ -47,24 +54,33 @@ class Fig8Panel:
 
 
 def run_panel(app_name: str, generation: int = 3,
-              method: str = "analytic") -> Fig8Panel:
-    """Build one Fig. 8 panel."""
+              method: str = "analytic",
+              backend: Optional[str] = None) -> Fig8Panel:
+    """Build one Fig. 8 panel (both curves in one batched grid call)."""
     app = get_app(app_name)
     slo = derive_slo(app, generation, method=method)
     result = scaling_factor(app, generation, method=method)
     cores = result.cores if result.cores is not None else 12
-    common = dict(
-        cores=cores,
+    efficient, cxl = latency_curves(
+        app,
+        [
+            CurveSpec(
+                platform="bergamo",
+                cores=cores,
+                reference_peak_qps=slo.baseline_peak_qps,
+                label=f"GreenSKU-Efficient ({cores} cores)",
+            ),
+            CurveSpec(
+                platform="bergamo",
+                cores=cores,
+                cxl=True,
+                reference_peak_qps=slo.baseline_peak_qps,
+                label=f"GreenSKU-CXL ({cores} cores)",
+            ),
+        ],
         load_fractions=LOAD_FRACTIONS,
-        reference_peak_qps=slo.baseline_peak_qps,
         method=method,
-    )
-    efficient = latency_curve(
-        app, "bergamo", label=f"GreenSKU-Efficient ({cores} cores)", **common
-    )
-    cxl = latency_curve(
-        app, "bergamo", cxl=True,
-        label=f"GreenSKU-CXL ({cores} cores)", **common
+        backend=backend,
     )
     return Fig8Panel(
         app_name=app.name,
@@ -77,8 +93,14 @@ def run_panel(app_name: str, generation: int = 3,
     )
 
 
-def run(app_names: Sequence[str] = FIG8_APPS) -> List[Fig8Panel]:
-    return [run_panel(name) for name in app_names]
+def run(app_names: Sequence[str] = FIG8_APPS, generation: int = 3,
+        method: str = "analytic",
+        backend: Optional[str] = None) -> List[Fig8Panel]:
+    """All Fig. 8 panels."""
+    return [
+        run_panel(name, generation, method=method, backend=backend)
+        for name in app_names
+    ]
 
 
 def render(panels: Sequence[Fig8Panel]) -> str:

@@ -10,6 +10,15 @@ count each epoch so the *measured* load of the previous epoch meets the
 SLO with headroom.  Comparing against static peak provisioning yields the
 core-hours an autoscaler saves on a GreenSKU — and the SLO violations the
 one-epoch reaction lag costs when load ramps.
+
+Sizing is infeasibility-aware: when even ``max_cores`` misses the SLO,
+:func:`cores_needed` returns ``None`` (it used to silently return
+``max_cores``, making static provisioning look feasible when it wasn't)
+and :func:`autoscale` allocates ``max_cores`` best-effort, reporting the
+hour in ``AutoscaleResult.infeasible_hours`` and counting it as a
+violation.  The whole trajectory — every (hour × candidate-cores) cell
+plus the per-hour violation check — evaluates in two batched
+:func:`~repro.perf.latency.tail_latencies` calls.
 """
 
 from __future__ import annotations
@@ -22,7 +31,7 @@ import numpy as np
 
 from ..core.errors import ConfigError
 from .apps import ApplicationProfile
-from .latency import Slo, derive_slo, tail_latency_ms
+from .latency import Slo, derive_slo, tail_latencies
 
 
 def diurnal_load(
@@ -41,6 +50,16 @@ def diurnal_load(
     return peak_qps * (mid + amp * np.sin(2 * math.pi * (t - 9) / 24.0))
 
 
+def _first_meeting(
+    latencies: np.ndarray, core_grid: np.ndarray, bound: float
+) -> np.ndarray:
+    """Per-row smallest core count with latency <= bound, -1 when none."""
+    meets = latencies <= bound
+    feasible = meets.any(axis=-1)
+    first = core_grid[np.argmax(meets, axis=-1)]
+    return np.where(feasible, first, -1)
+
+
 def cores_needed(
     app: ApplicationProfile,
     platform: str,
@@ -49,14 +68,26 @@ def cores_needed(
     min_cores: int = 2,
     max_cores: int = 32,
     headroom: float = 1.1,
-) -> int:
-    """Smallest core count meeting the SLO at ``load * headroom``."""
-    target = load_qps * headroom
-    for cores in range(min_cores, max_cores + 1):
-        latency = tail_latency_ms(app, platform, cores, target)
-        if latency <= slo.latency_ms * (1 + 1e-9):
-            return cores
-    return max_cores
+) -> Optional[int]:
+    """Smallest core count meeting the SLO at ``load * headroom``.
+
+    Returns ``None`` when even ``max_cores`` misses the SLO — the sizing
+    is infeasible and callers must handle it explicitly rather than
+    receive ``max_cores`` dressed up as a valid answer.  The whole
+    candidate range is evaluated in one batched call.
+    """
+    if min_cores < 1 or max_cores < min_cores:
+        raise ConfigError(
+            f"need 1 <= min_cores <= max_cores, got {min_cores}..{max_cores}"
+        )
+    core_grid = np.arange(min_cores, max_cores + 1, dtype=np.int64)
+    latencies = tail_latencies(
+        app.service_ms_on(platform), core_grid, load_qps * headroom
+    )
+    found = int(
+        _first_meeting(latencies, core_grid, slo.latency_ms * (1 + 1e-9))
+    )
+    return None if found < 0 else found
 
 
 @dataclass(frozen=True)
@@ -67,14 +98,18 @@ class AutoscaleResult:
         core_hours_static: Core-hours under static peak provisioning.
         core_hours_autoscaled: Core-hours under the reactive policy.
         slo_violation_hours: Hours where the (lagged) allocation missed
-            the SLO.
-        cores_by_hour: The autoscaler's allocation trajectory.
+            the SLO, including every infeasible hour.
+        cores_by_hour: The autoscaler's allocation trajectory
+            (``max_cores`` best-effort on infeasible hours).
+        infeasible_hours: Hours whose sizing target exceeded what
+            ``max_cores`` can serve within the SLO.
     """
 
     core_hours_static: float
     core_hours_autoscaled: float
     slo_violation_hours: int
     cores_by_hour: List[int]
+    infeasible_hours: int = 0
 
     @property
     def core_hour_savings(self) -> float:
@@ -95,7 +130,10 @@ def autoscale(
     """Run the reactive autoscaler against a (diurnal) load profile.
 
     Each hour the scaler sizes for the *previous* hour's load (reactive,
-    one-epoch lag); static provisioning sizes once for the peak.
+    one-epoch lag); static provisioning sizes once for the peak.  Hours
+    whose sizing is infeasible even at ``max_cores`` get ``max_cores``
+    best-effort and are reported (and counted as violations) via
+    ``AutoscaleResult.infeasible_hours``.
     """
     slo = derive_slo(app, generation)
     if load is None:
@@ -104,26 +142,30 @@ def autoscale(
     if np.any(load <= 0):
         raise ConfigError("load must be positive everywhere")
 
-    static_cores = cores_needed(
-        app, platform, float(load.max()), slo, max_cores=max_cores,
-        headroom=headroom,
+    service_ms = app.service_ms_on(platform)
+    bound = slo.latency_ms * (1 + 1e-9)
+    core_grid = np.arange(2, max_cores + 1, dtype=np.int64)
+    # Row 0..H-1: the lagged per-hour sizing loads; last row: the static
+    # (peak) sizing.  One grid call covers the whole trajectory.
+    sizing_loads = np.concatenate((load[:1], load[:-1], [load.max()]))
+    latencies = tail_latencies(
+        service_ms,
+        core_grid[None, :],
+        (sizing_loads * headroom)[:, None],
     )
-    allocations: List[int] = []
-    violations = 0
-    previous_load = float(load[0])
-    for hour, current in enumerate(load):
-        cores = cores_needed(
-            app, platform, previous_load, slo, max_cores=max_cores,
-            headroom=headroom,
-        )
-        allocations.append(cores)
-        latency = tail_latency_ms(app, platform, cores, float(current))
-        if latency > slo.latency_ms * (1 + 1e-9):
-            violations += 1
-        previous_load = float(current)
+    needed = _first_meeting(latencies, core_grid, bound)
+    hourly, static_needed = needed[:-1], int(needed[-1])
+
+    infeasible = hourly < 0
+    allocations = np.where(infeasible, max_cores, hourly)
+    static_cores = max_cores if static_needed < 0 else static_needed
+
+    achieved = tail_latencies(service_ms, allocations, load)
+    violation_mask = (achieved > bound) | infeasible
     return AutoscaleResult(
         core_hours_static=static_cores * len(load),
-        core_hours_autoscaled=float(sum(allocations)),
-        slo_violation_hours=violations,
-        cores_by_hour=allocations,
+        core_hours_autoscaled=float(allocations.sum()),
+        slo_violation_hours=int(violation_mask.sum()),
+        cores_by_hour=[int(c) for c in allocations],
+        infeasible_hours=int(infeasible.sum()),
     )

@@ -10,7 +10,9 @@ inversely proportional to per-core speed at a fixed core count.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..core.tables import render_table
 from .apps import AppClass, ApplicationProfile, apps_in_class
@@ -42,6 +44,35 @@ def build_slowdown(
     return app.speed_on("gen3") / app.speed_on(platform, cxl=cxl)
 
 
+#: (platform, cxl) pairs backing Table II's columns, in column order.
+TABLE2_PLATFORM_SPECS: Tuple[Tuple[str, bool], ...] = (
+    ("gen1", False),
+    ("gen2", False),
+    ("gen3", False),
+    ("bergamo", False),
+    ("bergamo", True),
+)
+
+
+def slowdown_grid(
+    apps: Sequence[ApplicationProfile],
+    platform_specs: Sequence[Tuple[str, bool]] = TABLE2_PLATFORM_SPECS,
+) -> np.ndarray:
+    """Gen3-normalized slowdowns as an (apps × platforms) array.
+
+    One broadcast divide covers the whole Table II grid; each cell is
+    identical to the corresponding :func:`build_slowdown` call.
+    """
+    base = np.array([app.speed_on("gen3") for app in apps])
+    speeds = np.array(
+        [
+            [app.speed_on(p, cxl=c) for (p, c) in platform_specs]
+            for app in apps
+        ]
+    )
+    return base[:, None] / speeds
+
+
 def table2_rows(
     apps: Optional[Sequence[ApplicationProfile]] = None,
 ) -> List[DevOpsRow]:
@@ -56,21 +87,14 @@ def table2_rows(
             if a.name.startswith("Build-")
         ]
         apps = sorted(apps, key=lambda a: a.name)
-    rows = []
-    for app in apps:
-        rows.append(
-            DevOpsRow(
-                app_name=app.name,
-                slowdowns={
-                    "gen1": build_slowdown(app, "gen1"),
-                    "gen2": build_slowdown(app, "gen2"),
-                    "gen3": 1.0,
-                    "efficient": build_slowdown(app, "bergamo"),
-                    "cxl": build_slowdown(app, "bergamo", cxl=True),
-                },
-            )
+    grid = slowdown_grid(apps)
+    return [
+        DevOpsRow(
+            app_name=app.name,
+            slowdowns=dict(zip(TABLE2_COLUMNS, (float(v) for v in row))),
         )
-    return rows
+        for app, row in zip(apps, grid)
+    ]
 
 
 def render_table2(rows: Optional[Sequence[DevOpsRow]] = None) -> str:

@@ -13,21 +13,27 @@ The paper's methodology (Section VI):
 
 Curves can be produced by the exact analytic M/M/c model (default; fast
 and deterministic) or the discrete-event simulator (for non-exponential
-service or validation).
+service or validation).  Grid-shaped work — load sweeps, multi-curve
+panels, (app × generation) SLO tables — goes through the batched
+:func:`tail_latencies` evaluator, which feeds whole parameter arrays to
+the vectorized queueing substrate in one call; per-point simulation
+seeds derive from the load fraction (not the sweep index), so inserting
+a load point never reshuffles the RNG of its neighbours.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.errors import ConfigError
+from ..core.rng import RngFactory
 from .apps import ApplicationProfile, platform_for_generation
 from .mmc import response_percentile_ms
-from .queueing import simulate_fcfs
+from .queueing import simulate_fcfs, simulate_fcfs_batch
 
 #: The paper sets the SLO at the tail latency reached at 90% of peak load.
 SLO_LOAD_FRACTION = 0.9
@@ -37,6 +43,35 @@ LOW_LOAD_FRACTION = 0.3
 
 #: Tail percentile used throughout (the paper also checks p99).
 TAIL_QUANTILE = 0.95
+
+
+def _validated_quantile(quantile: float) -> float:
+    """Validate a latency quantile, raising ``ConfigError`` outside (0, 1)."""
+    try:
+        q = float(quantile)
+    except (TypeError, ValueError):
+        raise ConfigError(
+            f"quantile must be a number in (0, 1), got {quantile!r}"
+        ) from None
+    if not 0.0 < q < 1.0:
+        raise ConfigError(f"quantile must be in (0, 1), got {quantile!r}")
+    return q
+
+
+def _point_seeds(seed: int, load_fractions: Sequence[float]) -> np.ndarray:
+    """Per-sweep-point sim seeds derived from the load fraction.
+
+    Hashing the fraction (not the sweep index) means adding or removing a
+    load point leaves every other point's RNG stream untouched.
+    """
+    factory = RngFactory(seed)
+    return np.array(
+        [
+            factory.child(f"load-fraction:{float(f)!r}").seed
+            for f in load_fractions
+        ],
+        dtype=np.int64,
+    )
 
 
 @dataclass(frozen=True)
@@ -90,7 +125,9 @@ def tail_latency_ms(
 ) -> float:
     """Tail latency of ``app`` on (platform, cores) at ``load_qps``.
 
-    Returns ``inf`` when the load saturates the configuration.
+    Returns ``inf`` when the load saturates the configuration.  Both
+    methods honor arbitrary ``quantile`` values in (0, 1); anything else
+    raises :class:`~repro.core.errors.ConfigError`.
 
     Args:
         method: ``"analytic"`` (exact M/M/c, default) or ``"sim"``
@@ -98,19 +135,85 @@ def tail_latency_ms(
     """
     if load_qps <= 0:
         raise ConfigError("load must be > 0 QPS")
+    q = _validated_quantile(quantile)
     service_ms = app.service_ms_on(platform, cxl=cxl)
     mu_per_core = 1000.0 / service_ms
     if load_qps >= cores * mu_per_core:
         return math.inf
     if method == "analytic":
-        return response_percentile_ms(quantile, load_qps, mu_per_core, cores)
+        return response_percentile_ms(q, load_qps, mu_per_core, cores)
     if method == "sim":
         result = simulate_fcfs(
-            load_qps, cores, service_ms, cv=app.service_cv, seed=seed
+            load_qps, cores, service_ms, cv=app.service_cv, seed=seed,
+            quantiles=(q,),
         )
-        return {0.5: result.p50_ms, 0.95: result.p95_ms, 0.99: result.p99_ms}[
-            round(quantile, 2)
-        ]
+        return result.quantiles_ms[0]
+    raise ConfigError(f"unknown method {method!r}; use 'analytic' or 'sim'")
+
+
+def tail_latencies(
+    service_ms,
+    cores,
+    load_qps,
+    cv=1.0,
+    quantile: float = TAIL_QUANTILE,
+    method: str = "analytic",
+    seeds=0,
+    backend: Optional[str] = None,
+) -> np.ndarray:
+    """Batched tail latency over broadcast parameter arrays.
+
+    The grid-shaped core of :func:`tail_latency_ms`: every argument may
+    be a scalar or an array (numpy broadcasting applies), and the whole
+    grid evaluates in one call to the vectorized substrate — the array
+    M/M/c inversion for ``method="analytic"``, one
+    :func:`~repro.perf.queueing.simulate_fcfs_batch` over the stable
+    points for ``method="sim"``.  Saturated points report ``inf``.
+
+    Args:
+        service_ms: Mean service time per point, milliseconds.
+        cores: Serving cores per point.
+        load_qps: Offered load per point (must be > 0 everywhere).
+        cv: Service-time CV per point (sim method only).
+        quantile: Latency quantile in (0, 1).
+        seeds: Sim seed per point (sim method only).
+        method: ``"analytic"`` or ``"sim"``.
+        backend: Queueing dispatch backend for the sim grid
+            (``"vectorized"`` | ``"reference"``; default resolved from
+            ``REPRO_QUEUEING``).
+    """
+    q = _validated_quantile(quantile)
+    svc, cores_a, load, cv_a, seed_a = np.broadcast_arrays(
+        np.asarray(service_ms, dtype=np.float64),
+        np.asarray(cores, dtype=np.int64),
+        np.asarray(load_qps, dtype=np.float64),
+        np.asarray(cv, dtype=np.float64),
+        np.asarray(seeds, dtype=np.int64),
+    )
+    if (load <= 0).any():
+        raise ConfigError("load must be > 0 QPS at every grid point")
+    shape = load.shape
+    svc, cores_a, load, cv_a, seed_a = (
+        np.ravel(a) for a in (svc, cores_a, load, cv_a, seed_a)
+    )
+    mu = 1000.0 / svc
+    if method == "analytic":
+        return response_percentile_ms(q, load, mu, cores_a).reshape(shape)
+    if method == "sim":
+        out = np.full(load.shape, math.inf)
+        stable = load < cores_a * mu
+        if stable.any():
+            grid = simulate_fcfs_batch(
+                load[stable],
+                cores_a[stable],
+                svc[stable],
+                cv=cv_a[stable],
+                seeds=seed_a[stable],
+                quantiles=(q,),
+                method=backend,
+            )
+            out[stable] = grid.quantiles_ms[:, 0]
+        return out.reshape(shape)
     raise ConfigError(f"unknown method {method!r}; use 'analytic' or 'sim'")
 
 
@@ -124,35 +227,134 @@ def latency_curve(
     label: Optional[str] = None,
     method: str = "analytic",
     seed: int = 0,
+    backend: Optional[str] = None,
 ) -> LatencyCurve:
-    """Sweep offered load and record tail latency.
+    """Sweep offered load and record tail latency (one batched call).
 
     Args:
         load_fractions: Fractions of the *reference* peak to sweep
             (default: 0.1..0.98).  Points past this configuration's own
             saturation report ``inf`` — the hockey-stick in Fig. 7.
         reference_peak_qps: Peak the fractions refer to.  Fig. 7 sweeps
-            all configurations over the *baseline's* load axis; defaults
-            to this configuration's own peak.
+            all configurations over the *baseline's* load axis; ``None``
+            (the default) uses this configuration's own peak, and
+            non-positive values raise ``ConfigError``.
+        backend: Queueing dispatch backend for ``method="sim"``.
     """
     if load_fractions is None:
         load_fractions = tuple(np.arange(0.1, 1.0, 0.05))
     own_peak = peak_qps(app, platform, cores, cxl=cxl)
-    ref_peak = reference_peak_qps if reference_peak_qps else own_peak
+    if reference_peak_qps is not None:
+        if reference_peak_qps <= 0:
+            raise ConfigError(
+                f"reference_peak_qps must be > 0, got {reference_peak_qps}"
+            )
+        ref_peak = reference_peak_qps
+    else:
+        ref_peak = own_peak
     qps_points = [f * ref_peak for f in load_fractions]
-    latencies = [
-        tail_latency_ms(
-            app, platform, cores, q, cxl=cxl, method=method, seed=seed + i
-        )
-        for i, q in enumerate(qps_points)
-    ]
+    latencies = tail_latencies(
+        app.service_ms_on(platform, cxl=cxl),
+        cores,
+        np.asarray(qps_points),
+        cv=app.service_cv,
+        method=method,
+        seeds=_point_seeds(seed, load_fractions),
+        backend=backend,
+    )
     return LatencyCurve(
         label=label or f"{app.name} on {platform} ({cores} cores)",
         cores=cores,
         peak_qps=own_peak,
         qps=tuple(qps_points),
-        p95_ms=tuple(latencies),
+        p95_ms=tuple(float(x) for x in latencies),
     )
+
+
+@dataclass(frozen=True)
+class CurveSpec:
+    """One configuration of a multi-curve panel (see :func:`latency_curves`).
+
+    Attributes:
+        platform: Platform key (e.g. ``"gen3"``, ``"bergamo"``).
+        cores: VM cores for this curve.
+        cxl: Whether memory is CXL-attached.
+        reference_peak_qps: Load axis the sweep fractions refer to
+            (``None`` = this configuration's own peak).
+        label: Curve label (``None`` = generated).
+    """
+
+    platform: str
+    cores: int
+    cxl: bool = False
+    reference_peak_qps: Optional[float] = None
+    label: Optional[str] = None
+
+
+def latency_curves(
+    app: ApplicationProfile,
+    specs: Sequence[CurveSpec],
+    load_fractions: Optional[Sequence[float]] = None,
+    method: str = "analytic",
+    seed: int = 0,
+    backend: Optional[str] = None,
+) -> List[LatencyCurve]:
+    """Evaluate a whole panel of latency curves in one batched call.
+
+    Point-for-point identical to calling :func:`latency_curve` per spec;
+    a Fig. 7 panel (baseline + three candidate counts × 18 load points)
+    becomes a single grid evaluation.
+    """
+    if load_fractions is None:
+        load_fractions = tuple(np.arange(0.1, 1.0, 0.05))
+    n_points = len(load_fractions)
+    point_seeds = _point_seeds(seed, load_fractions)
+    svc_cols, cores_cols, qps_cols, cv_cols = [], [], [], []
+    peaks, labels = [], []
+    for spec in specs:
+        own_peak = peak_qps(app, spec.platform, spec.cores, cxl=spec.cxl)
+        if spec.reference_peak_qps is not None:
+            if spec.reference_peak_qps <= 0:
+                raise ConfigError(
+                    "reference_peak_qps must be > 0, got "
+                    f"{spec.reference_peak_qps}"
+                )
+            ref_peak = spec.reference_peak_qps
+        else:
+            ref_peak = own_peak
+        qps_cols.append([f * ref_peak for f in load_fractions])
+        svc_cols.append(
+            np.full(n_points, app.service_ms_on(spec.platform, cxl=spec.cxl))
+        )
+        cores_cols.append(np.full(n_points, spec.cores, dtype=np.int64))
+        cv_cols.append(np.full(n_points, app.service_cv))
+        peaks.append(own_peak)
+        labels.append(
+            spec.label
+            or f"{app.name} on {spec.platform} ({spec.cores} cores)"
+        )
+    latencies = tail_latencies(
+        np.concatenate(svc_cols),
+        np.concatenate(cores_cols),
+        np.concatenate([np.asarray(c) for c in qps_cols]),
+        cv=np.concatenate(cv_cols),
+        method=method,
+        seeds=np.tile(point_seeds, len(list(specs))),
+        backend=backend,
+    )
+    curves = []
+    for j, spec in enumerate(specs):
+        segment = latencies[j * n_points:(j + 1) * n_points]
+        curves.append(
+            LatencyCurve(
+                label=labels[j],
+                cores=spec.cores,
+                peak_qps=peaks[j],
+                qps=tuple(qps_cols[j]),
+                p95_ms=tuple(float(x) for x in segment),
+            )
+        )
+    return curves
 
 
 @dataclass(frozen=True)
@@ -194,6 +396,53 @@ def derive_slo(
         load_qps=slo_load,
         baseline_peak_qps=base_peak,
     )
+
+
+def derive_slos(
+    apps: Sequence[ApplicationProfile],
+    generations: Sequence[int],
+    baseline_cores: int = 8,
+    method: str = "analytic",
+    backend: Optional[str] = None,
+) -> Dict[Tuple[str, int], Slo]:
+    """Batched :func:`derive_slo` over a whole (app × generation) grid.
+
+    One :func:`tail_latencies` call covers every cell; keyed by
+    ``(app.name, generation)``.
+    """
+    apps = list(apps)
+    generations = list(generations)
+    entries = []
+    for app in apps:
+        for gen in generations:
+            platform = platform_for_generation(gen)
+            base_peak = peak_qps(app, platform, baseline_cores)
+            entries.append(
+                (app, gen, base_peak, SLO_LOAD_FRACTION * base_peak,
+                 app.service_ms_on(platform))
+            )
+    if not entries:
+        return {}
+    latencies = tail_latencies(
+        np.array([e[4] for e in entries]),
+        baseline_cores,
+        np.array([e[3] for e in entries]),
+        cv=np.array([e[0].service_cv for e in entries]),
+        method=method,
+        backend=backend,
+    )
+    return {
+        (app.name, gen): Slo(
+            app_name=app.name,
+            generation=gen,
+            latency_ms=float(latency),
+            load_qps=slo_load,
+            baseline_peak_qps=base_peak,
+        )
+        for (app, gen, base_peak, slo_load, _svc), latency in zip(
+            entries, latencies
+        )
+    }
 
 
 def meets_slo(

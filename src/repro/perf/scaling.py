@@ -23,6 +23,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..core.errors import ConfigError
 from .apps import (
     APPLICATIONS,
@@ -30,7 +32,7 @@ from .apps import (
     platform_for_generation,
     table3_apps,
 )
-from .latency import Slo, derive_slo, meets_slo
+from .latency import Slo, derive_slo, derive_slos, meets_slo, tail_latencies
 
 #: Core counts the paper evaluates on the GreenSKU for an 8-core baseline VM.
 CANDIDATE_CORES: Tuple[int, ...] = (8, 10, 12)
@@ -141,15 +143,71 @@ def scaling_table(
     generations: Sequence[int] = (1, 2, 3),
     cxl: bool = False,
     method: str = "analytic",
+    backend: Optional[str] = None,
 ) -> Dict[str, Dict[int, ScalingResult]]:
-    """Table III: scaling factors for every app against every generation."""
+    """Table III: scaling factors for every app against every generation.
+
+    Batched: all latency-critical cells share one :func:`derive_slos`
+    call and one (cell × candidate-cores) :func:`tail_latencies` grid,
+    so the whole table costs two vectorized evaluations instead of one
+    latency inversion (or simulation) per candidate.  Cell outcomes
+    match per-cell :func:`scaling_factor` calls — sims are per-point
+    seeded, so evaluating the full candidate grid instead of stopping
+    at the first hit changes nothing.
+
+    Args:
+        backend: Queueing dispatch backend for ``method="sim"`` grids
+            (``"vectorized"`` | ``"reference"``).
+    """
     apps = list(apps) if apps is not None else table3_apps()
-    table: Dict[str, Dict[int, ScalingResult]] = {}
+    generations = list(generations)
+    for gen in generations:
+        if gen not in (1, 2, 3):
+            raise ConfigError(f"generation must be 1, 2 or 3, got {gen}")
+    table: Dict[str, Dict[int, ScalingResult]] = {app.name: {} for app in apps}
+
     for app in apps:
-        table[app.name] = {
-            gen: scaling_factor(app, gen, cxl=cxl, method=method)
+        if app.latency_critical:
+            continue
+        for gen in generations:
+            table[app.name][gen] = scaling_factor(
+                app, gen, cxl=cxl, method=method
+            )
+
+    lc_apps = [app for app in apps if app.latency_critical]
+    if lc_apps and generations:
+        slos = derive_slos(
+            lc_apps, generations, BASELINE_CORES, method=method,
+            backend=backend,
+        )
+        cells = [
+            (app, gen, slos[(app.name, gen)])
+            for app in lc_apps
             for gen in generations
-        }
+        ]
+        candidates = np.array(CANDIDATE_CORES, dtype=np.int64)
+        latencies = tail_latencies(
+            np.array(
+                [app.service_ms_on("bergamo", cxl=cxl) for app, _, _ in cells]
+            )[:, None],
+            candidates[None, :],
+            np.array([slo.load_qps for _, _, slo in cells])[:, None],
+            cv=np.array([app.service_cv for app, _, _ in cells])[:, None],
+            method=method,
+            backend=backend,
+        )
+        for (app, gen, slo), row in zip(cells, latencies):
+            # Same tolerance as meets_slo: equal-speed apps meet their
+            # own SLO exactly.
+            bound = slo.latency_ms * (1.0 + 1e-9)
+            result = ScalingResult(app.name, gen, math.inf, None, slo)
+            for cores, latency in zip(CANDIDATE_CORES, row):
+                if latency <= bound:
+                    result = ScalingResult(
+                        app.name, gen, cores / BASELINE_CORES, cores, slo
+                    )
+                    break
+            table[app.name][gen] = result
     return table
 
 
@@ -160,7 +218,5 @@ def factors_by_app(
 ) -> Dict[str, float]:
     """App name -> scaling factor against one generation (inf = cannot)."""
     apps = list(apps) if apps is not None else list(APPLICATIONS)
-    return {
-        app.name: scaling_factor(app, generation, cxl=cxl).factor
-        for app in apps
-    }
+    table = scaling_table(apps, (generation,), cxl=cxl)
+    return {app.name: table[app.name][generation].factor for app in apps}

@@ -34,10 +34,18 @@ class TestCoresNeeded:
         high = cores_needed(app, "bergamo", 1500.0, slo)
         assert high >= low
 
-    def test_caps_at_max(self):
+    def test_infeasible_returns_none(self):
+        # Regression: this used to return max_cores, silently passing
+        # off an infeasible sizing as a valid answer.
         app = get_app("Xapian")
         slo = derive_slo(app, 3)
-        assert cores_needed(app, "bergamo", 1e9, slo, max_cores=16) == 16
+        assert cores_needed(app, "bergamo", 1e9, slo, max_cores=16) is None
+
+    def test_invalid_core_range_rejected(self):
+        app = get_app("Xapian")
+        slo = derive_slo(app, 3)
+        with pytest.raises(ConfigError):
+            cores_needed(app, "bergamo", 500.0, slo, min_cores=8, max_cores=4)
 
 
 class TestAutoscale:
@@ -73,3 +81,20 @@ class TestAutoscale:
     def test_invalid_load_rejected(self):
         with pytest.raises(ConfigError):
             autoscale(get_app("Xapian"), load=[0.0, 100.0])
+
+    def test_no_infeasible_hours_on_diurnal_load(self, result):
+        assert result.infeasible_hours == 0
+
+    def test_infeasible_hours_surface_and_count_as_violations(self):
+        # Regression: hours whose sizing exceeds max_cores used to be
+        # silently allocated max_cores with no signal at all.
+        app = get_app("Xapian")
+        slo = derive_slo(app, 3)
+        load = [0.5 * slo.baseline_peak_qps] * 3 + [
+            50.0 * slo.baseline_peak_qps
+        ] * 2
+        result = autoscale(app, load=load, max_cores=8)
+        assert result.infeasible_hours >= 1
+        assert result.slo_violation_hours >= result.infeasible_hours
+        # Best-effort allocation stays within the cap.
+        assert max(result.cores_by_hour) <= 8

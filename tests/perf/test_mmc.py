@@ -2,6 +2,7 @@
 
 import math
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -105,6 +106,129 @@ class TestPercentiles:
             lam, cores, 1.0, cv=1.0, requests=60_000, warmup=10_000, seed=11
         )
         assert sim.p95_ms == pytest.approx(analytic, rel=0.12)
+
+
+class TestArrayPaths:
+    """The array entry points track the scalar reference element-wise."""
+
+    def test_erlang_c_array_matches_scalar(self):
+        cores = np.array([1, 2, 4, 8, 16, 3])
+        loads = np.array([0.5, 1.0, 3.5, 7.9, 0.0, 2.2])
+        batched = erlang_c(cores, loads)
+        scalar = [
+            erlang_c(int(c), float(a)) for c, a in zip(cores, loads)
+        ]
+        assert batched == pytest.approx(scalar, rel=1e-12, abs=1e-15)
+
+    def test_erlang_c_array_unstable_rejected(self):
+        with pytest.raises(SimulationError):
+            erlang_c(np.array([4, 4]), np.array([2.0, 4.0]))
+
+    def test_tail_probability_array_matches_scalar(self):
+        t = np.array([0.5, 2.0, 10.0, -1.0])
+        lam = np.array([100.0, 500.0, 700.0, 300.0])
+        mu = np.array([200.0, 300.0, 100.0, 400.0])
+        cores = np.array([1, 2, 8, 4])
+        batched = response_tail_probability(t, lam, mu, cores)
+        scalar = [
+            response_tail_probability(
+                float(ti), float(l), float(m), int(c)
+            )
+            for ti, l, m, c in zip(t, lam, mu, cores)
+        ]
+        assert batched == pytest.approx(scalar, rel=1e-12)
+
+    def test_percentile_array_matches_scalar(self):
+        lam = np.array([100.0, 500.0, 700.0, 1500.0])
+        mu = np.array([200.0, 300.0, 100.0, 200.0])
+        cores = np.array([1, 2, 8, 8])
+        for q in (0.5, 0.9, 0.95, 0.99):
+            batched = response_percentile_ms(q, lam, mu, cores)
+            scalar = [
+                response_percentile_ms(q, float(l), float(m), int(c))
+                for l, m, c in zip(lam, mu, cores)
+            ]
+            assert batched == pytest.approx(scalar, rel=1e-9)
+
+    def test_percentile_array_unstable_is_inf(self):
+        out = response_percentile_ms(
+            0.95, np.array([500.0, 900.0]), 100.0, 8
+        )
+        assert np.isfinite(out[0])
+        assert math.isinf(out[1])
+
+    def test_percentile_quantile_broadcasts(self):
+        out = response_percentile_ms(
+            np.array([0.5, 0.95, 0.99]), 700.0, 100.0, 8
+        )
+        assert out.shape == (3,)
+        assert (np.diff(out) > 0).all()
+
+    def test_percentile_array_bad_quantile_rejected(self):
+        with pytest.raises(SimulationError):
+            response_percentile_ms(np.array([0.5, 1.5]), 100.0, 100.0, 8)
+
+    def test_shape_preserved(self):
+        out = response_percentile_ms(
+            0.95, np.full((2, 3), 300.0), 100.0, 8
+        )
+        assert out.shape == (2, 3)
+
+
+class TestMonotonicity:
+    """Hypothesis: percentiles are monotone in quantile and in load."""
+
+    @settings(deadline=None, max_examples=50)
+    @given(
+        q1=st.floats(min_value=0.05, max_value=0.99),
+        q2=st.floats(min_value=0.05, max_value=0.99),
+        rho=st.floats(min_value=0.05, max_value=0.95),
+        cores=st.integers(min_value=1, max_value=32),
+    )
+    def test_monotone_in_quantile(self, q1, q2, rho, cores):
+        lo, hi = sorted((q1, q2))
+        mu = 500.0
+        lam = rho * cores * mu
+        assert response_percentile_ms(
+            lo, lam, mu, cores
+        ) <= response_percentile_ms(hi, lam, mu, cores) * (1 + 1e-9)
+
+    @settings(deadline=None, max_examples=50)
+    @given(
+        rho1=st.floats(min_value=0.02, max_value=0.98),
+        rho2=st.floats(min_value=0.02, max_value=0.98),
+        q=st.floats(min_value=0.05, max_value=0.99),
+        cores=st.integers(min_value=1, max_value=32),
+    )
+    def test_monotone_in_load(self, rho1, rho2, q, cores):
+        lo, hi = sorted((rho1, rho2))
+        mu = 500.0
+        assert response_percentile_ms(
+            q, lo * cores * mu, mu, cores
+        ) <= response_percentile_ms(q, hi * cores * mu, mu, cores) * (
+            1 + 1e-9
+        )
+
+
+class TestSimCrossValidation:
+    """DES vs analytic at cv=1 across the quantile range (ISSUE 6)."""
+
+    @pytest.mark.parametrize(
+        "quantile,tolerance",
+        [(0.5, 0.05), (0.9, 0.08), (0.95, 0.1), (0.99, 0.2)],
+    )
+    def test_sim_matches_analytic_quantiles(self, quantile, tolerance):
+        service_ms, cores, rho = 2.0, 4, 0.75
+        mu = 1000.0 / service_ms
+        lam = rho * cores * mu
+        result = simulate_fcfs(
+            lam, cores, service_ms, cv=1.0, requests=60_000,
+            warmup=5_000, seed=11, quantiles=(quantile,),
+        )
+        analytic = response_percentile_ms(quantile, lam, mu, cores)
+        assert result.quantiles_ms[0] == pytest.approx(
+            analytic, rel=tolerance
+        )
 
 
 class TestMeans:

@@ -1,0 +1,243 @@
+"""Batched queueing substrate: bit-identity, backends, SimGrid, telemetry.
+
+The equivalence suite here is the gate ISSUE 6 demands: the vectorized
+lockstep dispatch must be *bit-identical* to the scalar oracle — same
+``SimResult`` fields for every grid point — over seeds × app profiles ×
+service-time CVs, and the ``reference`` backend must produce the same
+``SimGrid`` digest as the vectorized one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import telemetry
+from repro.core.errors import ConfigError, SimulationError
+from repro.perf.apps import get_app
+from repro.perf.queueing import (
+    BACKEND_ENV,
+    QUEUEING_BACKENDS,
+    resolve_backend,
+    saturation_qps,
+    set_default_backend,
+    simulate_fcfs,
+    simulate_fcfs_batch,
+)
+
+#: (app, cores, load fraction) profiles spanning single/multi-core and a
+#: range of service times; cv values are crossed in separately.
+PROFILES = (
+    ("Xapian", 8, 0.7),
+    ("Nginx", 4, 0.5),
+    ("Moses", 2, 0.8),
+    ("Img-DNN", 1, 0.6),
+)
+
+SEEDS = (0, 1, 2, 3, 4)
+CVS = (1.0, 2.0)
+
+REQUESTS, WARMUP = 4000, 500
+
+
+def _equivalence_grid():
+    """SoA parameter arrays for the seeds × profiles × cv grid."""
+    qps, cores, svc, cv, seeds = [], [], [], [], []
+    for name, n_cores, fraction in PROFILES:
+        service_ms = get_app(name).service_ms_on("gen3")
+        for point_cv in CVS:
+            for seed in SEEDS:
+                qps.append(fraction * saturation_qps(n_cores, service_ms))
+                cores.append(n_cores)
+                svc.append(service_ms)
+                cv.append(point_cv)
+                seeds.append(seed)
+    return (
+        np.array(qps),
+        np.array(cores),
+        np.array(svc),
+        np.array(cv),
+        np.array(seeds),
+    )
+
+
+class TestBitIdentity:
+    def test_vectorized_matches_scalar_oracle(self):
+        """Every grid point equals per-point simulate_fcfs, bit for bit."""
+        qps, cores, svc, cv, seeds = _equivalence_grid()
+        grid = simulate_fcfs_batch(
+            qps, cores, svc, cv=cv, seeds=seeds,
+            requests=REQUESTS, warmup=WARMUP, quantiles=(0.9,),
+            method="vectorized",
+        )
+        assert len(grid) == len(PROFILES) * len(CVS) * len(SEEDS)
+        for i in range(len(grid)):
+            scalar = simulate_fcfs(
+                float(qps[i]), int(cores[i]), float(svc[i]),
+                cv=float(cv[i]), requests=REQUESTS, warmup=WARMUP,
+                seed=int(seeds[i]), quantiles=(0.9,),
+            )
+            assert grid.result(i) == scalar
+
+    def test_reference_backend_same_digest(self):
+        qps, cores, svc, cv, seeds = _equivalence_grid()
+        kwargs = dict(
+            cv=cv, seeds=seeds, requests=REQUESTS, warmup=WARMUP,
+        )
+        vectorized = simulate_fcfs_batch(
+            qps, cores, svc, method="vectorized", **kwargs
+        )
+        reference = simulate_fcfs_batch(
+            qps, cores, svc, method="reference", **kwargs
+        )
+        assert vectorized.digest() == reference.digest()
+
+    def test_single_core_fast_path(self):
+        # All-single-core batches take a separate lockstep branch.
+        grid = simulate_fcfs_batch(
+            [300.0, 500.0], 1, 1.0, seeds=[7, 8],
+            requests=2000, warmup=200,
+        )
+        for i, (qps, seed) in enumerate(((300.0, 7), (500.0, 8))):
+            assert grid.result(i) == simulate_fcfs(
+                qps, 1, 1.0, requests=2000, warmup=200, seed=seed
+            )
+
+    def test_batch_composition_irrelevant(self):
+        # A point's result must not depend on its neighbours.
+        alone = simulate_fcfs_batch(
+            900.0, 4, 2.0, seeds=3, requests=2000, warmup=200
+        )
+        crowd = simulate_fcfs_batch(
+            [900.0, 400.0, 1100.0], [4, 2, 8], 2.0, seeds=[3, 9, 1],
+            requests=2000, warmup=200,
+        )
+        assert alone.result(0) == crowd.result(0)
+
+
+class TestSimGrid:
+    def test_results_roundtrip(self):
+        grid = simulate_fcfs_batch(
+            [500.0, 900.0], [2, 4], 2.0, seeds=[0, 1],
+            requests=1000, warmup=100,
+        )
+        rows = grid.results()
+        assert len(rows) == 2
+        assert rows[0] == grid.result(0)
+        assert rows[0].requests == 1000
+
+    def test_digest_deterministic_and_seed_sensitive(self):
+        kwargs = dict(requests=1000, warmup=100)
+        a = simulate_fcfs_batch([500.0], [2], 2.0, seeds=[0], **kwargs)
+        b = simulate_fcfs_batch([500.0], [2], 2.0, seeds=[0], **kwargs)
+        c = simulate_fcfs_batch([500.0], [2], 2.0, seeds=[1], **kwargs)
+        assert a.digest() == b.digest()
+        assert a.digest() != c.digest()
+
+    def test_broadcasting(self):
+        # Scalars broadcast against arrays; core grid × one load.
+        grid = simulate_fcfs_batch(
+            900.0, [2, 4, 8], 2.0, requests=500, warmup=100
+        )
+        assert len(grid) == 3
+        assert list(grid.cores) == [2, 4, 8]
+
+    def test_quantiles_recorded(self):
+        grid = simulate_fcfs_batch(
+            [900.0], [4], 2.0, requests=1000, warmup=100,
+            quantiles=(0.5, 0.95),
+        )
+        assert grid.quantile_levels == (0.5, 0.95)
+        r = grid.result(0)
+        assert r.quantiles_ms == (r.p50_ms, r.p95_ms)
+
+
+class TestValidation:
+    def test_empty_batch_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_fcfs_batch([], [], [])
+
+    def test_non_broadcastable_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_fcfs_batch([1.0, 2.0], [1, 2, 3], 1.0)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_fcfs_batch([0.0], [1], [1.0])
+        with pytest.raises(SimulationError):
+            simulate_fcfs_batch([100.0], [0], [1.0])
+        with pytest.raises(SimulationError):
+            simulate_fcfs_batch([100.0], [1], [0.0])
+        with pytest.raises(SimulationError):
+            simulate_fcfs_batch([100.0], [1], [1.0], cv=0.0)
+
+    def test_bad_quantiles_rejected(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(SimulationError):
+                simulate_fcfs_batch(
+                    [100.0], [1], [1.0], quantiles=(bad,)
+                )
+        with pytest.raises(SimulationError):
+            simulate_fcfs(100.0, 1, 1.0, quantiles=(1.5,))
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            simulate_fcfs_batch([100.0], [1], [1.0], method="magic")
+
+
+class TestBackendResolution:
+    def test_default_is_vectorized(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert resolve_backend() == "vectorized"
+
+    def test_env_selects_reference(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "reference")
+        assert resolve_backend() == "reference"
+
+    def test_explicit_arg_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "reference")
+        assert resolve_backend("vectorized") == "vectorized"
+
+    def test_process_default_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "reference")
+        set_default_backend("vectorized")
+        try:
+            assert resolve_backend() == "vectorized"
+        finally:
+            set_default_backend(None)
+
+    def test_unknown_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "magic")
+        with pytest.raises(ConfigError):
+            resolve_backend()
+
+    def test_unknown_default_rejected(self):
+        with pytest.raises(ConfigError):
+            set_default_backend("magic")
+
+    def test_backends_constant(self):
+        assert QUEUEING_BACKENDS == ("vectorized", "reference")
+
+
+class TestTelemetry:
+    def test_vectorized_counters(self):
+        with telemetry.capture() as tel:
+            simulate_fcfs_batch(
+                [500.0, 900.0], [2, 4], 2.0, requests=1000, warmup=100,
+                method="vectorized",
+            )
+        assert tel.counters["queueing.batches"] == 1
+        assert tel.counters["queueing.grid_points"] == 2
+        assert tel.counters["queueing.runs"] == 2
+        assert tel.counters["queueing.events_simulated"] == 2 * 1100
+        assert "queueing.simulate_fcfs_batch" in tel.timers
+
+    def test_reference_counts_runs_once(self):
+        # The reference backend's per-point simulate_fcfs calls already
+        # count runs/events; the batch must not double-count them.
+        with telemetry.capture() as tel:
+            simulate_fcfs_batch(
+                [500.0, 900.0], [2, 4], 2.0, requests=1000, warmup=100,
+                method="reference",
+            )
+        assert tel.counters["queueing.runs"] == 2
+        assert tel.counters["queueing.events_simulated"] == 2 * 1100
+        assert tel.counters["queueing.grid_points"] == 2

@@ -101,6 +101,15 @@ class TestCxlScaling:
         ).factor
 
 
+class TestBatchedEquivalence:
+    def test_table_matches_scalar_oracle(self, table):
+        # The vectorized grid evaluation behind scaling_table must agree
+        # cell-for-cell with the per-app scalar scaling_factor path.
+        for app in table3_apps():
+            for gen in (1, 2, 3):
+                assert table[app.name][gen] == scaling_factor(app, gen)
+
+
 class TestFactorsByApp:
     def test_includes_all_apps(self):
         factors = factors_by_app(generation=3)
