@@ -9,9 +9,12 @@ from .cluster import (
     adopt_everything,
     adopt_nothing,
     outcome_digest,
+    replay_columnar,
+    replay_on_engine,
     resolve_engine,
     simulate,
 )
+from .fleet import ClusterTask, FleetOutcome, FleetSpec, simulate_fleet
 from .index import PlacementEngine
 from .io import load_trace, save_trace, trace_from_csv, trace_to_csv
 from .lifetimes import (
@@ -22,6 +25,7 @@ from .lifetimes import (
 )
 from .packing import PackingPoint, cdf, fraction_below, packing_point
 from .scheduler import BestFitScheduler, PlacementDecision, Server
+from .soa import SoAPlacementEngine
 from .store import TraceStore, store_enabled
 from .traces import TraceParams, VmTrace, generate_trace, production_trace_suite
 from .vm import VmRequest
@@ -37,9 +41,16 @@ __all__ = [
     "adopt_everything",
     "adopt_nothing",
     "outcome_digest",
+    "replay_columnar",
+    "replay_on_engine",
     "resolve_engine",
     "simulate",
+    "ClusterTask",
+    "FleetOutcome",
+    "FleetSpec",
+    "simulate_fleet",
     "PlacementEngine",
+    "SoAPlacementEngine",
     "LifetimePredictor",
     "SegregationOutcome",
     "segregation_study",

@@ -16,8 +16,7 @@ scaling factor and prefer GreenSKU capacity but may *fungibly* fall back
 to baseline SKUs (the paper's growth-buffer workaround); non-adopters and
 full-node VMs run only on baseline SKUs.
 
-Two interchangeable placement backends replay the same event loop
-(:func:`_replay`):
+Three interchangeable placement backends replay the same event stream:
 
 - the **indexed** engine (:class:`~repro.allocation.index.PlacementEngine`,
   the default) answers each placement query from an incrementally
@@ -25,11 +24,25 @@ Two interchangeable placement backends replay the same event loop
 - the **reference** backend scans every server per query and walks every
   server per snapshot — the original implementation, kept as the
   equivalence oracle and selectable via ``simulate(..., engine=
-  "reference")`` or ``REPRO_ALLOC_ENGINE=reference``.
+  "reference")`` or ``REPRO_ALLOC_ENGINE=reference``;
+- the **soa** engine (:class:`~repro.allocation.soa.SoAPlacementEngine`)
+  keeps per-server state in parallel numpy arrays and is paired with
+  the streaming columnar replay below for fleet-scale runs.
 
-Both produce bit-identical :class:`SimOutcome` values (same server for
-every VM, same exact snapshot sums); ``tests/allocation/test_index.py``
+All three produce bit-identical :class:`SimOutcome` values (same server
+for every VM, same exact snapshot sums); ``tests/allocation/``
 holds them to it.
+
+Two replay drivers share the placement semantics:
+
+- :func:`_replay` — the original row loop over ``trace.vms``
+  (``VmRequest`` objects plus a departure heap);
+- :func:`_replay_events` / :func:`replay_columnar` — a streaming loop
+  over a precomputed lexsorted arrival/departure event stream drawn
+  directly from :class:`~repro.allocation.columnar.ColumnarTrace`
+  arrays, processed in cache-sized chunks, never materializing
+  ``VmRequest`` rows.  ``simulate(..., engine="soa")`` routes through
+  it; any engine can be driven through it explicitly.
 """
 
 from __future__ import annotations
@@ -43,6 +56,8 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Callable, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..core import telemetry
 from ..core.errors import CapacityError, ConfigError
 from ..hardware.sku import ServerSKU
@@ -50,6 +65,7 @@ from ..perf.apps import APP_BY_NAME
 from ..perf.pond import plan_tiering
 from .index import METRICS, SCALE_SHIFT, KindAggregate, PlacementEngine, scaled_int
 from .scheduler import BestFitScheduler, Server
+from .soa import SoAPlacementEngine
 from .traces import VmTrace
 
 #: An adoption policy maps (app_name, generation) to a scaling factor, or
@@ -58,8 +74,14 @@ AdoptionPolicy = Callable[[str, int], Optional[float]]
 
 #: Selectable placement backends and the env override honored when the
 #: ``simulate(engine=...)`` argument is absent.
-ENGINES = ("indexed", "reference")
+ENGINES = ("indexed", "reference", "soa")
 ENGINE_ENV = "REPRO_ALLOC_ENGINE"
+
+#: Default number of merged arrival/departure events the streaming
+#: columnar replay gathers per chunk: large enough to amortize the
+#: fancy-index + ``tolist`` per chunk, small enough that a chunk's
+#: Python-scalar lists stay cache-resident.
+DEFAULT_CHUNK_EVENTS = 4096
 
 
 def resolve_engine(engine: Optional[str] = None) -> str:
@@ -188,6 +210,24 @@ class SnapshotStats:
                 else:
                     del bucket[denominator]
         self.samples += aggregate.count
+
+    def merge(self, other: "SnapshotStats") -> None:
+        """Fold another stats accumulator in, exactly.
+
+        Integer addition over the fixed-point buckets is associative, so
+        merging per-cluster accumulators (the fleet driver's aggregate)
+        equals accumulating every snapshot into one — the reconciliation
+        the fleet outcome is checked against.
+        """
+        for metric, bucket in other._cum.items():
+            mine = self._cum[metric]
+            for denominator, value in bucket.items():
+                cum = mine.get(denominator, 0) + value
+                if cum:
+                    mine[denominator] = cum
+                else:
+                    del mine[denominator]
+        self.samples += other.samples
 
     def _sum(self, metric: str) -> float:
         total = Fraction(0)
@@ -529,31 +569,342 @@ def _replay(
     return outcome
 
 
-def replay_on_engine(
+class _VmView:
+    """Flyweight VM record for the streaming columnar replay.
+
+    Carries exactly the attributes the placement backends and
+    ``Server.place`` read from a ``VmRequest``; one instance is reused
+    per event (backends never retain it), so arrival processing touches
+    plain Python scalars without ever building dataclass rows.
+    """
+
+    __slots__ = (
+        "vm_id",
+        "generation",
+        "app_name",
+        "max_memory_fraction",
+        "full_node",
+    )
+
+
+def _merged_events(
+    columns, end: float
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Precompute the lexsorted arrival/departure event stream.
+
+    Returns ``(times, kinds, rows)`` where kind 1 is an arrival of trace
+    row ``rows[i]`` and kind 0 the departure of that row's VM.  The
+    order reproduces the row loop's heap semantics exactly: a departure
+    is processed immediately before the first arrival at-or-after it
+    that follows the VM's own placement (heap-ordered by ``(time,
+    vm_id)`` among departures released together), and departures beyond
+    the last arrival drain only up to the trace window ``end``.
+    """
+    arrivals = columns.arrival_hours
+    n = columns.n
+    if n and np.any(np.diff(arrivals) < 0):
+        raise ConfigError(
+            "columnar replay requires a trace sorted by arrival time"
+        )
+    departures = arrivals + columns.lifetime_hours
+    row_index = np.arange(n, dtype=np.int64)
+    # The arrival the row loop would pop this departure in front of:
+    # first arrival at-or-after the departure time, but never before the
+    # VM's own placement (ties between a VM's arrival and its departure
+    # resolve to "placed first").
+    release = np.maximum(
+        np.searchsorted(arrivals, departures, side="left"), row_index + 1
+    )
+    keep = np.isfinite(departures) & ((release < n) | (departures <= end))
+    dep_rows = np.flatnonzero(keep)
+    times = np.concatenate([arrivals, departures[dep_rows]])
+    order_seq = np.concatenate([row_index, release[dep_rows]])
+    kinds = np.concatenate(
+        [
+            np.ones(n, dtype=np.int8),
+            np.zeros(dep_rows.size, dtype=np.int8),
+        ]
+    )
+    rows = np.concatenate([row_index, dep_rows])
+    ties = np.concatenate([row_index, columns.vm_id[dep_rows]])
+    order = np.lexsort((ties, kinds, order_seq, times))
+    return times[order], kinds[order], rows[order]
+
+
+def _replay_events(
     trace: VmTrace,
     cluster: ClusterSpec,
-    engine: PlacementEngine,
-    adoption: AdoptionPolicy = adopt_nothing,
-    snapshot_hours: float = 1e9,
-    raise_on_reject: bool = False,
+    backend,
+    adoption: AdoptionPolicy,
+    snapshot_hours: float,
+    raise_on_reject: bool,
+    chunk_events: int,
 ) -> SimOutcome:
-    """Replay a trace against a caller-prepared :class:`PlacementEngine`.
+    """Streaming replay over chunked columnar event arrays.
 
-    This is the probe-reuse entry point for sizing searches: the caller
-    owns the engine, adjusts its server set with add/remove deltas
-    between probes, and calls :meth:`PlacementEngine.reset` before each
-    replay.  ``cluster`` only describes the configuration for the
-    outcome record; the servers actually used are the engine's.
+    Behaviorally identical to :func:`_replay` (same backend calls in the
+    same order on the same float values) but driven by the precomputed
+    event stream of :func:`_merged_events`: per chunk, the needed column
+    slices are gathered with one fancy index and converted to plain
+    Python scalars via ``tolist``, so the hot loop never boxes numpy
+    scalars and never materializes ``VmRequest`` rows.
+    """
+    if chunk_events <= 0:
+        raise ConfigError("chunk_events must be > 0")
+    columns = trace.columns
+    outcome = SimOutcome(cluster=cluster)
+    has_green = backend.has_green()
+
+    tel = telemetry.active()
+    if tel is not None:
+        counters_before = backend.telemetry_counters()
+        t_start = time.perf_counter()
+    n_departures = 0
+    n_snapshots = 0
+    n_chunks = 0
+
+    end = trace.duration_hours
+    ev_times, ev_kinds, ev_rows = _merged_events(columns, end)
+    next_snapshot = snapshot_hours
+
+    def take_snapshots_until(now: float) -> None:
+        nonlocal next_snapshot, n_snapshots
+        while next_snapshot <= now:
+            backend.snapshot(outcome)
+            n_snapshots += 1
+            next_snapshot += snapshot_hours
+
+    app_names = columns.app_names
+    vm_id_col = columns.vm_id
+    cores_col = columns.cores
+    mem_col = columns.memory_gb
+    gen_col = columns.generation
+    app_col = columns.app_index
+    mmf_col = columns.max_memory_fraction
+    full_col = columns.full_node
+    active: Dict[int, object] = {}  # vm_id -> placed server
+    view = _VmView()
+    try:
+        for start in range(0, ev_times.size, chunk_events):
+            n_chunks += 1
+            rows = ev_rows[start:start + chunk_events]
+            times = ev_times[start:start + chunk_events].tolist()
+            kinds = ev_kinds[start:start + chunk_events].tolist()
+            vm_ids = vm_id_col[rows].tolist()
+            cores_l = cores_col[rows].tolist()
+            mems = mem_col[rows].tolist()
+            gens = gen_col[rows].tolist()
+            apps = app_col[rows].tolist()
+            mmfs = mmf_col[rows].tolist()
+            fulls = full_col[rows].tolist()
+            for j in range(len(times)):
+                vm_id = vm_ids[j]
+                if not kinds[j]:
+                    # Departure; VMs that were rejected at arrival have
+                    # no active placement to release.
+                    server = active.pop(vm_id, None)
+                    if server is None:
+                        continue
+                    take_snapshots_until(times[j])
+                    backend.remove(server, vm_id)
+                    n_departures += 1
+                    continue
+                take_snapshots_until(times[j])
+                full_node = fulls[j]
+                generation = gens[j]
+                app_name = app_names[apps[j]]
+                cores = cores_l[j]
+                memory_gb = mems[j]
+                factor = (
+                    None if full_node else adoption(app_name, generation)
+                )
+                view.vm_id = vm_id
+                view.generation = generation
+                view.app_name = app_name
+                view.max_memory_fraction = mmfs[j]
+                view.full_node = full_node
+                placed_server = None
+                if factor is not None and has_green:
+                    # Inline of VmRequest.scaled: same validation, same
+                    # ceil/multiply arithmetic on the same floats.
+                    if factor < 1.0 or not math.isfinite(factor):
+                        raise ConfigError(
+                            f"scaling factor must be a finite value >= 1, "
+                            f"got {factor}"
+                        )
+                    if factor == 1.0:
+                        scaled_cores, scaled_mem = cores, memory_gb
+                    else:
+                        scaled_cores = int(math.ceil(cores * factor))
+                        scaled_mem = memory_gb * factor
+                    placed_server = backend.choose_green(
+                        view, scaled_cores, scaled_mem
+                    )
+                    if placed_server is not None:
+                        cores, memory_gb = scaled_cores, scaled_mem
+                if placed_server is None:
+                    placed_server = backend.choose_baseline(
+                        view, cores, memory_gb
+                    )
+                    if placed_server is not None and factor is not None:
+                        outcome.fallback_placements += 1
+                if placed_server is None:
+                    if raise_on_reject:
+                        raise CapacityError(
+                            f"VM {vm_id} rejected by cluster "
+                            f"({cluster.total_servers} servers)"
+                        )
+                    outcome.rejected_vms.append(vm_id)
+                    continue
+                cxl_gb = 0.0
+                if (
+                    placed_server.is_green
+                    and placed_server.total_cxl_gb > 0
+                    and not full_node
+                ):
+                    app = APP_BY_NAME.get(app_name)
+                    if app is not None:
+                        plan = plan_tiering(
+                            app,
+                            memory_gb,
+                            view.max_memory_fraction,
+                            server_cxl_fraction=(
+                                placed_server.sku.cxl_fraction
+                            ),
+                        )
+                        cxl_gb = min(plan.cxl_gb, placed_server.free_cxl_gb)
+                backend.place(
+                    placed_server, view, cores, memory_gb, cxl_gb=cxl_gb
+                )
+                outcome.placed_vms += 1
+                if placed_server.is_green:
+                    outcome.green_placements += 1
+                active[vm_id] = placed_server
+        take_snapshots_until(end)
+    finally:
+        if tel is not None:
+            deltas = {
+                key: value - counters_before.get(key, 0)
+                for key, value in backend.telemetry_counters().items()
+            }
+            deltas["alloc.replays"] = 1
+            deltas["alloc.columnar_replays"] = 1
+            deltas["alloc.event_chunks"] = n_chunks
+            deltas["alloc.placements"] = outcome.placed_vms
+            deltas["alloc.rejections"] = len(outcome.rejected_vms)
+            deltas["alloc.green_placements"] = outcome.green_placements
+            deltas["alloc.fallback_placements"] = outcome.fallback_placements
+            deltas["alloc.departures"] = n_departures
+            deltas["alloc.snapshots"] = n_snapshots
+            tel.count_many(deltas)
+            tel.record_timer("alloc.replay", time.perf_counter() - t_start)
+    return outcome
+
+
+def _build_backend(
+    engine_name: str,
+    servers: List[Server],
+    scheduler: BestFitScheduler,
+    track_stats: bool,
+):
+    """Instantiate the placement backend for a resolved engine name."""
+    if engine_name == "reference":
+        return _ReferenceBackend(servers, scheduler)
+    if engine_name == "soa":
+        return SoAPlacementEngine(
+            servers, policy=scheduler.policy, track_stats=track_stats
+        )
+    return _IndexedBackend(
+        PlacementEngine(
+            servers, policy=scheduler.policy, track_stats=track_stats
+        )
+    )
+
+
+def replay_columnar(
+    trace: VmTrace,
+    cluster: ClusterSpec,
+    adoption: AdoptionPolicy = adopt_nothing,
+    snapshot_hours: float = 6.0,
+    raise_on_reject: bool = False,
+    scheduler: Optional[BestFitScheduler] = None,
+    engine: Optional[str] = None,
+    chunk_events: int = DEFAULT_CHUNK_EVENTS,
+) -> SimOutcome:
+    """Streaming columnar replay of ``trace`` against ``cluster``.
+
+    The fleet-scale entry point: consumes :class:`ColumnarTrace` arrays
+    directly (including memory-mapped store loads) through the chunked
+    event-stream loop, with any placement engine.  Bit-identical to
+    :func:`simulate` on the same inputs for every engine and chunk size
+    — the equivalence suite pins ``outcome_digest`` across
+    {reference, indexed, soa} × chunk sizes.
+
+    ``chunk_events`` bounds how many merged events are gathered per
+    fancy-index batch (memory ~O(chunk), independent of trace size).
     """
     if snapshot_hours <= 0:
         raise ConfigError("snapshot interval must be > 0")
-    return _replay(
+    engine_name = resolve_engine(engine)
+    scheduler = scheduler or BestFitScheduler()
+    backend = _build_backend(
+        engine_name,
+        cluster.build_servers(),
+        scheduler,
+        _wants_stats(trace, snapshot_hours),
+    )
+    return _replay_events(
         trace,
         cluster,
-        _IndexedBackend(engine),
+        backend,
         adoption,
         snapshot_hours,
         raise_on_reject,
+        chunk_events,
+    )
+
+
+def replay_on_engine(
+    trace: VmTrace,
+    cluster: ClusterSpec,
+    engine,
+    adoption: AdoptionPolicy = adopt_nothing,
+    snapshot_hours: float = 1e9,
+    raise_on_reject: bool = False,
+    chunk_events: Optional[int] = None,
+) -> SimOutcome:
+    """Replay a trace against a caller-prepared placement engine.
+
+    This is the probe-reuse entry point for sizing searches: the caller
+    owns the engine (a :class:`PlacementEngine` or
+    :class:`SoAPlacementEngine`), adjusts its server set between probes,
+    and calls its ``reset`` before each replay.  ``cluster`` only
+    describes the configuration for the outcome record; the servers
+    actually used are the engine's.
+
+    ``chunk_events`` switches the drive loop: ``None`` (default) walks
+    ``VmRequest`` rows; an integer streams the chunked columnar event
+    arrays instead — bit-identical, but never materializing rows.
+    """
+    if snapshot_hours <= 0:
+        raise ConfigError("snapshot interval must be > 0")
+    backend = (
+        _IndexedBackend(engine)
+        if isinstance(engine, PlacementEngine)
+        else engine
+    )
+    if chunk_events is None:
+        return _replay(
+            trace, cluster, backend, adoption, snapshot_hours, raise_on_reject
+        )
+    return _replay_events(
+        trace,
+        cluster,
+        backend,
+        adoption,
+        snapshot_hours,
+        raise_on_reject,
+        chunk_events,
     )
 
 
@@ -592,26 +943,33 @@ def simulate(
         scheduler: Placement heuristic (default: production best-fit);
             pass a first-fit/worst-fit scheduler for ablations.  Both
             backends honor the scheduler's policy.
-        engine: ``"indexed"`` (default) or ``"reference"``; ``None``
-            falls back to the ``REPRO_ALLOC_ENGINE`` environment
-            variable, then the indexed default.  The two backends are
+        engine: ``"indexed"`` (default), ``"reference"``, or ``"soa"``;
+            ``None`` falls back to the ``REPRO_ALLOC_ENGINE`` environment
+            variable, then the indexed default.  All backends are
             bit-identical in outcome; the reference scan exists as the
-            equivalence oracle and for benchmarking.
+            equivalence oracle, the SoA engine rides the streaming
+            columnar replay (:func:`replay_columnar`) for fleet-scale
+            runs.
     """
     if snapshot_hours <= 0:
         raise ConfigError("snapshot interval must be > 0")
     engine_name = resolve_engine(engine)
     scheduler = scheduler or BestFitScheduler()
-    servers = cluster.build_servers()
-    if engine_name == "reference":
-        backend = _ReferenceBackend(servers, scheduler)
-    else:
-        backend = _IndexedBackend(
-            PlacementEngine(
-                servers,
-                policy=scheduler.policy,
-                track_stats=_wants_stats(trace, snapshot_hours),
-            )
+    backend = _build_backend(
+        engine_name,
+        cluster.build_servers(),
+        scheduler,
+        _wants_stats(trace, snapshot_hours),
+    )
+    if engine_name == "soa":
+        return _replay_events(
+            trace,
+            cluster,
+            backend,
+            adoption,
+            snapshot_hours,
+            raise_on_reject,
+            DEFAULT_CHUNK_EVENTS,
         )
     return _replay(
         trace, cluster, backend, adoption, snapshot_hours, raise_on_reject

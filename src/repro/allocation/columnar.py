@@ -18,7 +18,9 @@ function of the row sequence.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, Optional, Sequence, Tuple
+import struct
+import zipfile
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -308,7 +310,91 @@ def save_columns_npz(columns: ColumnarTrace, path) -> None:
         np.savez(handle, **arrays)
 
 
-def load_columns_npz(path) -> ColumnarTrace:
+def _check_column_dtypes(arrays: Dict[str, np.ndarray]) -> None:
+    """Reject entries whose stored array dtypes drifted from the schema.
+
+    ``ColumnarTrace.__init__`` casts to the schema dtypes, so a drifted
+    entry (say ``float32`` cores from a foreign writer) would otherwise
+    be silently re-cast — and an un-castable dtype (structured, object)
+    would raise a bare ``TypeError`` that the store does not treat as
+    corruption.  An explicit ``ConfigError`` here makes both cases
+    quarantine as a corrupt entry instead of crashing or lying.
+    """
+    for name, dtype in COLUMN_DTYPES:
+        stored = arrays[name].dtype
+        if stored != np.dtype(dtype):
+            raise ConfigError(
+                f"trace npz column {name!r} dtype drifted: stored "
+                f"{stored.str!r}, schema wants {np.dtype(dtype).str!r}"
+            )
+
+
+def _npz_member_arrays(path) -> Dict[str, np.ndarray]:
+    """Memory-map every ``.npy`` member of an uncompressed ``.npz``.
+
+    ``np.load(..., mmap_mode=...)`` silently ignores ``mmap_mode`` for
+    zip archives, so this maps members by hand: locate each member's
+    local file header, skip it, read the ``.npy`` header, and map the
+    raw array bytes at their absolute file offset.  Requires
+    ``ZIP_STORED`` members (what ``np.savez`` writes).
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive, open(path, "rb") as handle:
+        for info in archive.infolist():
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise ConfigError(
+                    f"trace npz member {info.filename!r} is compressed; "
+                    "memory-mapped loads need ZIP_STORED entries"
+                )
+            handle.seek(info.header_offset)
+            local = handle.read(30)
+            if len(local) != 30 or local[:4] != b"PK\x03\x04":
+                raise ConfigError(
+                    f"trace npz member {info.filename!r}: bad local header"
+                )
+            name_len, extra_len = struct.unpack("<HH", local[26:30])
+            handle.seek(info.header_offset + 30 + name_len + extra_len)
+            version = np.lib.format.read_magic(handle)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(
+                    handle
+                )
+            elif version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(
+                    handle
+                )
+            else:
+                raise ConfigError(
+                    f"trace npz member {info.filename!r}: unsupported "
+                    f"npy format version {version}"
+                )
+            if dtype.hasobject:
+                raise ConfigError(
+                    f"trace npz member {info.filename!r}: object arrays "
+                    "cannot be memory-mapped"
+                )
+            member = info.filename
+            if member.endswith(".npy"):
+                member = member[: -len(".npy")]
+            if shape == ():
+                # 0-d metadata members (schema tag, digest) are tiny;
+                # read them eagerly rather than mapping a scalar.
+                arrays[member] = np.fromfile(
+                    handle, dtype=dtype, count=1
+                ).reshape(())
+            else:
+                arrays[member] = np.memmap(
+                    path,
+                    dtype=dtype,
+                    mode="r",
+                    offset=handle.tell(),
+                    shape=shape,
+                    order="F" if fortran else "C",
+                )
+    return arrays
+
+
+def load_columns_npz(path, mmap: bool = False) -> ColumnarTrace:
     """Read columns back; raises ``ConfigError`` on schema/content issues.
 
     I/O and zip-level corruption surface as the usual ``OSError`` /
@@ -317,7 +403,32 @@ def load_columns_npz(path) -> ColumnarTrace:
     resilience layer does; older entries lack it and skip the check),
     the columns' recomputed digest must match, so bit rot inside a
     structurally valid ``.npz`` is rejected rather than replayed.
+
+    With ``mmap=True`` the column arrays are memory-mapped straight out
+    of the archive (multi-GB suites stream from disk on demand instead
+    of loading eagerly).  The streaming path keeps the structural checks
+    — schema tag, required members, exact dtypes, row alignment — but
+    skips the content-digest recompute and the full value validation,
+    since both would fault every page in and defeat the point; callers
+    that need bit-rot detection load eagerly.
     """
+    if mmap:
+        arrays = _npz_member_arrays(path)
+        missing = ({"schema", "app_names"} | set(COLUMN_NAMES)) - set(arrays)
+        if missing:
+            raise ConfigError(
+                f"trace npz missing entries: {sorted(missing)}"
+            )
+        schema = str(arrays["schema"])
+        if schema != NPZ_SCHEMA:
+            raise ConfigError(
+                f"trace npz schema {schema!r} != {NPZ_SCHEMA!r}"
+            )
+        _check_column_dtypes(arrays)
+        return ColumnarTrace(
+            app_names=tuple(str(name) for name in arrays["app_names"]),
+            **{name: arrays[name] for name in COLUMN_NAMES},
+        )
     with np.load(path, allow_pickle=False) as data:
         files = set(data.files)
         missing = ({"schema", "app_names"} | set(COLUMN_NAMES)) - files
@@ -333,9 +444,11 @@ def load_columns_npz(path) -> ColumnarTrace:
         expected_digest = (
             str(data["content_digest"]) if "content_digest" in files else None
         )
+        loaded = {name: data[name] for name in COLUMN_NAMES}
+        _check_column_dtypes(loaded)
         columns = ColumnarTrace(
             app_names=tuple(str(name) for name in data["app_names"]),
-            **{name: data[name] for name in COLUMN_NAMES},
+            **loaded,
         )
     columns.validate()
     if expected_digest is not None and columns.digest() != expected_digest:

@@ -1,0 +1,453 @@
+"""Structure-of-arrays placement engine: vectorized queries and snapshots.
+
+The third placement backend (``simulate(..., engine="soa")`` /
+``REPRO_ALLOC_ENGINE=soa``).  Where the reference backend scans Python
+``Server`` objects and the indexed engine maintains bucketed sorted
+structures, this engine keeps the *hot placement state itself* in
+parallel numpy arrays — one slot per server:
+
+- ``free_cores`` / ``free_memory_gb`` — remaining capacity (the only
+  inputs to feasibility and rank keys),
+- ``vm_count`` / ``dedicated`` — the prefer-non-empty rule and the
+  full-node constraint,
+- ``touched_gb`` / ``cxl_used_gb`` — Fig. 10 / Pond bookkeeping,
+
+so every placement query is a handful of vectorized masked reductions
+over contiguous memory instead of a Python-object walk, and every
+snapshot aggregates whole kinds (green/baseline) at once.
+
+Bit-identity contract (held by ``tests/allocation/test_soa.py`` and the
+fleet golden digests): for every trace, cluster, adoption policy, and
+placement policy, this engine places each VM on the *same server* as
+the reference scan and produces byte-identical exact snapshot sums.
+Three properties make that possible:
+
+1. Feasibility uses the same threshold-form float comparison
+   (``free_memory_gb >= memory_gb - MEM_EPS``) on the same float64
+   values; numpy float64 scalar arithmetic is IEEE-754 double, so the
+   array state evolves bit-identically to ``Server``'s attributes.
+2. Rank keys are evaluated as staged exact reductions — e.g. best-fit
+   is "min ``free_cores``, then min ``free_memory_gb``, then min slot
+   id" — which totals the reference comparison ``(is_empty,
+   free_cores - cores, free_memory_gb - memory_gb)`` with its stable
+   min-id tie-break.
+3. Snapshot sums are converted losslessly to the same 2**-1080
+   fixed-point integers as :func:`repro.allocation.index.scaled_int`,
+   via a vectorized ``np.frexp`` mantissa/exponent split (see
+   :func:`scaled_sum`), and bucketed by the identical per-SKU capacity
+   denominators — integer addition is associative, so grouping whole
+   kinds at once matches the reference's per-server accumulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import ConfigError, SimulationError
+from .index import METRICS, SCALE_SHIFT, KindAggregate
+from .scheduler import MEM_EPS, PLACEMENT_POLICIES, Server
+
+#: ``2**53`` as a float; multiplying a ``frexp`` mantissa by it yields
+#: the (exactly representable) 53-bit integer significand.
+_MANTISSA_SCALE = 9007199254740992.0
+
+_LO_MASK = np.int64(0xFFFFFFFF)
+
+
+def scaled_sum(values: np.ndarray) -> int:
+    """Exact ``sum(scaled_int(v) for v in values)`` for float64 values.
+
+    ``scaled_int(v)`` is exactly ``v * 2**1080`` as a Python integer.
+    Splitting each value into its integer significand ``M`` and exponent
+    ``E`` (``v = M * 2**E``) lets whole exponent classes be summed in
+    int64 — the significands are split into 32-bit halves so partial
+    sums cannot overflow — and shifted once per class with Python
+    big-int arithmetic.  Negative shifts (subnormals) are exact too:
+    every significand in such a class carries at least that many
+    trailing zero bits.
+    """
+    if values.size == 0:
+        return 0
+    mantissa, exponent = np.frexp(values)
+    significand = (mantissa * _MANTISSA_SCALE).astype(np.int64)
+    shifts = exponent.astype(np.int64) - 53 + SCALE_SHIFT
+    total = 0
+    for shift in np.unique(shifts):
+        group = significand[shifts == shift]
+        lo = int((group & _LO_MASK).sum())
+        hi = int((group >> np.int64(32)).sum())
+        partial = (hi << 32) + lo
+        shift = int(shift)
+        total += partial << shift if shift >= 0 else partial >> -shift
+    return total
+
+
+class _SoAServer:
+    """Flyweight ``Server`` view over one engine slot.
+
+    Implements the read surface the replay loop touches on a placement
+    result (``is_green``, CXL capacity, emptiness); all state lives in
+    the engine's arrays.
+    """
+
+    __slots__ = ("_engine", "slot", "server_id", "sku", "is_green")
+
+    def __init__(self, engine: "SoAPlacementEngine", slot: int):
+        self._engine = engine
+        self.slot = slot
+        self.server_id = slot
+        self.sku = engine.skus[slot]
+        self.is_green = bool(engine.green_mask[slot])
+
+    @property
+    def total_cores(self) -> int:
+        return int(self._engine.total_cores[self.slot])
+
+    @property
+    def total_memory_gb(self) -> float:
+        return float(self._engine.total_mem[self.slot])
+
+    @property
+    def total_cxl_gb(self) -> float:
+        return float(self._engine.total_cxl[self.slot])
+
+    @property
+    def free_cores(self) -> int:
+        return int(self._engine.free_cores[self.slot])
+
+    @property
+    def free_memory_gb(self) -> float:
+        return float(self._engine.free_mem[self.slot])
+
+    @property
+    def free_cxl_gb(self) -> float:
+        engine = self._engine
+        return float(engine.total_cxl[self.slot] - engine.cxl_used[self.slot])
+
+    @property
+    def is_empty(self) -> bool:
+        return not int(self._engine.vm_count[self.slot])
+
+    @property
+    def vm_count(self) -> int:
+        return int(self._engine.vm_count[self.slot])
+
+    def __repr__(self) -> str:
+        return f"_SoAServer({self.server_id}, {self.sku.name})"
+
+
+class SoAPlacementEngine:
+    """Placement backend holding per-server state in parallel arrays.
+
+    Accepts the same pristine server list ``ClusterSpec.build_servers``
+    produces (ids must be the dense range ``0..n-1`` — they double as
+    slot indices).  The ``Server`` objects are only read for their SKUs;
+    all mutable state lives in the arrays.
+
+    ``track_stats`` is accepted for signature symmetry with
+    :class:`repro.allocation.index.PlacementEngine` but is not needed:
+    snapshot aggregation here is computed on demand (vectorized over the
+    whole kind), so there is no per-placement aggregate maintenance to
+    skip.
+    """
+
+    def __init__(
+        self,
+        servers: Sequence[Server],
+        policy: str = "best-fit",
+        track_stats: bool = True,
+    ) -> None:
+        if policy not in PLACEMENT_POLICIES:
+            raise ConfigError(
+                f"unknown placement policy {policy!r}; "
+                f"known: {PLACEMENT_POLICIES}"
+            )
+        servers = list(servers)
+        if [s.server_id for s in servers] != list(range(len(servers))):
+            raise ConfigError(
+                "SoA engine requires dense sequential server ids "
+                "(as built by ClusterSpec.build_servers)"
+            )
+        if any(not s.is_empty for s in servers):
+            raise ConfigError("SoA engine requires pristine empty servers")
+        self.policy = policy
+        self.track_stats = track_stats
+        n = len(servers)
+        self.n_servers = n
+        self.skus = [s.sku for s in servers]
+        # Static capacity/kind arrays.
+        self.total_cores = np.array(
+            [s.total_cores for s in servers], dtype=np.int64
+        )
+        self.total_mem = np.array(
+            [s.total_memory_gb for s in servers], dtype=np.float64
+        )
+        self.total_cxl = np.array(
+            [s.total_cxl_gb for s in servers], dtype=np.float64
+        )
+        self.green_mask = np.array(
+            [s.is_green for s in servers], dtype=bool
+        )
+        self.base_mask = ~self.green_mask
+        self.green_count = int(np.count_nonzero(self.green_mask))
+        # Mutable SoA state.
+        self.free_cores = self.total_cores.copy()
+        self.free_mem = self.total_mem.copy()
+        self.touched_gb = np.zeros(n, dtype=np.float64)
+        self.cxl_used = np.zeros(n, dtype=np.float64)
+        self.vm_count = np.zeros(n, dtype=np.int64)
+        self.dedicated = np.zeros(n, dtype=bool)
+        # Generation routing mirrors the reference rule: baseline pools
+        # split per generation only when the cluster holds more than one
+        # baseline generation; the server set is fixed, so the routing
+        # decision is static.
+        self.base_by_gen: Dict[int, np.ndarray] = {}
+        for gen in sorted({s.sku.generation for s in servers if not s.is_green}):
+            self.base_by_gen[gen] = self.base_mask & np.array(
+                [s.sku.generation == gen for s in servers], dtype=bool
+            )
+        self._gen_routed = len(self.base_by_gen) > 1
+        # Per-kind, per-denominator slot groups for snapshot aggregation.
+        # Denominators are the exact Python values the reference divides
+        # by (int total cores; float total memory / CXL capacity).
+        self._snap_groups = {
+            True: self._build_groups(self.green_mask, servers),
+            False: self._build_groups(self.base_mask, servers),
+        }
+        self._views: List[Optional[_SoAServer]] = [None] * n
+        self._vms: Dict[int, Tuple[int, int, float, float, float]] = {}
+        self.stat_queries = 0
+        self.stat_places = 0
+        self.stat_removes = 0
+        self.stat_snapshot_merges = 0
+
+    @staticmethod
+    def _build_groups(mask: np.ndarray, servers: Sequence[Server]):
+        """``(core, mem, cxl)`` denominator groups for one server kind."""
+        idx = np.flatnonzero(mask)
+        core_groups: Dict[int, List[int]] = {}
+        mem_groups: Dict[float, List[int]] = {}
+        cxl_groups: Dict[float, List[int]] = {}
+        for slot in idx.tolist():
+            server = servers[slot]
+            core_groups.setdefault(server.total_cores, []).append(slot)
+            mem_groups.setdefault(server.total_memory_gb, []).append(slot)
+            if server.total_cxl_gb:
+                cxl_groups.setdefault(server.total_cxl_gb, []).append(slot)
+        freeze = lambda groups: [  # noqa: E731 — local shaping helper
+            (den, np.array(slots, dtype=np.intp))
+            for den, slots in groups.items()
+        ]
+        return (idx, freeze(core_groups), freeze(mem_groups),
+                freeze(cxl_groups))
+
+    # -- backend protocol ------------------------------------------------------
+
+    def has_green(self) -> bool:
+        """Whether the cluster carries any GreenSKU servers."""
+        return self.green_count > 0
+
+    def _view(self, slot: int) -> _SoAServer:
+        view = self._views[slot]
+        if view is None:
+            view = self._views[slot] = _SoAServer(self, slot)
+        return view
+
+    def _baseline_mask(self, generation: int) -> np.ndarray:
+        if self._gen_routed and generation in self.base_by_gen:
+            return self.base_by_gen[generation]
+        return self.base_mask
+
+    def choose_green(self, vm, cores: int, memory_gb: float):
+        """Pick a GreenSKU server (full-node VMs never qualify)."""
+        if vm.full_node or not self.green_count:
+            if cores <= 0 or memory_gb <= 0:
+                raise ConfigError("placement request must be positive")
+            return None
+        return self._choose(self.green_mask, cores, memory_gb, full_node=False)
+
+    def choose_baseline(self, vm, cores: int, memory_gb: float):
+        """Pick a baseline server, generation-routed like the reference."""
+        return self._choose(
+            self._baseline_mask(vm.generation),
+            cores,
+            memory_gb,
+            full_node=vm.full_node,
+        )
+
+    def _choose(
+        self, mask: np.ndarray, cores: int, memory_gb: float, full_node: bool
+    ):
+        if cores <= 0 or memory_gb <= 0:
+            raise ConfigError("placement request must be positive")
+        self.stat_queries += 1
+        thresh = memory_gb - MEM_EPS
+        fits = (self.free_cores >= cores) & (self.free_mem >= thresh) & mask
+        busy = None if full_node else fits & (self.vm_count > 0) & ~self.dedicated
+        empty = fits & (self.vm_count == 0)
+        policy = self.policy
+        if policy == "best-fit":
+            slot = self._best_of(busy)
+            if slot is None:
+                slot = self._best_of(empty)
+        elif policy == "first-fit":
+            feasible = empty if busy is None else (busy | empty)
+            slot = (
+                int(np.argmax(feasible)) if feasible.any() else None
+            )
+        else:  # worst-fit: most remaining cores, then lowest id.
+            feasible = empty if busy is None else (busy | empty)
+            cand = np.flatnonzero(feasible)
+            if cand.size == 0:
+                slot = None
+            else:
+                fc = self.free_cores[cand]
+                slot = int(cand[np.argmax(fc)]) if cand.size > 1 else int(cand[0])
+        return None if slot is None else self._view(slot)
+
+    def _best_of(self, feasible: Optional[np.ndarray]) -> Optional[int]:
+        """Min ``(free_cores, free_memory_gb, slot)`` over a feasible mask."""
+        if feasible is None:
+            return None
+        cand = np.flatnonzero(feasible)
+        if cand.size == 0:
+            return None
+        if cand.size == 1:
+            return int(cand[0])
+        fc = self.free_cores[cand]
+        cand = cand[fc == fc.min()]
+        if cand.size > 1:
+            fm = self.free_mem[cand]
+            cand = cand[fm == fm.min()]
+        return int(cand[0])
+
+    def place(
+        self, server, vm, cores: int, memory_gb: float, cxl_gb: float = 0.0
+    ) -> None:
+        """Place a VM on a chosen slot, mirroring ``Server.place`` checks."""
+        self.stat_places += 1
+        slot = server.slot
+        vm_id = vm.vm_id
+        if vm_id in self._vms:
+            raise SimulationError(f"VM {vm_id} already on server")
+        if (
+            self.dedicated[slot]
+            or cores > self.free_cores[slot]
+            or not (self.free_mem[slot] >= memory_gb - MEM_EPS)
+        ):
+            raise SimulationError(
+                f"VM {vm_id} does not fit server {slot}"
+            )
+        if cxl_gb < 0 or cxl_gb > memory_gb + 1e-9:
+            raise SimulationError(
+                f"VM {vm_id}: CXL share {cxl_gb} outside [0, {memory_gb}]"
+            )
+        if cxl_gb > (self.total_cxl[slot] - self.cxl_used[slot]) + 1e-9:
+            raise SimulationError(
+                f"VM {vm_id}: CXL pool exhausted on server {slot}"
+            )
+        touched = memory_gb * vm.max_memory_fraction
+        self._vms[vm_id] = (slot, cores, memory_gb, touched, cxl_gb)
+        self.free_cores[slot] -= cores
+        self.free_mem[slot] -= memory_gb
+        self.touched_gb[slot] += touched
+        self.cxl_used[slot] += cxl_gb
+        self.vm_count[slot] += 1
+        if vm.full_node:
+            self.dedicated[slot] = True
+
+    def remove(self, server, vm_id: int) -> None:
+        """Remove a departed VM and release its slot's resources."""
+        self.stat_removes += 1
+        try:
+            slot, cores, memory_gb, touched, cxl_gb = self._vms.pop(vm_id)
+        except KeyError:
+            raise SimulationError(
+                f"VM {vm_id} not on server "
+                f"{getattr(server, 'server_id', server)}"
+            ) from None
+        self.free_cores[slot] += cores
+        self.free_mem[slot] += memory_gb
+        self.touched_gb[slot] -= touched
+        self.cxl_used[slot] -= cxl_gb
+        self.vm_count[slot] -= 1
+        if not self.vm_count[slot]:
+            self.dedicated[slot] = False
+
+    def reset(self) -> None:
+        """Restore pristine empty state (probe-reuse entry point)."""
+        self.free_cores[:] = self.total_cores
+        self.free_mem[:] = self.total_mem
+        self.touched_gb[:] = 0.0
+        self.cxl_used[:] = 0.0
+        self.vm_count[:] = 0
+        self.dedicated[:] = False
+        self._vms.clear()
+
+    # -- snapshot aggregation --------------------------------------------------
+
+    def _aggregate(self, green: bool) -> KindAggregate:
+        """Vectorized exact snapshot sums for one server kind.
+
+        Only occupied slots contribute — the reference walk skips empty
+        servers, and place/remove cycles can leave float dust in a
+        now-empty server's ``free_mem``/``touched_gb``, so summing whole
+        groups unmasked would pick up residue the reference never sees.
+        """
+        idx, core_groups, mem_groups, cxl_groups = self._snap_groups[green]
+        agg = KindAggregate()
+        occupied = self.vm_count > 0
+        agg.count = int(np.count_nonzero(occupied[idx]))
+        if not agg.count:
+            return agg
+        sums = agg.sums
+        core_bucket = sums["core"]
+        for den, slots in core_groups:
+            slots = slots[occupied[slots]]
+            # Integer metric: scaled_int(v) == v << SCALE_SHIFT, so the
+            # whole group shifts once.
+            allocated = int(
+                (self.total_cores[slots] - self.free_cores[slots]).sum()
+            )
+            if allocated:
+                core_bucket[den] = allocated << SCALE_SHIFT
+        mem_bucket, touched_bucket = sums["mem"], sums["touched"]
+        for den, slots in mem_groups:
+            slots = slots[occupied[slots]]
+            allocated = scaled_sum(self.total_mem[slots] - self.free_mem[slots])
+            if allocated:
+                mem_bucket[den] = allocated
+            touched = scaled_sum(self.touched_gb[slots])
+            if touched:
+                touched_bucket[den] = touched
+        cxl_bucket = sums["cxl"]
+        for den, slots in cxl_groups:
+            slots = slots[occupied[slots]]
+            used = scaled_sum(self.cxl_used[slots])
+            if used:
+                cxl_bucket[den] = used
+        return agg
+
+    def merge_stats(self, green_stats, baseline_stats) -> None:
+        """Fold current vectorized aggregates into per-outcome stats."""
+        self.stat_snapshot_merges += 1
+        green_stats.merge_aggregate(self._aggregate(True))
+        baseline_stats.merge_aggregate(self._aggregate(False))
+
+    def snapshot(self, outcome) -> None:
+        """Accumulate one packing-density snapshot into ``outcome``."""
+        self.merge_stats(outcome.green_stats, outcome.baseline_stats)
+
+    def telemetry_counters(self) -> Dict[str, int]:
+        """Cumulative work counters (the replay loop folds deltas)."""
+        return {
+            "engine.queries": self.stat_queries,
+            "engine.places": self.stat_places,
+            "engine.removes": self.stat_removes,
+            "engine.snapshot_merges": self.stat_snapshot_merges,
+        }
+
+
+__all__ = ["SoAPlacementEngine", "scaled_sum"]

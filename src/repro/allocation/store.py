@@ -106,24 +106,36 @@ class TraceStore:
         self.quarantined += 1
         telemetry.count("trace.store_quarantined")
 
-    def get(self, seed: int, params: object, name: str):
+    def get(
+        self, seed: int, params: object, name: str, mmap: bool = False
+    ):
         """The stored trace, or ``None`` on a miss (absent or corrupt).
 
         Imports lazily to avoid a module cycle with ``traces``.
         """
         from .traces import VmTrace
 
-        columns = self.get_columns(seed, params)
+        columns = self.get_columns(seed, params, mmap=mmap)
         if columns is None:
             return None
         return VmTrace(name=name, params=params, columns=columns)
 
-    def get_columns(self, seed: int, params: object) -> Optional[ColumnarTrace]:
-        """The stored columns, or ``None``; corrupt entries quarantine."""
+    def get_columns(
+        self, seed: int, params: object, mmap: bool = False
+    ) -> Optional[ColumnarTrace]:
+        """The stored columns, or ``None``; corrupt entries quarantine.
+
+        ``mmap=True`` memory-maps the column arrays out of the ``.npz``
+        (multi-GB suites stream from disk instead of loading eagerly);
+        see :func:`load_columns_npz` for the checks each path runs.
+        Telemetry distinguishes the paths: every hit ticks
+        ``trace.store_hits`` plus either ``trace.store_hits_mmap`` or
+        ``trace.store_hits_eager``.
+        """
         path = self.path(seed, params)
         if path.exists():
             try:
-                columns = load_columns_npz(path)
+                columns = load_columns_npz(path, mmap=mmap)
             except _CORRUPT_ENTRY_ERRORS:
                 # Unusable entry: quarantine the evidence, report a
                 # miss, let regeneration write a fresh entry.
@@ -131,6 +143,11 @@ class TraceStore:
             else:
                 self.hits += 1
                 telemetry.count("trace.store_hits")
+                telemetry.count(
+                    "trace.store_hits_mmap"
+                    if mmap
+                    else "trace.store_hits_eager"
+                )
                 return columns
         self.misses += 1
         telemetry.count("trace.store_misses")

@@ -22,7 +22,10 @@ counters, timers, and phase spans (see ``docs/observability.md``);
 ``--queueing {vectorized,reference}`` selects the queueing grid
 dispatch backend for sim-mode experiments (default: the
 ``REPRO_QUEUEING`` env var, else the vectorized path; ``reference`` is
-the scalar oracle, bit-identical but slower).
+the scalar oracle, bit-identical but slower);
+``--alloc-engine {indexed,reference,soa}`` selects the placement
+backend for allocation replays (default: the ``REPRO_ALLOC_ENGINE``
+env var, else indexed; all backends are bit-identical in outcome).
 
 Resilience flags (see ``docs/resilience.md``): ``--resume`` checkpoints
 every completed suite task to an on-disk journal and loads completed
@@ -40,9 +43,11 @@ deterministic worker kills and latency for testing the layer itself.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
+from .allocation.cluster import ENGINE_ENV, ENGINES
 from .allocation.io import save_trace
 from .allocation.traces import (
     TraceParams,
@@ -283,6 +288,14 @@ def build_parser() -> argparse.ArgumentParser:
              "REPRO_QUEUEING env var, else vectorized)",
     )
     parser.add_argument(
+        "--alloc-engine", default=None, choices=ENGINES,
+        help="placement backend for allocation replays: 'indexed' "
+             "(default), the scalar 'reference' oracle, or the "
+             "fleet-scale 'soa' arrays (default: the "
+             "REPRO_ALLOC_ENGINE env var, else indexed; all backends "
+             "are bit-identical in outcome)",
+    )
+    parser.add_argument(
         "--resume", action="store_true",
         help="checkpoint completed suite tasks to the on-disk journal "
              "and resume from it (bit-identical to an uninterrupted run)",
@@ -473,10 +486,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    saved_engine = os.environ.get(ENGINE_ENV)
     try:
         runner.set_default_jobs(args.jobs)
         runner.set_cache_enabled(args.cache)
         queueing.set_default_backend(args.queueing)
+        if args.alloc_engine is not None:
+            # The engine resolution order is argument > env > default;
+            # experiments call simulate() without an engine argument, so
+            # the env var is the process-wide selection point (and it
+            # inherits into the worker processes a fleet fan-out spawns).
+            os.environ[ENGINE_ENV] = args.alloc_engine
         resilience.set_active_policy(_build_policy(args))
         return _run_command(
             args, list(sys.argv[1:] if argv is None else argv)
@@ -488,6 +508,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         runner.set_default_jobs(None)
         runner.set_cache_enabled(None)
         queueing.set_default_backend(None)
+        if saved_engine is None:
+            os.environ.pop(ENGINE_ENV, None)
+        else:
+            os.environ[ENGINE_ENV] = saved_engine
         resilience.set_active_policy(None)
 
 

@@ -446,6 +446,14 @@ _DISPATCH_BLOCK = 512
 #: Grid-point tile for the block transposes inside the dispatch loop.
 _DISPATCH_TILE = 128
 
+#: Widest core count the bubble-pool dispatch handles: its per-request
+#: bubble pass costs ``cores.max() - 1`` row operations over *every*
+#: point in the batch, so one wide SKU would tax the whole grid
+#: linearly.  Points above the limit fall back to the scalar oracle
+#: (bit-identical by contract) and tick
+#: ``queueing.wide_core_fallback``.
+WIDE_CORE_LIMIT = 16
+
 
 def _dispatch_batch(
     arrivals_t: np.ndarray,
@@ -521,6 +529,84 @@ def _dispatch_batch(
     return measured
 
 
+def _scalar_rows(qps, cores_a, svc, cv_a, seed_a, requests, warmup, levels):
+    """Per-point oracle evaluation of a (sub)grid; returns result arrays."""
+    rows = [
+        simulate_fcfs(
+            float(qps[b]),
+            int(cores_a[b]),
+            float(svc[b]),
+            cv=float(cv_a[b]),
+            requests=requests,
+            warmup=warmup,
+            seed=int(seed_a[b]),
+            quantiles=levels,
+        )
+        for b in range(qps.size)
+    ]
+    return (
+        np.array([r.p50_ms for r in rows]),
+        np.array([r.p95_ms for r in rows]),
+        np.array([r.p99_ms for r in rows]),
+        np.array([r.mean_ms for r in rows]),
+        np.array([r.utilization for r in rows]),
+        np.array([r.quantiles_ms for r in rows])
+        if levels is not None
+        else None,
+    )
+
+
+def _vectorized_rows(
+    qps, cores_a, svc, cv_a, seed_a, requests, warmup, levels
+):
+    """Batched evaluation of a (sub)grid; returns result arrays.
+
+    Streams land as contiguous rows of the transposed matrices (a
+    strided per-column write would miss the cache on every element);
+    the fused dispatch transposes request blocks on the fly and hands
+    back each point's measured window as a contiguous row.
+    """
+    points = qps.size
+    total = requests + warmup
+    arrivals_t = np.empty((points, total))
+    services_t = np.empty((points, total))
+    inter_scratch = np.empty(total)
+    for b in range(points):
+        _request_stream(
+            int(seed_a[b]), float(qps[b]), float(svc[b]),
+            float(cv_a[b]), total,
+            arrivals_out=arrivals_t[b],
+            services_out=services_t[b],
+            inter_scratch=inter_scratch,
+        )
+    measured = _dispatch_batch(arrivals_t, services_t, cores_a, warmup)
+    del arrivals_t, services_t
+    # Axis reductions along the contiguous rows use the same
+    # partition/pairwise-sum arithmetic as the scalar path's 1-D
+    # calls (bit-identical).  The mean must come first — it is
+    # order-sensitive (pairwise summation) and ``overwrite_input``
+    # lets the percentiles partition the buffer in place
+    # (order-insensitive: selection sees the same multiset).
+    mean = measured.mean(axis=1)
+    p50, p95, p99 = np.percentile(
+        measured, [50, 95, 99], axis=1, overwrite_input=True
+    )
+    extras = (
+        np.percentile(
+            measured,
+            [100.0 * q for q in levels],
+            axis=1,
+            overwrite_input=True,
+        ).T.copy()
+        if levels
+        else None
+    )
+    # Same per-element expression and op order as the scalar path's
+    # utilization, so the values are bit-identical.
+    util = qps * (svc / 1000.0) / cores_a
+    return p50, p95, p99, mean, util, extras
+
+
 def simulate_fcfs_batch(
     offered_qps,
     cores,
@@ -560,79 +646,79 @@ def simulate_fcfs_batch(
     if tel is not None:
         t_start = time.perf_counter()
 
+    wide_points = 0
     if backend == "reference":
-        rows = [
-            simulate_fcfs(
-                float(qps[b]),
-                int(cores_a[b]),
-                float(svc[b]),
-                cv=float(cv_a[b]),
-                requests=requests,
-                warmup=warmup,
-                seed=int(seed_a[b]),
-                quantiles=levels,
-            )
-            for b in range(points)
-        ]
-        p50 = np.array([r.p50_ms for r in rows])
-        p95 = np.array([r.p95_ms for r in rows])
-        p99 = np.array([r.p99_ms for r in rows])
-        mean = np.array([r.mean_ms for r in rows])
-        util = np.array([r.utilization for r in rows])
-        extras = (
-            np.array([r.quantiles_ms for r in rows])
-            if levels is not None
-            else None
+        p50, p95, p99, mean, util, extras = _scalar_rows(
+            qps, cores_a, svc, cv_a, seed_a, requests, warmup, levels
         )
     else:
-        # Streams land as contiguous rows of the transposed matrices (a
-        # strided per-column write would miss the cache on every
-        # element); the fused dispatch transposes request blocks on the
-        # fly and hands back each point's measured window as a
-        # contiguous row.
-        arrivals_t = np.empty((points, total))
-        services_t = np.empty((points, total))
-        inter_scratch = np.empty(total)
-        for b in range(points):
-            _request_stream(
-                int(seed_a[b]), float(qps[b]), float(svc[b]),
-                float(cv_a[b]), total,
-                arrivals_out=arrivals_t[b],
-                services_out=services_t[b],
-                inter_scratch=inter_scratch,
+        wide = cores_a > WIDE_CORE_LIMIT
+        wide_points = int(np.count_nonzero(wide))
+        if wide_points:
+            # Wide SKUs would make every point's dispatch pay the
+            # widest pool's bubble pass; route them to the scalar
+            # oracle (bit-identical by contract) and batch the rest.
+            narrow_idx = np.flatnonzero(~wide)
+            wide_idx = np.flatnonzero(wide)
+            parts = [
+                (
+                    wide_idx,
+                    _scalar_rows(
+                        qps[wide_idx],
+                        cores_a[wide_idx],
+                        svc[wide_idx],
+                        cv_a[wide_idx],
+                        seed_a[wide_idx],
+                        requests,
+                        warmup,
+                        levels,
+                    ),
+                )
+            ]
+            if narrow_idx.size:
+                parts.append(
+                    (
+                        narrow_idx,
+                        _vectorized_rows(
+                            qps[narrow_idx],
+                            cores_a[narrow_idx],
+                            svc[narrow_idx],
+                            cv_a[narrow_idx],
+                            seed_a[narrow_idx],
+                            requests,
+                            warmup,
+                            levels,
+                        ),
+                    )
+                )
+            p50, p95, p99, mean, util = (
+                np.empty(points) for _ in range(5)
             )
-        measured = _dispatch_batch(arrivals_t, services_t, cores_a, warmup)
-        del arrivals_t, services_t
-        # Axis reductions along the contiguous rows use the same
-        # partition/pairwise-sum arithmetic as the scalar path's 1-D
-        # calls (bit-identical).  The mean must come first — it is
-        # order-sensitive (pairwise summation) and ``overwrite_input``
-        # lets the percentiles partition the buffer in place
-        # (order-insensitive: selection sees the same multiset).
-        mean = measured.mean(axis=1)
-        p50, p95, p99 = np.percentile(
-            measured, [50, 95, 99], axis=1, overwrite_input=True
-        )
-        extras = (
-            np.percentile(
-                measured,
-                [100.0 * q for q in levels],
-                axis=1,
-                overwrite_input=True,
-            ).T.copy()
-            if levels
-            else None
-        )
-        # Same per-element expression and op order as the scalar path's
-        # utilization, so the values are bit-identical.
-        util = qps * (svc / 1000.0) / cores_a
+            extras = (
+                np.empty((points, len(levels))) if levels else None
+            )
+            for idx, part in parts:
+                for full, sub in zip(
+                    (p50, p95, p99, mean, util, extras), part
+                ):
+                    if full is not None:
+                        full[idx] = sub
+        else:
+            p50, p95, p99, mean, util, extras = _vectorized_rows(
+                qps, cores_a, svc, cv_a, seed_a, requests, warmup, levels
+            )
 
     if tel is not None:
         counts = {"queueing.batches": 1, "queueing.grid_points": points}
         if backend != "reference":
-            # The reference path already counted per-run in simulate_fcfs.
-            counts["queueing.runs"] = points
-            counts["queueing.events_simulated"] = points * total
+            # Scalar-routed points (the reference backend, and wide
+            # fallbacks) already counted per-run in simulate_fcfs.
+            counts["queueing.runs"] = points - wide_points
+            counts["queueing.events_simulated"] = (
+                (points - wide_points) * total
+            )
+            if wide_points:
+                counts["queueing.wide_core_fallback"] = wide_points
         tel.count_many(counts)
         tel.record_timer(
             "queueing.simulate_fcfs_batch", time.perf_counter() - t_start

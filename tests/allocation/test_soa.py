@@ -1,0 +1,185 @@
+"""SoA placement engine: exact sums, rule parity, engine selection."""
+
+import numpy as np
+import pytest
+
+from repro.allocation.cluster import (
+    ClusterSpec,
+    ENGINES,
+    adopt_everything,
+    adopt_nothing,
+    outcome_digest,
+    replay_on_engine,
+    resolve_engine,
+    simulate,
+)
+from repro.allocation.index import SCALE_SHIFT, scaled_int
+from repro.allocation.scheduler import Server
+from repro.allocation.soa import SoAPlacementEngine, scaled_sum
+from repro.allocation.traces import TraceParams, generate_trace
+from repro.allocation.vm import VmRequest
+from repro.core.errors import ConfigError, SimulationError
+from repro.hardware.sku import baseline_gen2, baseline_gen3, greensku_full
+
+PARAMS = TraceParams(duration_days=2.0, mean_concurrent_vms=120)
+
+
+def _cluster():
+    return ClusterSpec.of(
+        (baseline_gen3(), 10), (baseline_gen2(), 6), (greensku_full(), 6)
+    )
+
+
+def _vm(vm_id, cores=2, memory_gb=8.0, **kw):
+    return VmRequest(
+        vm_id=vm_id,
+        arrival_hours=0.0,
+        lifetime_hours=1.0,
+        cores=cores,
+        memory_gb=memory_gb,
+        generation=3,
+        app_name="Web",
+        **kw,
+    )
+
+
+class TestScaledSum:
+    def test_matches_scalar_oracle(self):
+        """Vectorized conversion equals per-element scaled_int sums."""
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            values = rng.uniform(0.0, 512.0, size=rng.integers(1, 40))
+            # Sprinkle exact zeros and subnormal-scale float dust.
+            values[rng.random(values.size) < 0.2] = 0.0
+            values[0] *= 1e-300
+            expected = sum(scaled_int(float(v)) for v in values)
+            assert scaled_sum(values) == expected
+
+    def test_empty_and_zero(self):
+        assert scaled_sum(np.array([])) == 0
+        assert scaled_sum(np.zeros(5)) == 0
+
+    def test_integer_values_shift_exactly(self):
+        assert scaled_sum(np.array([3.0])) == 3 << SCALE_SHIFT
+
+
+class TestConstruction:
+    def test_requires_dense_ids(self):
+        servers = [Server(5, baseline_gen3())]
+        with pytest.raises(ConfigError, match="dense sequential"):
+            SoAPlacementEngine(servers)
+
+    def test_requires_pristine_servers(self):
+        server = Server(0, baseline_gen3())
+        vm = _vm(1)
+        server.place(vm, vm.cores, vm.memory_gb)
+        with pytest.raises(ConfigError, match="pristine"):
+            SoAPlacementEngine([server])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError, match="unknown placement policy"):
+            SoAPlacementEngine(_cluster().build_servers(), policy="random")
+
+    def test_engine_registered(self):
+        assert "soa" in ENGINES
+        assert resolve_engine("soa") == "soa"
+
+
+class TestPlacementRules:
+    def test_duplicate_vm_rejected(self):
+        engine = SoAPlacementEngine(_cluster().build_servers())
+        vm = _vm(1)
+        server = engine.choose_baseline(vm, vm.cores, vm.memory_gb)
+        engine.place(server, vm, vm.cores, vm.memory_gb)
+        with pytest.raises(SimulationError, match="already on server"):
+            engine.place(server, vm, vm.cores, vm.memory_gb)
+
+    def test_overfull_placement_rejected(self):
+        engine = SoAPlacementEngine(_cluster().build_servers())
+        vm = _vm(1, cores=10_000)
+        with pytest.raises(SimulationError, match="does not fit"):
+            engine.place(engine._view(0), vm, vm.cores, vm.memory_gb)
+
+    def test_remove_unknown_vm_rejected(self):
+        engine = SoAPlacementEngine(_cluster().build_servers())
+        with pytest.raises(SimulationError, match="not on server"):
+            engine.remove(engine._view(0), 42)
+
+    def test_nonpositive_request_rejected(self):
+        engine = SoAPlacementEngine(_cluster().build_servers())
+        with pytest.raises(ConfigError, match="positive"):
+            engine.choose_baseline(_vm(1), 0, 8.0)
+
+    def test_full_node_never_green(self):
+        engine = SoAPlacementEngine(_cluster().build_servers())
+        vm = _vm(1, full_node=True)
+        assert engine.choose_green(vm, vm.cores, vm.memory_gb) is None
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("policy", ["best-fit", "first-fit", "worst-fit"])
+    @pytest.mark.parametrize(
+        "adoption", [adopt_everything, adopt_nothing]
+    )
+    def test_bit_identical_to_reference(self, policy, adoption):
+        from repro.allocation.scheduler import BestFitScheduler
+
+        trace = generate_trace(3, PARAMS)
+        kwargs = dict(
+            adoption=adoption,
+            snapshot_hours=5.0,
+            scheduler=BestFitScheduler(policy),
+        )
+        digests = {
+            engine: outcome_digest(
+                simulate(trace, _cluster(), engine=engine, **kwargs)
+            )
+            for engine in ENGINES
+        }
+        assert len(set(digests.values())) == 1, digests
+
+    def test_reset_reproduces_exactly(self):
+        trace = generate_trace(4, PARAMS)
+        engine = SoAPlacementEngine(_cluster().build_servers())
+        first = replay_on_engine(
+            trace, _cluster(), engine, adopt_everything, chunk_events=64
+        )
+        engine.reset()
+        again = replay_on_engine(
+            trace, _cluster(), engine, adopt_everything, chunk_events=64
+        )
+        assert outcome_digest(first) == outcome_digest(again)
+
+    def test_empty_server_dust_excluded_from_snapshots(self):
+        """Place/remove cycles must not leak float dust into snapshots.
+
+        Repeated add/subtract of unlike floats leaves tiny nonzero
+        residue on a now-empty server; the reference snapshot walk skips
+        empty servers, so the SoA aggregate must mask them too.
+        """
+        engine = SoAPlacementEngine(_cluster().build_servers())
+        vm_id = 0
+        for round_ in range(8):
+            placed = []
+            for k in range(3):
+                vm = _vm(vm_id, cores=1, memory_gb=0.1 + 0.7 * k + round_)
+                server = engine.choose_baseline(vm, vm.cores, vm.memory_gb)
+                engine.place(server, vm, vm.cores, vm.memory_gb)
+                placed.append((server, vm.vm_id))
+                vm_id += 1
+            for server, placed_id in placed:
+                engine.remove(server, placed_id)
+        aggregate = engine._aggregate(green=False)
+        assert aggregate.count == 0
+        assert all(not bucket for bucket in aggregate.sums.values())
+
+    def test_telemetry_counters(self):
+        engine = SoAPlacementEngine(_cluster().build_servers())
+        vm = _vm(1)
+        server = engine.choose_baseline(vm, vm.cores, vm.memory_gb)
+        engine.place(server, vm, vm.cores, vm.memory_gb)
+        engine.remove(server, vm.vm_id)
+        counters = engine.telemetry_counters()
+        assert counters["engine.queries"] == 1
+        assert counters["engine.places"] == 1
+        assert counters["engine.removes"] == 1

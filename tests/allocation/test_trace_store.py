@@ -258,6 +258,75 @@ class TestCorruptionQuarantine:
         ]
 
 
+class TestMmapStreaming:
+    """mmap=True streams columns off disk instead of eager-copying."""
+
+    def test_mmap_load_equals_eager(self, tmp_path):
+        trace = generate_trace(seed=5, params=PARAMS)
+        path = tmp_path / "t.npz"
+        save_columns_npz(trace.columns, path)
+        streamed = load_columns_npz(path, mmap=True)
+        assert streamed == trace.columns
+        assert streamed.digest() == trace.digest()
+        # The hot numeric columns really are memory-mapped views, not
+        # copies (ascontiguousarray drops the subclass but keeps the
+        # buffer).
+        assert isinstance(streamed.arrival_hours.base, np.memmap)
+        assert isinstance(streamed.cores.base, np.memmap)
+        assert not streamed.arrival_hours.flags.owndata
+
+    def test_store_counts_hit_kinds(self, store):
+        trace = generate_trace(seed=5, params=PARAMS)
+        store.put(5, PARAMS, trace.columns)
+        with telemetry.capture() as tel:
+            eager = store.get(5, PARAMS, "t")
+            streamed = store.get(5, PARAMS, "t", mmap=True)
+        assert eager is not None and streamed is not None
+        assert streamed.digest() == eager.digest()
+        assert tel.counters["trace.store_hits"] == 2
+        assert tel.counters["trace.store_hits_eager"] == 1
+        assert tel.counters["trace.store_hits_mmap"] == 1
+
+    def test_mmap_corruption_still_quarantined(self, store):
+        trace = generate_trace(seed=5, params=PARAMS)
+        path = store.put(5, PARAMS, trace.columns)
+        corrupt_file(path, mode="truncate")
+        with telemetry.capture() as tel:
+            assert store.get(5, PARAMS, "t", mmap=True) is None
+        assert tel.counters["trace.store_quarantined"] == 1
+        assert not path.exists()
+
+
+class TestDtypeDriftQuarantine:
+    """Entries whose column dtypes drifted from the schema are rejected
+    in both load paths (never silently cast) and quarantined by the
+    store."""
+
+    def _drifted_entry(self, store):
+        trace = generate_trace(seed=5, params=PARAMS)
+        path = store.put(5, PARAMS, trace.columns)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {name: data[name] for name in data.files}
+        arrays["cores"] = arrays["cores"].astype(np.int32)
+        np.savez(path, **arrays)
+        return path
+
+    @pytest.mark.parametrize("mmap", [False, True])
+    def test_load_rejects_drifted_dtype(self, store, mmap):
+        path = self._drifted_entry(store)
+        with pytest.raises(ConfigError, match="dtype drifted"):
+            load_columns_npz(path, mmap=mmap)
+
+    @pytest.mark.parametrize("mmap", [False, True])
+    def test_store_quarantines_drifted_entry(self, store, mmap):
+        path = self._drifted_entry(store)
+        with telemetry.capture() as tel:
+            assert store.get(5, PARAMS, "t", mmap=mmap) is None
+        assert tel.counters["trace.store_quarantined"] == 1
+        assert not path.exists()
+        assert store.quarantine_dir.exists()
+
+
 class TestStoreEnabled:
     def test_env_overrides(self, monkeypatch):
         monkeypatch.setenv(STORE_ENV, "1")

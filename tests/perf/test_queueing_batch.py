@@ -113,6 +113,74 @@ class TestBitIdentity:
         assert alone.result(0) == crowd.result(0)
 
 
+class TestWideCoreGuard:
+    """Points beyond WIDE_CORE_LIMIT cores route to the scalar oracle.
+
+    The vectorized dispatcher's bubble pass costs ``cores.max() - 1``
+    row operations per request over *every* point, so one 128-core point
+    would tax the whole batch; wide points fall back per-point instead.
+    """
+
+    def _mixed_batch(self):
+        service_ms = get_app("Xapian").service_ms_on("gen3")
+        cores = np.array([2, 32, 8, 24, 4])
+        qps = 0.6 * np.array(
+            [saturation_qps(int(c), service_ms) for c in cores]
+        )
+        return qps, cores, service_ms
+
+    def test_limit_value(self):
+        from repro.perf.queueing import WIDE_CORE_LIMIT
+
+        assert WIDE_CORE_LIMIT == 16
+
+    def test_mixed_batch_bit_identical(self):
+        qps, cores, service_ms = self._mixed_batch()
+        grid = simulate_fcfs_batch(
+            qps, cores, service_ms, seeds=np.arange(5),
+            requests=2000, warmup=200, method="vectorized",
+        )
+        for i in range(5):
+            assert grid.result(i) == simulate_fcfs(
+                float(qps[i]), int(cores[i]), service_ms,
+                requests=2000, warmup=200, seed=i,
+            )
+
+    def test_fallback_counted(self):
+        qps, cores, service_ms = self._mixed_batch()
+        with telemetry.capture() as tel:
+            simulate_fcfs_batch(
+                qps, cores, service_ms, seeds=np.arange(5),
+                requests=2000, warmup=200, method="vectorized",
+            )
+        assert tel.counters["queueing.wide_core_fallback"] == 2
+        # runs covers every point exactly once: 3 vectorized + 2 scalar.
+        assert tel.counters["queueing.runs"] == 5
+        assert tel.counters["queueing.events_simulated"] == 5 * 2200
+
+    def test_all_wide_batch(self):
+        service_ms = get_app("Nginx").service_ms_on("gen3")
+        qps = 0.5 * saturation_qps(32, service_ms)
+        with telemetry.capture() as tel:
+            grid = simulate_fcfs_batch(
+                [qps, qps], 32, service_ms, seeds=[0, 1],
+                requests=1500, warmup=100, method="vectorized",
+            )
+        assert tel.counters["queueing.wide_core_fallback"] == 2
+        for i in range(2):
+            assert grid.result(i) == simulate_fcfs(
+                qps, 32, service_ms, requests=1500, warmup=100, seed=i
+            )
+
+    def test_narrow_batch_never_falls_back(self):
+        with telemetry.capture() as tel:
+            simulate_fcfs_batch(
+                [500.0, 900.0], [2, 16], 2.0, requests=1000, warmup=100,
+                method="vectorized",
+            )
+        assert "queueing.wide_core_fallback" not in tel.counters
+
+
 class TestSimGrid:
     def test_results_roundtrip(self):
         grid = simulate_fcfs_batch(
