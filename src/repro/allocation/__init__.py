@@ -16,6 +16,15 @@ from .cluster import (
 )
 from .fleet import ClusterTask, FleetOutcome, FleetSpec, simulate_fleet
 from .index import PlacementEngine
+from .ingest import (
+    AzureIngestKey,
+    IngestReport,
+    azure_trace_suite,
+    bundled_sample_path,
+    ingest_azure_vm_trace,
+    resolve_trace_backend,
+    trace_suite,
+)
 from .io import load_trace, save_trace, trace_from_csv, trace_to_csv
 from .lifetimes import (
     LifetimePredictor,
@@ -70,5 +79,12 @@ __all__ = [
     "VmTrace",
     "generate_trace",
     "production_trace_suite",
+    "AzureIngestKey",
+    "IngestReport",
+    "azure_trace_suite",
+    "bundled_sample_path",
+    "ingest_azure_vm_trace",
+    "resolve_trace_backend",
+    "trace_suite",
     "VmRequest",
 ]

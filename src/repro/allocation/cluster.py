@@ -466,8 +466,13 @@ def _replay(
     n_snapshots = 0
 
     # Departures as a heap of (time, vm_id, server); arrivals in order.
+    # The snapshot grid anchors at the window start (first arrival), so
+    # traces that begin mid-day observe the same grid as their rebased
+    # twins instead of burning phantom empty snapshots from t=0.
     departures: List[Tuple[float, int, Server]] = []
-    next_snapshot = snapshot_hours
+    rows = trace.vms
+    start = rows[0].arrival_hours if rows else 0.0
+    next_snapshot = start + snapshot_hours
 
     def take_snapshots_until(now: float) -> None:
         nonlocal next_snapshot, n_snapshots
@@ -542,7 +547,7 @@ def _replay(
 
         # Drain remaining departures within the trace window for final
         # snapshots.
-        end = trace.duration_hours
+        end = start + trace.duration_hours
         while departures and departures[0][0] <= end:
             dep_time, vm_id, server = heapq.heappop(departures)
             take_snapshots_until(dep_time)
@@ -663,9 +668,10 @@ def _replay_events(
     n_snapshots = 0
     n_chunks = 0
 
-    end = trace.duration_hours
+    start = columns.start_hours()
+    end = start + trace.duration_hours
     ev_times, ev_kinds, ev_rows = _merged_events(columns, end)
-    next_snapshot = snapshot_hours
+    next_snapshot = start + snapshot_hours
 
     def take_snapshots_until(now: float) -> None:
         nonlocal next_snapshot, n_snapshots
@@ -914,9 +920,15 @@ def _wants_stats(trace: VmTrace, snapshot_hours: float) -> bool:
     Snapshots trigger at event times, which are bounded by the trace
     window end and the last arrival; sizing probes pass a sentinel
     interval (1e9 h) beyond both, letting the indexed engine skip
-    aggregate maintenance entirely in the hot path.
+    aggregate maintenance entirely in the hot path.  The grid anchors at
+    the window start, so the horizon is measured relative to it (a
+    mid-day-starting real trace has the same horizon as its rebased
+    twin).
     """
-    horizon = max(trace.duration_hours, trace.last_arrival_hours)
+    start = trace.start_hours
+    horizon = max(
+        trace.duration_hours, trace.last_arrival_hours - start
+    )
     return snapshot_hours <= horizon
 
 

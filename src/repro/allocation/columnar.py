@@ -217,6 +217,14 @@ class ColumnarTrace:
     def last_arrival_hours(self) -> float:
         return float(self.arrival_hours.max()) if self.n else 0.0
 
+    def start_hours(self) -> float:
+        """The earliest VM arrival (0.0 for an empty trace).
+
+        Real ingested traces rarely start at t=0 — the trace window is
+        ``[start_hours, start_hours + duration]``, not ``[0, duration]``.
+        """
+        return float(self.arrival_hours.min()) if self.n else 0.0
+
     # -- identity --------------------------------------------------------------
 
     def digest(self) -> str:

@@ -65,8 +65,11 @@ def trace_from_csv(
     Args:
         text: CSV content with the :data:`COLUMNS` header.
         name: Name for the loaded trace.
-        duration_days: Trace window; 0 infers it from the last arrival
-            (rounded up to a whole day).
+        duration_days: Trace window *length*; 0 infers it from the
+            arrival span — last arrival minus first arrival, rounded up
+            to a whole day — so traces that start mid-day (real
+            captures) get a window covering their activity rather than
+            one measured from the epoch.
     """
     reader = csv.DictReader(io.StringIO(text))
     if reader.fieldnames is None or set(COLUMNS) - set(reader.fieldnames):
@@ -94,8 +97,9 @@ def trace_from_csv(
             ) from exc
     vms.sort(key=lambda vm: vm.arrival_hours)
     if duration_days <= 0:
+        first = min((vm.arrival_hours for vm in vms), default=0.0)
         last = max((vm.arrival_hours for vm in vms), default=0.0)
-        duration_days = max(1.0, math.ceil(last / 24.0))
+        duration_days = max(1.0, math.ceil((last - first) / 24.0))
     return VmTrace(
         name=name,
         params=TraceParams(duration_days=duration_days),

@@ -165,7 +165,8 @@ def stranded_capacity_fraction(
     placements: Dict[int, Tuple[Server, float]] = {}
     events: List[Tuple[float, int, int]] = []  # (time, kind 0=arr/1=dep, idx)
     stranded_samples: List[float] = []
-    snapshot_at = snapshot_hours
+    start = trace.start_hours
+    snapshot_at = start + snapshot_hours
 
     import heapq
 
@@ -204,5 +205,5 @@ def stranded_capacity_fraction(
         placements[vm.vm_id] = (chosen, vm.arrival_hours)
         if math.isfinite(vm.departure_hours):
             heapq.heappush(departures, (vm.departure_hours, vm.vm_id, chosen))
-    snapshot(trace.duration_hours)
+    snapshot(trace.end_hours)
     return float(np.mean(stranded_samples)) if stranded_samples else 0.0

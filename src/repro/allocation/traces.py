@@ -174,6 +174,21 @@ class TraceParams:
         """Arrival rate sustaining the target population (Little's law)."""
         return self.mean_concurrent_vms / self.mean_lifetime_hours
 
+    @classmethod
+    def fit(cls, trace: "VmTrace") -> "TraceParams":
+        """Marginals-fitted params for an (ingested) trace.
+
+        Method-of-moments estimates over the trace columns — empirical
+        core/memory mixes, two-mode lifetime split, Little's-law
+        concurrency, diurnal Fourier amplitude, Beta moments for the
+        touched-memory fraction.  Delegates to
+        :func:`repro.analysis.marginals.fit_trace_params` (imported
+        lazily: ``analysis`` sits above ``allocation`` in the layering).
+        """
+        from ..analysis.marginals import fit_trace_params
+
+        return fit_trace_params(trace)
+
 
 def _choice_cdf(weights: Sequence[float]) -> np.ndarray:
     """The cumulative-weight table ``Generator.choice(p=weights)`` builds.
@@ -320,7 +335,23 @@ class VmTrace:
 
     @property
     def duration_hours(self) -> float:
+        """The trace window *length* (see :attr:`end_hours` for its end)."""
         return self.params.duration_days * 24.0
+
+    @property
+    def start_hours(self) -> float:
+        """Where the trace window opens: the first VM arrival.
+
+        Synthetic traces start at t=0; ingested real traces usually do
+        not (the capture begins mid-day), so replay windows and snapshot
+        grids anchor here rather than at the epoch.
+        """
+        return self.columns.start_hours()
+
+    @property
+    def end_hours(self) -> float:
+        """Where the trace window closes: ``start_hours + duration``."""
+        return self.start_hours + self.duration_hours
 
     @property
     def last_arrival_hours(self) -> float:

@@ -21,6 +21,12 @@ from .ablations import (
     placement_policy_ablation,
 )
 from .lifetime import LifetimePoint, LifetimeStudy, lifetime_study
+from .marginals import (
+    fit_trace_params,
+    ks_distance,
+    marginals_report,
+    validate_marginals_report,
+)
 from .second_gen import (
     SecondGenOption,
     greensku_gen2_full,
@@ -71,4 +77,8 @@ __all__ = [
     "TcoAssessment",
     "TcoModel",
     "cost_efficient_sku",
+    "fit_trace_params",
+    "ks_distance",
+    "marginals_report",
+    "validate_marginals_report",
 ]

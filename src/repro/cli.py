@@ -11,6 +11,10 @@ Commands:
 - ``trace`` — generate/inspect synthetic VM traces: per-trace summary
   stats, CSV export, content digests (``--digest``), and trace-store
   pre-warming for a suite (``--suite N --warm``).
+- ``trace ingest <paths>`` — ingest real AzurePublicDataset vmtable
+  CSVs into the trace store: per-file row-accounting reports
+  (``--report DIR``), content digests, and quarantine of corrupt
+  sources into a sibling ``quarantine/`` directory.
 - ``stats`` — validate and pretty-print a telemetry run manifest.
 
 Global flags: ``--jobs N`` sets the worker-process count for the
@@ -25,7 +29,11 @@ dispatch backend for sim-mode experiments (default: the
 the scalar oracle, bit-identical but slower);
 ``--alloc-engine {indexed,reference,soa}`` selects the placement
 backend for allocation replays (default: the ``REPRO_ALLOC_ENGINE``
-env var, else indexed; all backends are bit-identical in outcome).
+env var, else indexed; all backends are bit-identical in outcome);
+``--trace-backend {synthetic,azure}`` selects where trace-suite
+experiments get their workload: the synthetic generator (default) or
+ingested Azure vmtable traces (``REPRO_AZURE_TRACE_DIR``, falling back
+to the bundled offline sample).
 
 Resilience flags (see ``docs/resilience.md``): ``--resume`` checkpoints
 every completed suite task to an on-disk journal and loads completed
@@ -48,6 +56,14 @@ import sys
 from typing import List, Optional
 
 from .allocation.cluster import ENGINE_ENV, ENGINES
+from .allocation.ingest import (
+    BACKEND_ENV,
+    INGEST_CORRUPT_ERRORS,
+    TRACE_BACKENDS,
+    azure_trace_suite,
+    ingest_azure_vm_trace,
+    resolve_trace_backend,
+)
 from .allocation.io import save_trace
 from .allocation.traces import (
     TraceParams,
@@ -145,13 +161,22 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
             f"unknown SKU {args.sku!r}; known: {sorted(skus)}"
         )
     gsf = Gsf().at_intensity(args.ci)
-    trace = generate_trace(
-        seed=args.seed,
-        params=TraceParams(mean_concurrent_vms=args.vms, duration_days=args.days),
-    )
+    if resolve_trace_backend() == "azure":
+        trace = azure_trace_suite(count=1)[0]
+        source = f"azure backend, {trace.name!r}"
+        days = trace.duration_hours / 24.0
+    else:
+        trace = generate_trace(
+            seed=args.seed,
+            params=TraceParams(
+                mean_concurrent_vms=args.vms, duration_days=args.days
+            ),
+        )
+        source = f"seed {args.seed}"
+        days = args.days
     evaluation = gsf.evaluate(skus[args.sku], trace)
-    print(f"trace: {trace.vm_count} VMs over {args.days:g} days "
-          f"(seed {args.seed})")
+    print(f"trace: {trace.vm_count} VMs over {days:g} days "
+          f"({source})")
     print(f"sizing: {evaluation.sizing.baseline_only_servers} baseline-only"
           f" -> {evaluation.sizing.mixed_baseline_servers} baseline + "
           f"{evaluation.sizing.mixed_green_servers} {args.sku} "
@@ -253,6 +278,99 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _quarantine_source(path) -> str:
+    """Move an unusable source file into a sibling ``quarantine/`` dir."""
+    import pathlib
+    import shutil
+
+    path = pathlib.Path(path)
+    target_dir = path.parent / "quarantine"
+    target_dir.mkdir(exist_ok=True)
+    target = target_dir / path.name
+    counter = 1
+    while target.exists():
+        target = target_dir / f"{path.name}.{counter}"
+        counter += 1
+    shutil.move(str(path), str(target))
+    return str(target)
+
+
+def cmd_trace_ingest(args: argparse.Namespace) -> int:
+    """Ingest real Azure vmtable CSVs; quarantine unusable files.
+
+    Damaged *rows* are skipped and counted in the per-file report;
+    *files* that cannot be ingested at all (bad gzip, undecodable
+    bytes, zero usable rows) are moved to a ``quarantine/`` directory
+    next to the source so a partially corrupt download batch degrades
+    instead of failing.  Exit 0 when at least one file ingested.
+    """
+    import json
+    import pathlib
+
+    from .core.ioutil import atomic_write_text
+    from .core.tables import render_table
+
+    store = None
+    if args.warm:
+        from .allocation.store import TraceStore
+
+        store = TraceStore()
+    ingested, failed = [], []
+    for raw in args.paths:
+        path = pathlib.Path(raw)
+        try:
+            trace, report = ingest_azure_vm_trace(
+                path,
+                name=path.name.split(".csv")[0],
+                store=store,
+                mmap=args.mmap,
+                rebase_time=args.rebase,
+            )
+        except INGEST_CORRUPT_ERRORS as exc:
+            if path.exists():
+                moved = _quarantine_source(path)
+                print(
+                    f"error: {path}: {exc} -> quarantined to {moved}",
+                    file=sys.stderr,
+                )
+            else:
+                print(f"error: {path}: {exc}", file=sys.stderr)
+            failed.append(str(path))
+            continue
+        ingested.append((trace, report))
+        if args.report:
+            report_dir = pathlib.Path(args.report)
+            report_dir.mkdir(parents=True, exist_ok=True)
+            out = report_dir / f"{trace.name}.ingest.json"
+            atomic_write_text(
+                out, json.dumps(report.to_dict(), indent=2) + "\n"
+            )
+    if ingested:
+        rows = []
+        for trace, report in ingested:
+            rows.append(
+                [
+                    trace.name,
+                    f"{report.rows_kept}",
+                    f"{report.rows_total - report.rows_kept}",
+                    f"{report.start_hours:.1f}",
+                    f"{report.span_hours:.1f}",
+                    report.store,
+                ]
+            )
+        print(
+            render_table(
+                ["trace", "kept", "skipped", "start h", "span h", "store"],
+                rows,
+                title=f"ingested {len(ingested)}/{len(args.paths)} files",
+            )
+        )
+        if args.digest:
+            for trace, _report in ingested:
+                print(f"{trace.name}: {trace.digest()}")
+    return 0 if ingested else 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -294,6 +412,13 @@ def build_parser() -> argparse.ArgumentParser:
              "fleet-scale 'soa' arrays (default: the "
              "REPRO_ALLOC_ENGINE env var, else indexed; all backends "
              "are bit-identical in outcome)",
+    )
+    parser.add_argument(
+        "--trace-backend", default=None, choices=TRACE_BACKENDS,
+        help="workload source for trace-suite experiments: the "
+             "'synthetic' generator (default) or ingested 'azure' "
+             "vmtable traces (REPRO_AZURE_TRACE_DIR, else the bundled "
+             "sample; default: the REPRO_TRACE_BACKEND env var)",
     )
     parser.add_argument(
         "--resume", action="store_true",
@@ -388,7 +513,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--digest", action="store_true",
         help="print each trace's content digest (the CI golden values)",
     )
-    trace.set_defaults(func=cmd_trace)
+    trace.set_defaults(func=cmd_trace, trace_command=None)
+
+    trace_sub = trace.add_subparsers(dest="trace_command")
+    ingest = trace_sub.add_parser(
+        "ingest",
+        help="ingest AzurePublicDataset vmtable CSV/CSV.gz files",
+    )
+    ingest.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="vmtable CSV or CSV.gz files to ingest",
+    )
+    ingest.add_argument(
+        "--mmap", action="store_true",
+        help="memory-map store hits instead of eager-loading them",
+    )
+    ingest.add_argument(
+        "--rebase", action="store_true",
+        help="shift arrivals so the trace window starts at t=0",
+    )
+    ingest.add_argument(
+        "--report", default=None, metavar="DIR",
+        help="write a per-file JSON ingestion report into DIR",
+    )
+    ingest.add_argument(
+        "--digest", action="store_true",
+        help="print each ingested trace's content digest",
+    )
+    ingest.add_argument(
+        "--warm", action="store_true",
+        help="register ingested traces in the persistent trace store "
+             "(REPRO_TRACE_STORE_DIR, default <cache dir>/traces)",
+    )
+    ingest.set_defaults(func=cmd_trace_ingest)
 
     export = sub.add_parser(
         "export", help="write experiment artifacts to a directory"
@@ -487,6 +644,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     saved_engine = os.environ.get(ENGINE_ENV)
+    saved_backend = os.environ.get(BACKEND_ENV)
     try:
         runner.set_default_jobs(args.jobs)
         runner.set_cache_enabled(args.cache)
@@ -497,6 +655,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             # the env var is the process-wide selection point (and it
             # inherits into the worker processes a fleet fan-out spawns).
             os.environ[ENGINE_ENV] = args.alloc_engine
+        if args.trace_backend is not None:
+            # Same selection pattern as the engine: experiments resolve
+            # the backend at suite-build time via the env var.
+            os.environ[BACKEND_ENV] = args.trace_backend
         resilience.set_active_policy(_build_policy(args))
         return _run_command(
             args, list(sys.argv[1:] if argv is None else argv)
@@ -512,6 +674,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             os.environ.pop(ENGINE_ENV, None)
         else:
             os.environ[ENGINE_ENV] = saved_engine
+        if saved_backend is None:
+            os.environ.pop(BACKEND_ENV, None)
+        else:
+            os.environ[BACKEND_ENV] = saved_backend
         resilience.set_active_policy(None)
 
 

@@ -18,7 +18,8 @@ import numpy as np
 
 from ..allocation.cluster import ClusterSpec, adopt_nothing, simulate
 from ..allocation.packing import cdf, fraction_below
-from ..allocation.traces import TraceParams, VmTrace, production_trace_suite
+from ..allocation.ingest import trace_suite
+from ..allocation.traces import TraceParams, VmTrace
 from ..core.resilience import drop_failures
 from ..core.runner import DiskCache, cached_map, content_key
 from ..core.tables import render_csv
@@ -138,6 +139,7 @@ def run(
     gsf: Optional[Gsf] = None,
     jobs: Optional[int] = None,
     cache: Optional[DiskCache] = None,
+    trace_backend: Optional[str] = None,
 ) -> Fig10Result:
     """Run the memory-utilization study over the trace suite.
 
@@ -149,9 +151,12 @@ def run(
     Under a degrading resilience policy (the CLI's ``--keep-going``)
     traces whose tasks exhausted their retry budget are explicitly
     dropped from the study (``resilience.degraded_dropped``).
+    ``trace_backend`` selects synthetic vs ingested Azure traces (the
+    CLI's ``--trace-backend``).
     """
     if traces is None:
-        traces = production_trace_suite(
+        traces = trace_suite(
+            backend=trace_backend,
             count=trace_count,
             params=TraceParams(mean_concurrent_vms=mean_concurrent_vms),
         )

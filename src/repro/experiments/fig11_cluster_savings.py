@@ -67,6 +67,7 @@ def run(
     mean_concurrent_vms: int = 1000,
     seed: int = 1,
     jobs: Optional[int] = None,
+    trace_backend: Optional[str] = None,
 ) -> Fig11Result:
     """Run the sweep for the three GreenSKUs.
 
@@ -74,13 +75,22 @@ def run(
     cache only short-circuits recomputing results that are identical by
     construction), so the sweep fans out per intensity over ``jobs``
     workers; the serial path keeps the shared cache across intensities.
+    ``trace_backend`` selects synthetic vs ingested Azure traces; the
+    azure backend sweeps the first ingested trace.
     """
     gsf = gsf or Gsf()
     if trace is None:
-        trace = generate_trace(
-            seed=seed,
-            params=TraceParams(mean_concurrent_vms=mean_concurrent_vms),
-        )
+        from ..allocation.ingest import resolve_trace_backend
+
+        if resolve_trace_backend(trace_backend) == "azure":
+            from ..allocation.ingest import azure_trace_suite
+
+            trace = azure_trace_suite(count=1)[0]
+        else:
+            trace = generate_trace(
+                seed=seed,
+                params=TraceParams(mean_concurrent_vms=mean_concurrent_vms),
+            )
     intensities = list(intensities)
     if resolve_jobs(jobs) <= 1:
         points = gsf.intensity_sweep(trace, intensities)

@@ -18,7 +18,8 @@ import numpy as np
 
 from ..allocation.cluster import ClusterSpec, adopt_nothing, simulate
 from ..allocation.packing import PackingPoint, packing_point
-from ..allocation.traces import TraceParams, VmTrace, production_trace_suite
+from ..allocation.ingest import trace_suite
+from ..allocation.traces import TraceParams, VmTrace
 from ..core.resilience import drop_failures
 from ..core.runner import DiskCache, cached_map, content_key
 from ..core.tables import render_csv
@@ -106,6 +107,7 @@ def run(
     gsf: Optional[Gsf] = None,
     jobs: Optional[int] = None,
     cache: Optional[DiskCache] = None,
+    trace_backend: Optional[str] = None,
 ) -> Fig9Result:
     """Run the packing study over the trace suite.
 
@@ -118,9 +120,15 @@ def run(
     exhausted its retry budget is explicitly dropped from the study —
     medians are computed over the surviving traces, and the drop is
     visible in the telemetry manifest (``resilience.degraded_dropped``).
+
+    ``trace_backend`` selects the workload source (the CLI's
+    ``--trace-backend``): the synthetic generator (default) or ingested
+    Azure vmtable traces; cache keys include each trace's content
+    digest, so the two backends never collide in the disk cache.
     """
     if traces is None:
-        traces = production_trace_suite(
+        traces = trace_suite(
+            backend=trace_backend,
             count=trace_count,
             params=TraceParams(mean_concurrent_vms=mean_concurrent_vms),
         )

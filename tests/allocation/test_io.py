@@ -85,10 +85,26 @@ class TestValidation:
         assert [vm.vm_id for vm in loaded.vms] == [2, 1]
 
     def test_duration_inferred(self):
+        # The inferred window covers the arrival *span* (anchored at the
+        # first arrival), not the distance from the epoch: a lone VM at
+        # hour 30 gets a one-day window [30, 54], not [0, 48].
         csv_text = (
             "vm_id,arrival_hours,lifetime_hours,cores,memory_gb,"
             "generation,app_name,max_memory_fraction,full_node\n"
             "1,30,5,4,16,3,Redis,0.5,0\n"
         )
         loaded = trace_from_csv(csv_text)
+        assert loaded.params.duration_days == 1.0
+        assert loaded.start_hours == 30.0
+        assert loaded.end_hours == 54.0
+
+    def test_duration_inferred_from_span(self):
+        csv_text = (
+            "vm_id,arrival_hours,lifetime_hours,cores,memory_gb,"
+            "generation,app_name,max_memory_fraction,full_node\n"
+            "1,100,5,4,16,3,Redis,0.5,0\n"
+            "2,130,5,4,16,3,Redis,0.5,0\n"
+        )
+        loaded = trace_from_csv(csv_text)
         assert loaded.params.duration_days == 2.0
+        assert loaded.start_hours == 100.0

@@ -1,0 +1,106 @@
+"""Regenerate the bundled Azure vmtable sample (deterministic).
+
+The committed ``vmtable_sample.csv.gz`` is a small, deterministically
+*synthesized* stand-in for an AzurePublicDataset vmtable shard: same
+headerless 11-field schema, second-granularity timestamps, bucketed
+core/memory shapes, and the three vmcategory labels.  It intentionally
+
+- starts mid-day (first creation at 19 800 s = 5.5 h) so replay
+  exercises the offset-window path, not the t=0 fast path;
+- contains duplicate VM ids, rows with blank required fields, an
+  unknown-bucket row, and locally out-of-order rows, so ingestion's
+  row-level degradation is exercised by every consumer of the sample;
+- is gzipped with ``mtime=0`` so the bytes (and hence the source
+  content digest and every golden trace digest derived from it) are
+  identical on every regeneration.
+
+Run from the repo root::
+
+    python tests/data/azure/make_sample.py
+"""
+
+from __future__ import annotations
+
+import csv
+import gzip
+import io
+import random
+from pathlib import Path
+
+OUT = Path(__file__).parent / "vmtable_sample.csv.gz"
+
+START_SECONDS = 19_800  # 5.5 h: the capture opens mid-day
+SPAN_SECONDS = 72 * 3600
+N_VMS = 420
+
+CORE_BUCKETS = ["1", "2", "2", "4", "4", "4", "8", "8", "16", "24", ">24"]
+MEMORY_BUCKETS = [
+    "2", "4", "8", "8", "16", "16", "32", "32", "64", "70", ">64",
+]
+CATEGORIES = [
+    "Interactive", "Interactive", "Delay-insensitive",
+    "Delay-insensitive", "Unknown", "",
+]
+
+
+def rows() -> list:
+    rng = random.Random(20240731)
+    out = []
+    for i in range(N_VMS):
+        vmid = f"vm-{rng.getrandbits(48):012x}"
+        created = START_SECONDS + int(rng.random() ** 1.4 * SPAN_SECONDS)
+        # Mixed lifetimes: mostly hours, a long-lived tail, and ~4%
+        # still alive at capture end (blank vmdeleted).
+        if rng.random() < 0.04:
+            deleted = ""
+        elif rng.random() < 0.15:
+            deleted = created + int(rng.uniform(48, 400) * 3600)
+        else:
+            deleted = created + int(rng.uniform(0.05, 24) * 3600)
+        maxcpu = round(rng.uniform(5, 100), 2)
+        avgcpu = round(maxcpu * rng.uniform(0.1, 0.8), 2)
+        p95 = round(maxcpu * rng.uniform(0.6, 1.0), 2)
+        out.append(
+            [
+                vmid,
+                f"sub-{rng.randrange(40):04d}",
+                f"dep-{rng.randrange(120):05d}",
+                created,
+                deleted,
+                maxcpu,
+                avgcpu,
+                p95,
+                rng.choice(CATEGORIES),
+                rng.choice(CORE_BUCKETS),
+                rng.choice(MEMORY_BUCKETS),
+            ]
+        )
+    # Adversarial edges the parser must degrade over, not die on:
+    out.append(list(out[3]))  # exact duplicate VM id
+    dup = list(out[10])
+    dup[3] = int(dup[3]) + 600  # same id, different timestamps
+    out.append(dup)
+    blank = list(out[20])
+    blank[9] = ""  # blank core bucket
+    out.append(blank)
+    unknown = list(out[30])
+    unknown[10] = "9999"  # bucket outside the catalog domain
+    out.append(unknown)
+    # Shuffle a local window so arrivals are not globally sorted.
+    rng.shuffle(out[40:60])
+    return out
+
+
+def main() -> None:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerows(rows())
+    payload = buffer.getvalue().encode("utf-8")
+    with open(OUT, "wb") as raw:
+        with gzip.GzipFile(fileobj=raw, mode="wb", mtime=0) as gz:
+            gz.write(payload)
+    print(f"wrote {OUT} ({OUT.stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    main()
