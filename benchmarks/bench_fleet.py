@@ -8,12 +8,16 @@ Two gates mirror the queueing bench:
   ``benchmarks/golden_fleet_digests.json`` (generated from the
   ``reference`` engine; refresh with ``REPRO_UPDATE_GOLDEN=1``).
 - ``test_fleet_scale_speedup`` replays the full fleet — by default 100
-  clusters totalling >= 10^6 VMs — on the SoA + streaming path, times a
-  large-cluster sample on both the row-based reference path and the
-  streaming path, asserts bit-identical ``outcome_digest``s, and writes
-  the machine-readable ``benchmarks/out/BENCH_fleet.json`` artifact
-  (schema checked by :func:`validate_bench_fleet`, peak RSS included,
-  full-fleet ``VmRequest`` rows never materialized).
+  clusters totalling >= 10^6 VMs — on the SoA + streaming path, then
+  walks a *scale trajectory* of single-cluster samples (by default
+  1/4x, 1/2x, 1x, and 1.6x of the speedup scale — the largest ~3100
+  servers, well past the old single 25k-VM sample), timing each on both
+  the row-based reference path and the streaming path, asserting
+  bit-identical ``outcome_digest``s at every scale, and writes the
+  machine-readable ``benchmarks/out/BENCH_fleet.json`` artifact —
+  including the per-scale ``scale_trajectory`` — (schema checked by
+  :func:`validate_bench_fleet`, peak RSS included, full-fleet
+  ``VmRequest`` rows never materialized).
 
 Scale knobs (CI smoke sets small values; ``--smoke`` does it for you):
 
@@ -21,9 +25,13 @@ Scale knobs (CI smoke sets small values; ``--smoke`` does it for you):
 - ``REPRO_BENCH_FLEET_VMS``: mean concurrent VMs per cluster (default
   5200, about 11k VM arrivals per 3-day trace).
 - ``REPRO_BENCH_FLEET_SPEEDUP_VMS``: mean concurrent VMs of the
-  speedup-sample cluster (default 25000 — ~1900 servers, the scale
-  where the vectorized scan's advantage over the Python row walk is
-  architectural rather than incidental).
+  largest speedup-sample cluster (default 25000 — ~1900 servers, the
+  scale where the vectorized scan's advantage over the Python row walk
+  is architectural rather than incidental; the trajectory extends 1.6x
+  beyond it).
+- ``REPRO_BENCH_FLEET_TRAJECTORY``: explicit comma-separated
+  concurrent-VM scales for the trajectory (overrides the derived
+  1/4x,1/2x,1x,1.6x ladder).
 
 The >= 3x in-test floor (real runs clear 5x; see BENCH_fleet.json)
 only applies at full scale — tiny smoke clusters are numpy-overhead
@@ -67,6 +75,52 @@ GOLDEN_CONCURRENT = 150
 
 def _env_int(name: str, default: int) -> int:
     return int(os.environ.get(name, str(default)))
+
+
+def _trajectory_scales(speedup_concurrent: int) -> list:
+    """The concurrent-VM ladder the speedup trajectory samples.
+
+    Derived from the speedup scale (1/4x, 1/2x, 1x, 1.6x) so smoke runs
+    shrink with it; ``REPRO_BENCH_FLEET_TRAJECTORY`` pins it exactly.
+    """
+    env = os.environ.get("REPRO_BENCH_FLEET_TRAJECTORY")
+    if env:
+        scales = [int(part) for part in env.split(",") if part.strip()]
+    else:
+        scales = [
+            max(speedup_concurrent // 4, 100),
+            max(speedup_concurrent // 2, 100),
+            speedup_concurrent,
+            speedup_concurrent * 8 // 5,
+        ]
+    return sorted(set(scales))
+
+
+def _sample_point(mean_concurrent: int) -> dict:
+    """Time one cluster at ``mean_concurrent`` on both replay paths."""
+    params = TraceParams(
+        duration_days=3.0, mean_concurrent_vms=mean_concurrent
+    )
+    cluster = _sized_cluster(mean_concurrent)
+    streaming_trace = generate_trace(11, params, name="speedup-sample")
+    t0 = time.perf_counter()
+    streaming = replay_columnar(
+        streaming_trace, cluster, adopt_everything, engine="soa"
+    )
+    streaming_s = time.perf_counter() - t0
+    row_trace = generate_trace(11, params, name="speedup-sample")
+    t0 = time.perf_counter()
+    row = simulate(row_trace, cluster, adopt_everything, engine="reference")
+    row_s = time.perf_counter() - t0
+    return {
+        "vms_concurrent": mean_concurrent,
+        "vms": int(streaming_trace.columns.n),
+        "servers": cluster.total_servers,
+        "row_reference_s": round(row_s, 3),
+        "soa_streaming_s": round(streaming_s, 3),
+        "speedup": round(row_s / streaming_s, 2),
+        "bit_identical": outcome_digest(streaming) == outcome_digest(row),
+    }
 
 
 def _sized_cluster(mean_concurrent: int):
@@ -184,25 +238,16 @@ def test_fleet_scale_speedup(save):
         "streaming replay materialized VmRequest rows"
     )
 
-    # -- speedup sample: one large cluster, both paths, bit-identical.
-    sample_params = TraceParams(
-        duration_days=3.0, mean_concurrent_vms=speedup_concurrent
-    )
-    sample_cluster = _sized_cluster(speedup_concurrent)
-    sample_trace = generate_trace(11, sample_params, name="speedup-sample")
-    t0 = time.perf_counter()
-    streaming = replay_columnar(
-        sample_trace, sample_cluster, adopt_everything, engine="soa"
-    )
-    streaming_s = time.perf_counter() - t0
-    row_trace = generate_trace(11, sample_params, name="speedup-sample")
-    t0 = time.perf_counter()
-    row = simulate(
-        row_trace, sample_cluster, adopt_everything, engine="reference"
-    )
-    row_s = time.perf_counter() - t0
-    bit_identical = outcome_digest(streaming) == outcome_digest(row)
-    speedup = row_s / streaming_s
+    # -- speedup trajectory: row vs streaming at increasing cluster
+    #    scales, bit-identical at every rung; the largest rung is the
+    #    headline speedup sample.
+    trajectory = [
+        _sample_point(scale)
+        for scale in _trajectory_scales(speedup_concurrent)
+    ]
+    sample = trajectory[-1]
+    bit_identical = all(point["bit_identical"] for point in trajectory)
+    speedup = sample["speedup"]
 
     peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
     payload = {
@@ -216,13 +261,17 @@ def test_fleet_scale_speedup(save):
         "rows_materialized": rows_materialized,
         "peak_rss_mb": round(peak_rss_mb, 1),
         "speedup_sample": {
-            "vms": int(sample_trace.columns.n),
-            "servers": sample_cluster.total_servers,
-            "row_reference_s": round(row_s, 3),
-            "soa_streaming_s": round(streaming_s, 3),
-            "speedup": round(speedup, 2),
-            "bit_identical": bit_identical,
+            key: sample[key]
+            for key in (
+                "vms",
+                "servers",
+                "row_reference_s",
+                "soa_streaming_s",
+                "speedup",
+                "bit_identical",
+            )
         },
+        "scale_trajectory": trajectory,
     }
     problems = validate_bench_fleet(payload)
     assert not problems, problems
@@ -278,6 +327,30 @@ def validate_bench_fleet(manifest) -> list:
         problems.append("speedup_sample.bit_identical missing or not a bool")
     elif not sample["bit_identical"]:
         problems.append("speedup_sample.bit_identical is False")
+    trajectory = manifest.get("scale_trajectory")
+    if not isinstance(trajectory, list) or not trajectory:
+        return problems + ["scale_trajectory missing or empty"]
+    previous_servers = 0
+    for i, point in enumerate(trajectory):
+        if not isinstance(point, dict):
+            problems.append(f"scale_trajectory[{i}] is not a dict")
+            continue
+        for key in ("vms_concurrent", "vms", "servers"):
+            value = point.get(key)
+            if not isinstance(value, int) or value <= 0:
+                problems.append(
+                    f"scale_trajectory[{i}].{key} is {value!r}, "
+                    "expected int > 0"
+                )
+        if point.get("bit_identical") is not True:
+            problems.append(f"scale_trajectory[{i}] is not bit-identical")
+        servers = point.get("servers")
+        if isinstance(servers, int):
+            if servers < previous_servers:
+                problems.append(
+                    "scale_trajectory server counts are not non-decreasing"
+                )
+            previous_servers = servers
     return problems
 
 

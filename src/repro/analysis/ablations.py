@@ -157,7 +157,14 @@ class AdoptionAblation:
 ADOPTION_RULES = ("carbon-aware", "performance-only", "always")
 
 
-def _adoption_policy(rule: str, gsf: Gsf, greensku: ServerSKU) -> Callable:
+def adoption_policy(rule: str, gsf: Gsf, greensku: ServerSKU) -> Callable:
+    """Build the adoption-policy callable for one named rule.
+
+    The returned policy has the `(app_name, generation) -> Optional[float]`
+    shape `size_mixed_cluster` expects.  Workers rebuild policies from
+    the rule name (closures do not pickle); the sweep driver
+    (`repro.catalog.sweep`) reuses this as the adoption axis.
+    """
     model = gsf.adoption_model(greensku)
     if rule == "carbon-aware":
         return model.policy()
@@ -171,6 +178,10 @@ def _adoption_policy(rule: str, gsf: Gsf, greensku: ServerSKU) -> Callable:
     if rule == "always":
         return lambda app_name, generation: 1.0
     raise ConfigError(f"unknown adoption rule {rule!r}")
+
+
+#: Backward-compatible alias (pre-catalog private name).
+_adoption_policy = adoption_policy
 
 
 def _adoption_rule_one(

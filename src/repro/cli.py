@@ -72,7 +72,7 @@ from .allocation.traces import (
 )
 from .carbon.model import CarbonModel
 from .carbon.savings import paper_savings_table, render_savings_table
-from .core import resilience, runner, telemetry
+from .core import provenance, resilience, runner, telemetry
 from .core.errors import ConfigError, ReproError
 from .core.faults import parse_fault_spec
 from .experiments.registry import EXPERIMENTS, get_experiment
@@ -371,6 +371,236 @@ def cmd_trace_ingest(args: argparse.Namespace) -> int:
     return 0 if ingested else 2
 
 
+# -- sweep / catalog -----------------------------------------------------------
+
+
+def _parse_axis(raw: str, label: str) -> List[str]:
+    values = [part.strip() for part in raw.split(",") if part.strip()]
+    if not values:
+        raise ConfigError(f"--{label} needs at least one value")
+    return values
+
+
+def _sweep_spec(args: argparse.Namespace):
+    """Build a :class:`~repro.catalog.SweepSpec` from the axes flags."""
+    from .catalog import SweepSpec
+
+    cxl: List[Optional[int]] = []
+    for part in _parse_axis(args.cxl, "cxl"):
+        if part == "stock":
+            cxl.append(None)
+        else:
+            try:
+                cxl.append(int(part))
+            except ValueError:
+                raise ConfigError(
+                    f"--cxl values must be 'stock' or an even integer, "
+                    f"got {part!r}"
+                ) from None
+    try:
+        buffers = tuple(
+            float(part) for part in _parse_axis(args.buffers, "buffers")
+        )
+    except ValueError:
+        raise ConfigError("--buffers values must be numbers") from None
+    return SweepSpec(
+        skus=tuple(_parse_axis(args.skus, "skus")),
+        adoption_rules=tuple(_parse_axis(args.rules, "rules")),
+        buffer_fractions=buffers,
+        cxl_dimm_counts=tuple(cxl),
+        backends=tuple(_parse_axis(args.backends, "backends")),
+        carbon_intensity=args.ci,
+        seed=args.seed,
+        vms=args.vms,
+        days=args.days,
+    )
+
+
+def _catalog_and_log(args: argparse.Namespace):
+    """The catalog and provenance log the sweep/catalog commands use."""
+    from .catalog import ResultsCatalog
+
+    catalog = ResultsCatalog(
+        args.catalog_dir if args.catalog_dir is not None else None
+    )
+    log = provenance.active_log() or provenance.ProvenanceLog()
+    return catalog, log
+
+
+def _add_sweep_axes(parser: argparse.ArgumentParser) -> None:
+    """The shared scenario-grid flags (sweep + catalog subcommands)."""
+    parser.add_argument(
+        "--skus", default="GreenSKU-Full", metavar="A,B",
+        help="comma-separated SKU names (paper_skus)",
+    )
+    parser.add_argument(
+        "--rules", default="carbon-aware", metavar="A,B",
+        help="adoption rules: carbon-aware, performance-only, always",
+    )
+    parser.add_argument(
+        "--buffers", default="0.15", metavar="F,F",
+        help="growth-buffer fractions",
+    )
+    parser.add_argument(
+        "--cxl", default="stock", metavar="N,N",
+        help="reused-DDR4 DIMM counts behind CXL ('stock' keeps the "
+             "SKU's own configuration)",
+    )
+    parser.add_argument(
+        "--backends", default="synthetic", metavar="A,B",
+        help="trace backends: synthetic, azure",
+    )
+    parser.add_argument("--ci", type=float, default=None,
+                        help="grid carbon intensity override, kgCO2e/kWh")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="synthetic trace seed")
+    parser.add_argument("--vms", type=int, default=60,
+                        help="synthetic mean concurrent VMs")
+    parser.add_argument("--days", type=float, default=2.0,
+                        help="synthetic trace window, days")
+    parser.add_argument(
+        "--catalog-dir", default=None, metavar="DIR",
+        help="results-catalog directory (default: REPRO_CATALOG_DIR, "
+             "else <cache dir>/catalog)",
+    )
+
+
+def _sweep_rows(summary) -> List[List[str]]:
+    return [
+        [
+            row["sku"],
+            row["rule"],
+            f"{row['buffer_fraction']:g}",
+            "stock" if row["cxl_dimms"] is None else str(row["cxl_dimms"]),
+            row["backend"],
+            f"{row['cluster_savings']:.2%}",
+        ]
+        for row in summary["points"]
+    ]
+
+
+_SWEEP_HEADER = ["sku", "rule", "buffer", "cxl", "backend", "savings"]
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run (or incrementally re-run) a scenario sweep over the catalog."""
+    from .catalog import run_sweep
+    from .core.tables import render_table
+
+    spec = _sweep_spec(args)
+    catalog, log = _catalog_and_log(args)
+    outcome = run_sweep(spec, catalog, log, jobs=args.jobs)
+    print(
+        render_table(
+            _SWEEP_HEADER,
+            _sweep_rows(outcome.summary),
+            title=f"scenario sweep ({outcome.summary['count']} points)",
+        )
+    )
+    report = outcome.invalidation
+    print(
+        f"{len(outcome.recomputed)} recomputed, {len(outcome.warm)} warm "
+        f"catalog reads -> {catalog.directory}"
+    )
+    if report.changed_inputs:
+        print(
+            f"changed inputs: {', '.join(report.changed_inputs)} "
+            f"(invalidated {len(report.invalid)} artifacts, cone digest "
+            f"{report.cone_digest()})"
+        )
+    if args.gc:
+        removed = catalog.gc(outcome.live_keys())
+        print(f"gc: removed {removed} stale catalog entries")
+    return 0
+
+
+def cmd_catalog_query(args: argparse.Namespace) -> int:
+    """Warm-read a grid from the catalog; exit 3 if any point misses."""
+    from .catalog import closure_key, current_leaf_inputs, point_inputs, sweep_points
+    from .core.tables import render_table
+
+    spec = _sweep_spec(args)
+    catalog, _log = _catalog_and_log(args)
+    points = sweep_points(spec)
+    leaves = current_leaf_inputs(spec)
+    rows = []
+    hits = 0
+    for point in points:
+        key = closure_key(point_inputs(point, leaves))
+        payload = catalog.get_payload(key)
+        if payload is None:
+            savings = "(miss)"
+        else:
+            hits += 1
+            savings = f"{payload['cluster_savings']:.2%}"
+        rows.append(
+            [
+                point.sku,
+                point.rule,
+                f"{point.buffer_fraction:g}",
+                "stock" if point.cxl_dimms is None else str(point.cxl_dimms),
+                point.backend,
+                savings,
+            ]
+        )
+    print(
+        render_table(
+            _SWEEP_HEADER,
+            rows,
+            title=f"catalog query: {hits}/{len(points)} warm "
+                  f"({catalog.directory})",
+        )
+    )
+    return 0 if hits == len(points) else 3
+
+
+def cmd_catalog_gc(args: argparse.Namespace) -> int:
+    """Drop catalog entries outside a grid's current input closure."""
+    from .catalog import (
+        closure_key,
+        current_leaf_inputs,
+        payload_digest,
+        point_inputs,
+        sweep_points,
+    )
+
+    spec = _sweep_spec(args)
+    catalog, _log = _catalog_and_log(args)
+    points = sweep_points(spec)
+    leaves = current_leaf_inputs(spec)
+    live = []
+    digests = {}
+    for point in points:
+        key = closure_key(point_inputs(point, leaves))
+        live.append(key)
+        payload = catalog.get_payload(key)
+        if payload is not None:
+            digests[point.artifact_id] = payload_digest(payload)
+    if len(digests) == len(points):
+        # Every point is warm, so the current summary entry is
+        # reconstructible and stays live; with any cold point the
+        # summary is stale by definition and collects with the rest.
+        summary_inputs = {"code": leaves["code"]}
+        summary_inputs.update(digests)
+        live.append(closure_key(summary_inputs))
+    before = len(catalog.keys())
+    removed = catalog.gc(live)
+    print(
+        f"gc: removed {removed}/{before} entries, kept "
+        f"{before - removed} live ({catalog.directory})"
+    )
+    return 0
+
+
+def cmd_catalog_stats(args: argparse.Namespace) -> int:
+    """Print the results-catalog manifest (entries, bytes, counters)."""
+    import json
+
+    catalog, _log = _catalog_and_log(args)
+    print(json.dumps(catalog.manifest(), indent=2))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -450,6 +680,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", default=None, metavar="SPEC",
         help="inject deterministic faults, e.g. 'kill=0;3 p=0.1 "
              "attempts=1 mode=hard latency=0.01 seed=7' (testing only)",
+    )
+    parser.add_argument(
+        "--provenance", default=None, metavar="PATH",
+        help="record input/output content digests for every cached task "
+             "and experiment into an append-only JSONL provenance log at "
+             "PATH ('auto' = <cache dir>/provenance.jsonl)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -563,6 +799,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("manifest", help="path to a --telemetry JSON file")
     stats.set_defaults(func=cmd_stats)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="incremental scenario sweep over the results catalog "
+             "(recomputes only provenance-invalidated points)",
+    )
+    _add_sweep_axes(sweep)
+    sweep.add_argument(
+        "--gc", action="store_true",
+        help="after the sweep, drop catalog entries outside its closure",
+    )
+    sweep.set_defaults(func=cmd_sweep)
+
+    catalog = sub.add_parser(
+        "catalog", help="build/query/gc the closure-keyed results catalog"
+    )
+    catalog_sub = catalog.add_subparsers(
+        dest="catalog_command", required=True
+    )
+    build = catalog_sub.add_parser(
+        "build", help="populate the catalog for a scenario grid (= sweep)"
+    )
+    _add_sweep_axes(build)
+    build.set_defaults(func=cmd_sweep, gc=False)
+    query = catalog_sub.add_parser(
+        "query",
+        help="warm-read a scenario grid from the catalog (no compute; "
+             "exit 3 if any point is missing)",
+    )
+    _add_sweep_axes(query)
+    query.set_defaults(func=cmd_catalog_query)
+    gc = catalog_sub.add_parser(
+        "gc", help="drop entries outside a scenario grid's closure"
+    )
+    _add_sweep_axes(gc)
+    gc.set_defaults(func=cmd_catalog_gc)
+    cstats = catalog_sub.add_parser(
+        "stats", help="print the catalog manifest as JSON"
+    )
+    cstats.add_argument("--catalog-dir", default=None, metavar="DIR",
+                        help="results-catalog directory")
+    cstats.set_defaults(func=cmd_catalog_stats)
     return parser
 
 
@@ -660,6 +938,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             # the backend at suite-build time via the env var.
             os.environ[BACKEND_ENV] = args.trace_backend
         resilience.set_active_policy(_build_policy(args))
+        if args.provenance is not None:
+            # 'auto' puts the log at its default cache-dir location.
+            provenance.set_active_log(
+                provenance.ProvenanceLog(
+                    None if args.provenance == "auto" else args.provenance
+                )
+            )
         return _run_command(
             args, list(sys.argv[1:] if argv is None else argv)
         )
@@ -679,6 +964,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             os.environ[BACKEND_ENV] = saved_backend
         resilience.set_active_policy(None)
+        provenance.set_active_log(None)
 
 
 if __name__ == "__main__":

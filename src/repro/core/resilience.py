@@ -727,6 +727,12 @@ def resilient_map(
                 value = replace(value, key=keys[i])
                 results[i] = value
             failures.append(value)
+    from . import provenance  # lazy: provenance builds on runner
+
+    if provenance.active_log() is not None and keys is not None:
+        for i, value in enumerate(results):
+            if not isinstance(value, TaskFailure):
+                provenance.record_task(keys[i], value)
     if journal is not None:
         # Reconcile journal.json: newly degraded tasks are recorded,
         # previously recorded failures whose key succeeded this run are

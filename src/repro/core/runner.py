@@ -291,6 +291,7 @@ class DiskCache:
     hits: int = 0
     misses: int = 0
     quarantined: int = 0
+    evicted: int = 0
 
     def _path(self, key: str) -> Path:
         return Path(self.directory) / f"{key}.pkl"
@@ -332,6 +333,25 @@ class DiskCache:
             with open(tmp, "wb") as fh:
                 pickle.dump(value, fh)
 
+    def evict(self, keys: Sequence[str]) -> int:
+        """Delete the entries for ``keys``; return how many existed.
+
+        Used by catalog/journal garbage collection to drop results whose
+        provenance closure no longer matches any current input.  Absent
+        entries are ignored (eviction is idempotent).
+        """
+        evicted = 0
+        for key in keys:
+            try:
+                self._path(key).unlink()
+            except FileNotFoundError:
+                continue
+            evicted += 1
+        if evicted:
+            self.evicted += evicted
+            telemetry.count("runner.cache_evicted", evicted)
+        return evicted
+
 
 def cached_map(
     fn: Callable[[T], R],
@@ -364,7 +384,13 @@ def cached_map(
             fn, items, key_fn=key_fn, jobs=jobs, cache=cache
         )
     if cache is None:
-        return parallel_map(fn, items, jobs=jobs)
+        from . import provenance  # lazy: provenance builds on this module
+
+        plain = parallel_map(fn, items, jobs=jobs)
+        if provenance.active_log() is not None:
+            for item, value in zip(items, plain):
+                provenance.record_task(key_fn(item), value)
+        return plain
 
     keys = [key_fn(item) for item in items]
     results: List[object] = [cache.get(key) for key in keys]
@@ -375,6 +401,11 @@ def cached_map(
     for i, value in zip(missing_idx, fresh):
         cache.put(keys[i], value)
         results[i] = value
+    from . import provenance  # lazy: provenance builds on this module
+
+    if provenance.active_log() is not None:
+        for key, value in zip(keys, results):
+            provenance.record_task(key, value)
     return results  # type: ignore[return-value]
 
 

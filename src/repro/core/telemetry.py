@@ -447,6 +447,52 @@ def validate_manifest(manifest: Any) -> List[str]:
     return errors
 
 
+#: The hit/miss counter families the cache-effectiveness section reports:
+#: (label, hit counter, miss counter, extra counters shown when nonzero).
+_CACHE_FAMILIES = (
+    ("disk cache", "runner.cache_hits", "runner.cache_misses",
+     ("runner.cache_evicted", "runner.cache_quarantined")),
+    ("results catalog", "catalog.hits", "catalog.misses",
+     ("catalog.writes", "catalog.invalidated", "catalog.evicted",
+      "catalog.quarantined")),
+    ("trace store", "trace.store_hits", "trace.store_misses",
+     ("trace.store_quarantined",)),
+)
+
+
+def cache_effectiveness_lines(counters: Mapping[str, int]) -> List[str]:
+    """The ``repro stats`` cache-effectiveness section, as rendered lines.
+
+    Derives hit rates for each caching layer (disk cache, results
+    catalog, trace store) from the manifest's counters, so catalog
+    effectiveness is observable from a saved manifest without rerunning
+    anything.  Layers with no activity are omitted; returns no lines at
+    all when nothing cached-related ran.
+    """
+    lines: List[str] = []
+    for label, hit_name, miss_name, extras in _CACHE_FAMILIES:
+        hits = counters.get(hit_name, 0)
+        misses = counters.get(miss_name, 0)
+        total = hits + misses
+        extra_counts = [
+            (name.rsplit(".", 1)[-1], counters.get(name, 0))
+            for name in extras
+        ]
+        if total == 0 and not any(n for _, n in extra_counts):
+            continue
+        rate = f"{hits / total:.1%}" if total else "n/a"
+        detail = "".join(
+            f", {short} {n:,}" for short, n in extra_counts if n
+        )
+        lines.append(
+            f"  {label}: {hits:,} hits / {misses:,} misses "
+            f"({rate} hit rate{detail})"
+        )
+    if lines:
+        lines.insert(0, "cache effectiveness:")
+    return lines
+
+
 def _render_span(node: Dict[str, Any], indent: int, lines: List[str]) -> None:
     lines.append(
         f"{'  ' * indent}- {node['name']}: {node['elapsed_s']:.3f}s"
@@ -473,6 +519,7 @@ def render_manifest(manifest: Dict[str, Any]) -> str:
         width = max(len(name) for name in counters)
         for name in sorted(counters):
             lines.append(f"  {name.ljust(width)}  {counters[name]:>12,}")
+    lines.extend(cache_effectiveness_lines(counters))
 
     timers = manifest.get("timers") or {}
     if timers:
@@ -533,6 +580,7 @@ __all__ = [
     "Telemetry",
     "TimerStat",
     "active",
+    "cache_effectiveness_lines",
     "capture",
     "count",
     "enabled",

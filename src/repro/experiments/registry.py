@@ -87,6 +87,28 @@ def get_experiment(experiment_id: str) -> Experiment:
         ) from None
 
 
+def _record_provenance(exp: Experiment, result: object) -> None:
+    """Record one experiment artifact into the active provenance log.
+
+    No-op unless a log is installed (the CLI's ``--provenance`` flag).
+    Inputs are the code salt — figure-level experiments have no external
+    data inputs beyond the code and their internal seeds, which the code
+    pins — and the output digest is a content hash of the result, so a
+    changed outcome shows up as a new record.
+    """
+    from ..core import provenance
+
+    log = provenance.active_log()
+    if log is None:
+        return
+    log.record(
+        f"experiment/{exp.experiment_id}",
+        "experiment",
+        {"code": provenance.code_salt()},
+        provenance.result_digest(result),
+    )
+
+
 def run_all(
     verbose: bool = True, on_failure: str = "raise"
 ) -> Dict[str, object]:
@@ -112,6 +134,7 @@ def run_all(
         try:
             with telemetry.span(f"experiment.{exp.experiment_id}"):
                 results[exp.experiment_id] = exp.module.main()
+            _record_provenance(exp, results[exp.experiment_id])
         except Exception as exc:
             if on_failure == "raise":
                 raise

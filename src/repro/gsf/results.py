@@ -77,6 +77,45 @@ class GsfEvaluation:
         """Net data-center savings given compute's share of DC emissions."""
         return self.cluster_savings * compute_share
 
+    def to_payload(self) -> Dict[str, object]:
+        """A JSON-ready dict of this evaluation (the catalog's storage form).
+
+        Everything numeric that the sweep service publishes: the scalar
+        identity fields, the sizing counts, the buffer, both deployments'
+        server counts and emissions, and the derived savings.  Floats are
+        stored as-is (canonical-JSON ``repr`` round-trips them exactly),
+        so re-encoding an unchanged evaluation is byte-identical.
+        """
+        def emissions(dep: DeploymentEmissions) -> Dict[str, float]:
+            return {
+                "baseline_servers": dep.baseline_servers,
+                "green_servers": dep.green_servers,
+                "baseline_kg": dep.baseline_kg,
+                "green_kg": dep.green_kg,
+                "total_kg": dep.total_kg,
+            }
+
+        return {
+            "greensku": self.greensku_name,
+            "trace": self.trace_name,
+            "carbon_intensity": self.carbon_intensity,
+            "sizing": {
+                "baseline_only_servers": self.sizing.baseline_only_servers,
+                "mixed_baseline_servers": self.sizing.mixed_baseline_servers,
+                "mixed_green_servers": self.sizing.mixed_green_servers,
+                "oos_overhead_baseline": self.sizing.oos_overhead_baseline,
+                "oos_overhead_green": self.sizing.oos_overhead_green,
+            },
+            "buffer": {
+                "baseline_buffer_servers": self.buffer.baseline_buffer_servers,
+                "green_buffer_servers": self.buffer.green_buffer_servers,
+            },
+            "reference": emissions(self.reference),
+            "mixed": emissions(self.mixed),
+            "adopted_core_hour_share": self.adopted_core_hour_share,
+            "cluster_savings": self.cluster_savings,
+        }
+
 
 @dataclass(frozen=True)
 class IntensitySweepPoint:
