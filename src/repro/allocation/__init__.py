@@ -2,8 +2,10 @@
 
 from .columnar import ColumnarTrace
 from .cluster import (
+    CARBON_PLACEMENT_POLICIES,
     AdoptionPolicy,
     ClusterSpec,
+    PlacementPolicy,
     SimOutcome,
     SnapshotStats,
     adopt_everything,
@@ -12,6 +14,7 @@ from .cluster import (
     replay_columnar,
     replay_on_engine,
     resolve_engine,
+    resolve_placement,
     simulate,
 )
 from .fleet import ClusterTask, FleetOutcome, FleetSpec, simulate_fleet
@@ -43,8 +46,10 @@ __all__ = [
     "ColumnarTrace",
     "TraceStore",
     "store_enabled",
+    "CARBON_PLACEMENT_POLICIES",
     "AdoptionPolicy",
     "ClusterSpec",
+    "PlacementPolicy",
     "SimOutcome",
     "SnapshotStats",
     "adopt_everything",
@@ -53,6 +58,7 @@ __all__ = [
     "replay_columnar",
     "replay_on_engine",
     "resolve_engine",
+    "resolve_placement",
     "simulate",
     "ClusterTask",
     "FleetOutcome",

@@ -77,6 +77,12 @@ AdoptionPolicy = Callable[[str, int], Optional[float]]
 ENGINES = ("indexed", "reference", "soa")
 ENGINE_ENV = "REPRO_ALLOC_ENGINE"
 
+#: Emission-aware placement policy names (orthogonal to the scheduler's
+#: best-fit/first-fit/worst-fit heuristics): ``"blind"`` is today's
+#: behavior, ``"carbon_aware"`` tiers servers by marginal operational
+#: carbon.
+CARBON_PLACEMENT_POLICIES = ("blind", "carbon_aware")
+
 #: Default number of merged arrival/departure events the streaming
 #: columnar replay gathers per chunk: large enough to amortize the
 #: fancy-index + ``tolist`` per chunk, small enough that a chunk's
@@ -93,6 +99,76 @@ def resolve_engine(engine: Optional[str] = None) -> str:
             f"unknown allocation engine {engine!r}; known: {ENGINES}"
         )
     return engine
+
+
+@dataclass(frozen=True)
+class PlacementPolicy:
+    """An emission-aware placement policy for the replay drivers.
+
+    ``"blind"`` reproduces today's behavior bit-for-bit (the replay
+    takes the exact pre-policy code path — no wrapper, no overhead).
+    ``"carbon_aware"`` partitions the cluster into *tiers* of equal
+    ``carbon_key`` (marginal operational carbon per core, ascending)
+    and consults tiers in order: within a tier, placement is exactly
+    the blind scheduler, so the policy composes with every engine and
+    both replay drivers identically.
+
+    Build ``"carbon_aware"`` policies with
+    :func:`repro.carbon.grid.carbon_aware_policy`, which derives
+    ``carbon_key`` from the carbon model's Eq. 1 watts-per-core and
+    attaches the grid :class:`~repro.carbon.grid.CarbonSignal` (opaque
+    to this layer — with a single signal the instantaneous intensity
+    scales every server equally, so the tier ordering is static).
+
+    Attributes:
+        name: One of :data:`CARBON_PLACEMENT_POLICIES`.
+        carbon_key: SKU -> finite rank; required for ``carbon_aware``.
+        signal: The attached grid signal (metadata; not read here).
+    """
+
+    name: str
+    carbon_key: Optional[Callable[[ServerSKU], float]] = None
+    signal: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.name not in CARBON_PLACEMENT_POLICIES:
+            raise ConfigError(
+                f"unknown placement policy {self.name!r}; "
+                f"known: {CARBON_PLACEMENT_POLICIES}"
+            )
+        if self.name == "carbon_aware" and self.carbon_key is None:
+            raise ConfigError(
+                "carbon_aware placement needs a carbon_key; build the "
+                "policy with repro.carbon.grid.carbon_aware_policy(signal)"
+            )
+
+
+def resolve_placement(placement) -> Optional[PlacementPolicy]:
+    """Normalize a placement argument to an active policy or ``None``.
+
+    ``None``, ``"blind"``, and a blind :class:`PlacementPolicy` all
+    resolve to ``None`` — the signal to take the exact pre-policy code
+    path.  The string ``"carbon_aware"`` alone is rejected: the rank
+    function cannot be derived without a carbon model, so callers must
+    construct the policy via ``repro.carbon.grid.carbon_aware_policy``.
+    """
+    if placement is None:
+        return None
+    if isinstance(placement, str):
+        if placement == "blind":
+            return None
+        if placement == "carbon_aware":
+            raise ConfigError(
+                "carbon_aware placement cannot be named by string alone; "
+                "build it with repro.carbon.grid.carbon_aware_policy(signal)"
+            )
+        raise ConfigError(
+            f"unknown placement policy {placement!r}; "
+            f"known: {CARBON_PLACEMENT_POLICIES}"
+        )
+    if placement.name == "blind":
+        return None
+    return placement
 
 
 def adopt_nothing(app_name: str, generation: int) -> Optional[float]:
@@ -308,6 +384,11 @@ class SimOutcome:
             baseline server for lack of GreenSKU capacity.
         baseline_stats / green_stats: Snapshot statistics on non-empty
             servers, split by server kind.
+        operational: The :class:`~repro.carbon.grid.OperationalCarbonReport`
+            produced when an accountant was attached to the replay, else
+            None.  Deliberately *excluded* from :func:`outcome_digest` —
+            the digest pins placement behavior, and attaching an
+            accountant must not move the blind goldens.
     """
 
     cluster: ClusterSpec
@@ -317,6 +398,7 @@ class SimOutcome:
     fallback_placements: int = 0
     baseline_stats: SnapshotStats = field(default_factory=SnapshotStats)
     green_stats: SnapshotStats = field(default_factory=SnapshotStats)
+    operational: Optional[object] = None
 
     @property
     def feasible(self) -> bool:
@@ -443,6 +525,73 @@ class _IndexedBackend:
         }
 
 
+class _TieredBackend:
+    """Composite backend: one inner backend per carbon tier.
+
+    Servers are grouped by exact ``carbon_key`` value and each group
+    becomes an independent inner backend of the *same* engine kind,
+    consulted in ascending-key order — so ``choose_*`` prefers the
+    lowest-marginal-carbon tier that can host the VM, and within a tier
+    behaves exactly like the blind scheduler.  Because every engine
+    builds its tiers from the same server groups in the same order, the
+    composite inherits the per-tier bit-identity of the underlying
+    engines: carbon-aware outcomes are engine- and driver-independent.
+
+    Note one deliberate semantic: generation routing is computed *per
+    tier*.  A multi-generation baseline fleet split across tiers routes
+    within each tier's own generations; the carbon ordering outranks
+    generation affinity (documented in docs/carbon_aware.md).
+    """
+
+    def __init__(self, tiers: List, owner: Dict[int, object]):
+        self.tiers = tiers
+        self._owner = owner  # server_id -> owning tier backend
+        self.stat_tier_probes = 0
+
+    def has_green(self) -> bool:
+        return any(tier.has_green() for tier in self.tiers)
+
+    def choose_green(self, vm, cores: int, memory_gb: float):
+        for tier in self.tiers:
+            self.stat_tier_probes += 1
+            server = tier.choose_green(vm, cores, memory_gb)
+            if server is not None:
+                return server
+        return None
+
+    def choose_baseline(self, vm, cores: int, memory_gb: float):
+        for tier in self.tiers:
+            self.stat_tier_probes += 1
+            server = tier.choose_baseline(vm, cores, memory_gb)
+            if server is not None:
+                return server
+        return None
+
+    def place(self, server, vm, cores, memory_gb, cxl_gb=0.0):
+        self._owner[server.server_id].place(
+            server, vm, cores, memory_gb, cxl_gb=cxl_gb
+        )
+
+    def remove(self, server, vm_id):
+        self._owner[server.server_id].remove(server, vm_id)
+
+    def snapshot(self, outcome: SimOutcome) -> None:
+        # Snapshot accumulation is associative (exact integer buckets),
+        # so folding tier by tier equals one whole-cluster walk.
+        for tier in self.tiers:
+            tier.snapshot(outcome)
+
+    def telemetry_counters(self) -> Dict[str, int]:
+        """Summed inner counters plus the tier-walk probe count."""
+        totals: Dict[str, int] = {
+            "placement.tier_probes": self.stat_tier_probes,
+        }
+        for tier in self.tiers:
+            for key, value in tier.telemetry_counters().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+
 def _replay(
     trace: VmTrace,
     cluster: ClusterSpec,
@@ -450,6 +599,7 @@ def _replay(
     adoption: AdoptionPolicy,
     snapshot_hours: float,
     raise_on_reject: bool,
+    accountant=None,
 ) -> SimOutcome:
     """The event loop shared by both placement backends."""
     outcome = SimOutcome(cluster=cluster)
@@ -464,12 +614,15 @@ def _replay(
         t_start = time.perf_counter()
     n_departures = 0
     n_snapshots = 0
+    acct_events_before = accountant.events if accountant is not None else 0
 
-    # Departures as a heap of (time, vm_id, server); arrivals in order.
+    # Departures as a heap of (time, vm_id, server, cores); the trailing
+    # cores element is never compared — (time, vm_id) is unique — it
+    # just rides along for the carbon accountant.  Arrivals in order.
     # The snapshot grid anchors at the window start (first arrival), so
     # traces that begin mid-day observe the same grid as their rebased
     # twins instead of burning phantom empty snapshots from t=0.
-    departures: List[Tuple[float, int, Server]] = []
+    departures: List[Tuple[float, int, Server, int]] = []
     rows = trace.vms
     start = rows[0].arrival_hours if rows else 0.0
     next_snapshot = start + snapshot_hours
@@ -485,9 +638,11 @@ def _replay(
         for vm in trace.vms:
             # Release departures and take snapshots up to this arrival.
             while departures and departures[0][0] <= vm.arrival_hours:
-                dep_time, vm_id, server = heapq.heappop(departures)
+                dep_time, vm_id, server, dep_cores = heapq.heappop(departures)
                 take_snapshots_until(dep_time)
                 backend.remove(server, vm_id)
+                if accountant is not None:
+                    accountant.on_remove(dep_time, server.sku, dep_cores)
                 n_departures += 1
             take_snapshots_until(vm.arrival_hours)
 
@@ -540,20 +695,29 @@ def _replay(
             outcome.placed_vms += 1
             if placed_server.is_green:
                 outcome.green_placements += 1
+            if accountant is not None:
+                accountant.on_place(
+                    vm.arrival_hours, placed_server.sku, cores
+                )
             if math.isfinite(vm.departure_hours):
                 heapq.heappush(
-                    departures, (vm.departure_hours, vm.vm_id, placed_server)
+                    departures,
+                    (vm.departure_hours, vm.vm_id, placed_server, cores),
                 )
 
         # Drain remaining departures within the trace window for final
         # snapshots.
         end = start + trace.duration_hours
         while departures and departures[0][0] <= end:
-            dep_time, vm_id, server = heapq.heappop(departures)
+            dep_time, vm_id, server, dep_cores = heapq.heappop(departures)
             take_snapshots_until(dep_time)
             backend.remove(server, vm_id)
+            if accountant is not None:
+                accountant.on_remove(dep_time, server.sku, dep_cores)
             n_departures += 1
         take_snapshots_until(end)
+        if accountant is not None:
+            outcome.operational = accountant.finalize(end)
     finally:
         # Flush even when a probe replay aborts on its first rejection
         # (raise_on_reject), so sizing manifests account the work done.
@@ -569,6 +733,10 @@ def _replay(
             deltas["alloc.fallback_placements"] = outcome.fallback_placements
             deltas["alloc.departures"] = n_departures
             deltas["alloc.snapshots"] = n_snapshots
+            if accountant is not None:
+                deltas["carbon.accounted_events"] = (
+                    accountant.events - acct_events_before
+                )
             tel.count_many(deltas)
             tel.record_timer("alloc.replay", time.perf_counter() - t_start)
     return outcome
@@ -644,6 +812,7 @@ def _replay_events(
     snapshot_hours: float,
     raise_on_reject: bool,
     chunk_events: int,
+    accountant=None,
 ) -> SimOutcome:
     """Streaming replay over chunked columnar event arrays.
 
@@ -667,6 +836,7 @@ def _replay_events(
     n_departures = 0
     n_snapshots = 0
     n_chunks = 0
+    acct_events_before = accountant.events if accountant is not None else 0
 
     start = columns.start_hours()
     end = start + trace.duration_hours
@@ -688,7 +858,7 @@ def _replay_events(
     app_col = columns.app_index
     mmf_col = columns.max_memory_fraction
     full_col = columns.full_node
-    active: Dict[int, object] = {}  # vm_id -> placed server
+    active: Dict[int, Tuple[object, int]] = {}  # vm_id -> (server, cores)
     view = _VmView()
     try:
         for start in range(0, ev_times.size, chunk_events):
@@ -708,11 +878,14 @@ def _replay_events(
                 if not kinds[j]:
                     # Departure; VMs that were rejected at arrival have
                     # no active placement to release.
-                    server = active.pop(vm_id, None)
-                    if server is None:
+                    entry = active.pop(vm_id, None)
+                    if entry is None:
                         continue
+                    server, vm_cores = entry
                     take_snapshots_until(times[j])
                     backend.remove(server, vm_id)
+                    if accountant is not None:
+                        accountant.on_remove(times[j], server.sku, vm_cores)
                     n_departures += 1
                     continue
                 take_snapshots_until(times[j])
@@ -785,8 +958,12 @@ def _replay_events(
                 outcome.placed_vms += 1
                 if placed_server.is_green:
                     outcome.green_placements += 1
-                active[vm_id] = placed_server
+                if accountant is not None:
+                    accountant.on_place(times[j], placed_server.sku, cores)
+                active[vm_id] = (placed_server, cores)
         take_snapshots_until(end)
+        if accountant is not None:
+            outcome.operational = accountant.finalize(end)
     finally:
         if tel is not None:
             deltas = {
@@ -802,18 +979,22 @@ def _replay_events(
             deltas["alloc.fallback_placements"] = outcome.fallback_placements
             deltas["alloc.departures"] = n_departures
             deltas["alloc.snapshots"] = n_snapshots
+            if accountant is not None:
+                deltas["carbon.accounted_events"] = (
+                    accountant.events - acct_events_before
+                )
             tel.count_many(deltas)
             tel.record_timer("alloc.replay", time.perf_counter() - t_start)
     return outcome
 
 
-def _build_backend(
+def _build_one_backend(
     engine_name: str,
     servers: List[Server],
     scheduler: BestFitScheduler,
     track_stats: bool,
 ):
-    """Instantiate the placement backend for a resolved engine name."""
+    """Instantiate one flat placement backend for a resolved engine name."""
     if engine_name == "reference":
         return _ReferenceBackend(servers, scheduler)
     if engine_name == "soa":
@@ -827,6 +1008,45 @@ def _build_backend(
     )
 
 
+def _build_backend(
+    engine_name: str,
+    servers: List[Server],
+    scheduler: BestFitScheduler,
+    track_stats: bool,
+    placement: Optional[PlacementPolicy] = None,
+):
+    """Instantiate the placement backend, tiered when carbon-aware.
+
+    With an active ``carbon_aware`` policy, servers are grouped by the
+    exact value of ``placement.carbon_key(sku)`` and each group gets
+    its own inner backend of the requested engine kind (ascending key
+    order; a group keeps its servers' original ascending-id order, so
+    the per-tier min-id tie-break is engine-independent).
+    """
+    if placement is not None and placement.name == "carbon_aware":
+        keyed: Dict[float, List[Server]] = {}
+        for server in servers:
+            key = float(placement.carbon_key(server.sku))
+            if not math.isfinite(key):
+                raise ConfigError(
+                    f"carbon_key returned non-finite rank {key!r} for "
+                    f"SKU {server.sku.name!r}"
+                )
+            keyed.setdefault(key, []).append(server)
+        tiers: List = []
+        owner: Dict[int, object] = {}
+        for key in sorted(keyed):
+            group = keyed[key]
+            tier = _build_one_backend(
+                engine_name, group, scheduler, track_stats
+            )
+            tiers.append(tier)
+            for server in group:
+                owner[server.server_id] = tier
+        return _TieredBackend(tiers, owner)
+    return _build_one_backend(engine_name, servers, scheduler, track_stats)
+
+
 def replay_columnar(
     trace: VmTrace,
     cluster: ClusterSpec,
@@ -836,6 +1056,8 @@ def replay_columnar(
     scheduler: Optional[BestFitScheduler] = None,
     engine: Optional[str] = None,
     chunk_events: int = DEFAULT_CHUNK_EVENTS,
+    placement=None,
+    accountant=None,
 ) -> SimOutcome:
     """Streaming columnar replay of ``trace`` against ``cluster``.
 
@@ -848,6 +1070,7 @@ def replay_columnar(
 
     ``chunk_events`` bounds how many merged events are gathered per
     fancy-index batch (memory ~O(chunk), independent of trace size).
+    ``placement`` / ``accountant`` mirror :func:`simulate`.
     """
     if snapshot_hours <= 0:
         raise ConfigError("snapshot interval must be > 0")
@@ -858,6 +1081,7 @@ def replay_columnar(
         cluster.build_servers(),
         scheduler,
         _wants_stats(trace, snapshot_hours),
+        placement=resolve_placement(placement),
     )
     return _replay_events(
         trace,
@@ -867,6 +1091,7 @@ def replay_columnar(
         snapshot_hours,
         raise_on_reject,
         chunk_events,
+        accountant=accountant,
     )
 
 
@@ -878,6 +1103,7 @@ def replay_on_engine(
     snapshot_hours: float = 1e9,
     raise_on_reject: bool = False,
     chunk_events: Optional[int] = None,
+    accountant=None,
 ) -> SimOutcome:
     """Replay a trace against a caller-prepared placement engine.
 
@@ -901,7 +1127,13 @@ def replay_on_engine(
     )
     if chunk_events is None:
         return _replay(
-            trace, cluster, backend, adoption, snapshot_hours, raise_on_reject
+            trace,
+            cluster,
+            backend,
+            adoption,
+            snapshot_hours,
+            raise_on_reject,
+            accountant=accountant,
         )
     return _replay_events(
         trace,
@@ -911,6 +1143,7 @@ def replay_on_engine(
         snapshot_hours,
         raise_on_reject,
         chunk_events,
+        accountant=accountant,
     )
 
 
@@ -940,6 +1173,8 @@ def simulate(
     raise_on_reject: bool = False,
     scheduler: Optional[BestFitScheduler] = None,
     engine: Optional[str] = None,
+    placement=None,
+    accountant=None,
 ) -> SimOutcome:
     """Replay ``trace`` against ``cluster`` under ``adoption``.
 
@@ -962,6 +1197,16 @@ def simulate(
             equivalence oracle, the SoA engine rides the streaming
             columnar replay (:func:`replay_columnar`) for fleet-scale
             runs.
+        placement: Emission-aware policy — ``None`` / ``"blind"`` / a
+            :class:`PlacementPolicy`.  Blind resolves to the exact
+            pre-policy code path; ``carbon_aware`` (built via
+            ``repro.carbon.grid.carbon_aware_policy``) tiers servers by
+            marginal operational carbon, identically on every engine.
+        accountant: Optional ``repro.carbon.grid.CarbonAccountant``;
+            when given, every placement/departure is integrated against
+            its grid signal and the exact operational-carbon report
+            lands on ``outcome.operational``.  Attaching an accountant
+            never changes placement behavior or ``outcome_digest``.
     """
     if snapshot_hours <= 0:
         raise ConfigError("snapshot interval must be > 0")
@@ -972,6 +1217,7 @@ def simulate(
         cluster.build_servers(),
         scheduler,
         _wants_stats(trace, snapshot_hours),
+        placement=resolve_placement(placement),
     )
     if engine_name == "soa":
         return _replay_events(
@@ -982,7 +1228,14 @@ def simulate(
             snapshot_hours,
             raise_on_reject,
             DEFAULT_CHUNK_EVENTS,
+            accountant=accountant,
         )
     return _replay(
-        trace, cluster, backend, adoption, snapshot_hours, raise_on_reject
+        trace,
+        cluster,
+        backend,
+        adoption,
+        snapshot_hours,
+        raise_on_reject,
+        accountant=accountant,
     )

@@ -97,7 +97,7 @@ class _SoAServer:
     def __init__(self, engine: "SoAPlacementEngine", slot: int):
         self._engine = engine
         self.slot = slot
-        self.server_id = slot
+        self.server_id = engine.server_ids[slot]
         self.sku = engine.skus[slot]
         self.is_green = bool(engine.green_mask[slot])
 
@@ -141,10 +141,13 @@ class _SoAServer:
 class SoAPlacementEngine:
     """Placement backend holding per-server state in parallel arrays.
 
-    Accepts the same pristine server list ``ClusterSpec.build_servers``
-    produces (ids must be the dense range ``0..n-1`` — they double as
-    slot indices).  The ``Server`` objects are only read for their SKUs;
-    all mutable state lives in the arrays.
+    Accepts a pristine server list with *strictly increasing* ids (as
+    built by ``ClusterSpec.build_servers``, or any ascending subset of
+    one — the carbon-tiered backend feeds per-tier groups).  Slot
+    ``i`` maps to ``server_ids[i]``; because ids ascend, the engine's
+    min-*slot* tie-breaks coincide with the reference scan's
+    min-*id* tie-breaks.  The ``Server`` objects are only read for
+    their SKUs; all mutable state lives in the arrays.
 
     ``track_stats`` is accepted for signature symmetry with
     :class:`repro.allocation.index.PlacementEngine` but is not needed:
@@ -165,10 +168,12 @@ class SoAPlacementEngine:
                 f"known: {PLACEMENT_POLICIES}"
             )
         servers = list(servers)
-        if [s.server_id for s in servers] != list(range(len(servers))):
+        ids = [s.server_id for s in servers]
+        if any(b <= a for a, b in zip(ids, ids[1:])):
             raise ConfigError(
-                "SoA engine requires dense sequential server ids "
-                "(as built by ClusterSpec.build_servers)"
+                "SoA engine requires strictly increasing server ids "
+                "(as built by ClusterSpec.build_servers, or an "
+                "ascending subset)"
             )
         if any(not s.is_empty for s in servers):
             raise ConfigError("SoA engine requires pristine empty servers")
@@ -176,6 +181,7 @@ class SoAPlacementEngine:
         self.track_stats = track_stats
         n = len(servers)
         self.n_servers = n
+        self.server_ids = ids
         self.skus = [s.sku for s in servers]
         # Static capacity/kind arrays.
         self.total_cores = np.array(

@@ -1,0 +1,581 @@
+"""Time-varying grid carbon intensity: signals, exact integration, accounting.
+
+The paper prices operational carbon against a single average grid mix
+(:mod:`repro.carbon.intensity`).  This module adds the *time-varying*
+axis (ROADMAP item 5): a :class:`CarbonSignal` is a piecewise-constant
+hourly carbon-intensity series that wraps over its period, with
+
+- deterministic synthetic generators (``flat`` / ``diurnal`` /
+  ``seasonal``, registered in :data:`GRID_SIGNALS`),
+- CSV ingestion with a per-row degradation report
+  (:func:`signal_from_csv`, following the
+  :mod:`repro.allocation.ingest` pattern),
+- *exact* integration of gCO2-weight over arbitrary ``[t0, t1)``
+  windows: :meth:`CarbonSignal.integrate_exact` evaluates an
+  antiderivative in :class:`~fractions.Fraction` arithmetic, so
+  integrals are exactly additive over adjacent windows and exactly
+  invariant under whole-period shifts (Hypothesis-pinned in
+  ``tests/carbon/test_grid.py``).
+
+On top of the signal sit the two couplings to the allocation stack:
+
+- :func:`carbon_aware_policy` builds the ``"carbon_aware"``
+  :class:`~repro.allocation.cluster.PlacementPolicy`: servers are
+  tiered by marginal operational carbon (Eq. 1 watts per core), and
+  placement prefers lower tiers.  With a single attached signal the
+  instantaneous intensity is a common positive factor across servers,
+  so the tier *ordering* is time-invariant — time variation enters
+  through the accounting, not the ranking.
+- :class:`CarbonAccountant` integrates ``cores x intensity`` exactly
+  over each VM's residency and converts to operational kgCO2e per SKU
+  (an :class:`OperationalCarbonReport`), which is how carbon-aware and
+  blind replays of the same trace are compared.
+"""
+
+from __future__ import annotations
+
+import csv
+import gzip
+import hashlib
+import io
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..core.errors import ConfigError
+from ..hardware.sku import ServerSKU
+from .model import CarbonModel
+from .temporal import diurnal_intensity_profile
+
+#: Times accepted by the exact integrator.  Passing a ``Fraction`` keeps
+#: the whole computation rational (floats are converted losslessly).
+TimeLike = Union[int, float, Fraction]
+
+#: Registered synthetic signal names accepted by :func:`grid_signal`
+#: (and by the sweep's ``grid_signal`` axis / the CLI ``--signals`` flag).
+GRID_SIGNALS = ("flat", "diurnal", "seasonal")
+
+#: Schema tag stamped into :class:`GridCsvReport`.
+GRID_CSV_SCHEMA = "repro-grid-csv/1"
+
+
+def _as_fraction(t: TimeLike, label: str) -> Fraction:
+    """Convert a time to an exact ``Fraction`` (floats losslessly)."""
+    try:
+        return Fraction(t)
+    except (ValueError, OverflowError, TypeError) as exc:
+        raise ConfigError(f"{label} must be a finite number, got {t!r}") from exc
+
+
+@dataclass(frozen=True)
+class CarbonSignal:
+    """A piecewise-constant hourly grid carbon-intensity series.
+
+    ``values[h]`` is the intensity (kgCO2e/kWh) over hour ``[h, h+1)``;
+    the signal wraps with period ``len(values)`` hours, so a 24-value
+    signal repeats daily.  All arithmetic that matters for equivalence
+    testing is exact: see :meth:`integrate_exact`.
+
+    Attributes:
+        name: Label carried into reports and provenance records.
+        values: Hourly intensities; at least one, all finite and >= 0.
+    """
+
+    name: str
+    values: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("a carbon signal needs a name")
+        if not self.values:
+            raise ConfigError("a carbon signal needs at least one hourly value")
+        for hour, value in enumerate(self.values):
+            if not (isinstance(value, float) and math.isfinite(value)):
+                raise ConfigError(
+                    f"signal {self.name!r} hour {hour}: intensity must be "
+                    f"a finite float, got {value!r}"
+                )
+            if value < 0:
+                raise ConfigError(
+                    f"signal {self.name!r} hour {hour}: intensity must be "
+                    f">= 0, got {value!r}"
+                )
+        # Exact per-hour values and prefix sums for the antiderivative.
+        exact = tuple(Fraction(v) for v in self.values)
+        prefix = [Fraction(0)]
+        for value in exact:
+            prefix.append(prefix[-1] + value)
+        object.__setattr__(self, "_exact", exact)
+        object.__setattr__(self, "_prefix", tuple(prefix))
+
+    @property
+    def period_hours(self) -> int:
+        """Length of one cycle of the signal, in hours."""
+        return len(self.values)
+
+    @property
+    def mean_intensity(self) -> float:
+        """Average intensity over one full period (kgCO2e/kWh)."""
+        return float(self._prefix[-1] / len(self.values))
+
+    def value_at(self, t: TimeLike) -> float:
+        """Intensity in effect at absolute time ``t`` (hours)."""
+        tf = _as_fraction(t, "time")
+        n = len(self.values)
+        rem = tf - (tf // n) * n
+        return self.values[int(rem)]
+
+    def _antiderivative(self, tf: Fraction) -> Fraction:
+        """Exact ``F(t) = integral of the signal over [0, t)``."""
+        n = len(self.values)
+        full = tf // n
+        rem = tf - full * n
+        hour = int(rem)
+        if hour == n:  # guard: rem is in [0, n) by construction
+            hour, rem = 0, Fraction(0)
+        return (
+            full * self._prefix[-1]
+            + self._prefix[hour]
+            + (rem - hour) * self._exact[hour]
+        )
+
+    def integrate_exact(self, t0: TimeLike, t1: TimeLike) -> Fraction:
+        """Exact integral of intensity over ``[t0, t1)`` in kgCO2e-h/kWh.
+
+        The result is a :class:`~fractions.Fraction`; it is exactly
+        additive over adjacent windows and exactly invariant under
+        shifts by whole periods.
+        """
+        f0 = _as_fraction(t0, "window start")
+        f1 = _as_fraction(t1, "window end")
+        if f1 < f0:
+            raise ConfigError(
+                f"integration window must satisfy t1 >= t0, got "
+                f"[{t0}, {t1})"
+            )
+        return self._antiderivative(f1) - self._antiderivative(f0)
+
+    def integrate(self, t0: TimeLike, t1: TimeLike) -> float:
+        """Float view of :meth:`integrate_exact` (one rounding, at the end)."""
+        return float(self.integrate_exact(t0, t1))
+
+
+def flat_signal(intensity: float = 0.1, name: str = "flat") -> CarbonSignal:
+    """A constant-intensity signal (the degenerate one-hour period)."""
+    return CarbonSignal(name=name, values=(float(intensity),))
+
+
+def diurnal_signal(
+    mean_ci: float = 0.1,
+    solar_swing: float = 0.5,
+    name: str = "diurnal",
+) -> CarbonSignal:
+    """A 24 h signal with a midday solar dip.
+
+    Wraps :func:`repro.carbon.temporal.diurnal_intensity_profile`
+    (minimum at 13:00, maximum around 01:00) into a wrapping signal.
+    """
+    profile = diurnal_intensity_profile(
+        mean_ci=mean_ci, solar_swing=solar_swing, hours=24
+    )
+    return CarbonSignal(name=name, values=tuple(float(v) for v in profile))
+
+
+def seasonal_signal(
+    mean_ci: float = 0.1,
+    solar_swing: float = 0.5,
+    weekly_swing: float = 0.2,
+    days: int = 7,
+    name: str = "seasonal",
+) -> CarbonSignal:
+    """A multi-day signal: the diurnal dip modulated by a slow cycle.
+
+    Each day ``d`` of the ``days``-day period scales the diurnal
+    profile by ``1 + weekly_swing * cos(2 pi d / days)`` (windier
+    mid-cycle, dirtier at the edges), modelling week-scale weather on
+    top of the daily solar dip.
+    """
+    if not 0 <= weekly_swing < 1:
+        raise ConfigError("weekly swing must be in [0, 1)")
+    if days < 1:
+        raise ConfigError("a seasonal signal needs at least one day")
+    daily = diurnal_intensity_profile(
+        mean_ci=mean_ci, solar_swing=solar_swing, hours=24
+    )
+    values: List[float] = []
+    for day in range(days):
+        season = 1.0 + weekly_swing * math.cos(2 * math.pi * day / days)
+        values.extend(float(v) * season for v in daily)
+    return CarbonSignal(name=name, values=tuple(values))
+
+
+def grid_signal(name: str) -> CarbonSignal:
+    """Build a registered synthetic signal by name (see GRID_SIGNALS)."""
+    if name == "flat":
+        return flat_signal()
+    if name == "diurnal":
+        return diurnal_signal()
+    if name == "seasonal":
+        return seasonal_signal()
+    raise ConfigError(
+        f"unknown grid signal {name!r}; known: {GRID_SIGNALS}"
+    )
+
+
+@dataclass(frozen=True)
+class GridCsvReport:
+    """Degradation report for one grid-intensity CSV ingestion.
+
+    Mirrors the :class:`repro.allocation.ingest.IngestReport` pattern:
+    every dropped row is counted by reason, nothing is silently
+    repaired, and the source bytes are digest-pinned.
+
+    Attributes:
+        source: Path the CSV was read from.
+        source_digest: sha256 of the raw file bytes.
+        schema: Always :data:`GRID_CSV_SCHEMA`.
+        rows_total: Data rows seen (header excluded).
+        rows_kept: Rows that contributed an hourly value.
+        rows_blank: Empty rows skipped.
+        rows_invalid: Rows with missing/unparseable/negative fields.
+        rows_duplicate: Repeated hours (first occurrence wins).
+        out_of_order: Kept rows whose hour went backwards.
+        hours: Hours in the resulting signal's period.
+    """
+
+    source: str
+    source_digest: str
+    schema: str
+    rows_total: int
+    rows_kept: int
+    rows_blank: int
+    rows_invalid: int
+    rows_duplicate: int
+    out_of_order: int
+    hours: int
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view of the report."""
+        return {
+            "source": self.source,
+            "source_digest": self.source_digest,
+            "schema": self.schema,
+            "rows_total": self.rows_total,
+            "rows_kept": self.rows_kept,
+            "rows_blank": self.rows_blank,
+            "rows_invalid": self.rows_invalid,
+            "rows_duplicate": self.rows_duplicate,
+            "out_of_order": self.out_of_order,
+            "hours": self.hours,
+        }
+
+
+def _parse_grid_row(cells: List[str]) -> Optional[Tuple[int, float]]:
+    """Parse one ``hour,intensity`` row; None when the row is invalid."""
+    if len(cells) < 2:
+        return None
+    try:
+        hour_f = float(cells[0])
+        intensity = float(cells[1])
+    except ValueError:
+        return None
+    if not (math.isfinite(hour_f) and hour_f >= 0 and hour_f == int(hour_f)):
+        return None
+    if not (math.isfinite(intensity) and intensity >= 0):
+        return None
+    return int(hour_f), intensity
+
+
+def signal_from_csv(
+    path: Union[str, Path], name: Optional[str] = None
+) -> Tuple[CarbonSignal, GridCsvReport]:
+    """Ingest an ``hour,intensity`` CSV into a :class:`CarbonSignal`.
+
+    Accepts plain or gzip-compressed CSVs with two columns: an integer
+    hour (``0..n-1``) and a non-negative finite intensity
+    (kgCO2e/kWh).  An optional header row is skipped.  Malformed rows
+    degrade per-reason into the returned :class:`GridCsvReport` rather
+    than aborting; duplicated hours keep their first value.  The kept
+    hours must form the dense range ``0..max`` — gaps are a
+    :class:`~repro.core.errors.ConfigError`, because a signal with
+    missing hours has no well-defined integral.
+    """
+    path = Path(path)
+    raw = path.read_bytes()
+    digest = hashlib.sha256(raw).hexdigest()
+    if path.suffix == ".gz":
+        raw = gzip.decompress(raw)
+    text = raw.decode("utf-8")
+
+    rows_total = rows_kept = rows_blank = rows_invalid = 0
+    rows_duplicate = out_of_order = 0
+    by_hour: Dict[int, float] = {}
+    last_hour = -1
+    reader = csv.reader(io.StringIO(text))
+    first = True
+    for cells in reader:
+        if not cells or all(not cell.strip() for cell in cells):
+            if not first:
+                rows_total += 1
+                rows_blank += 1
+            continue
+        cells = [cell.strip() for cell in cells]
+        if first:
+            first = False
+            if _parse_grid_row(cells) is None:
+                continue  # header row, uncounted
+        rows_total += 1
+        parsed = _parse_grid_row(cells)
+        if parsed is None:
+            rows_invalid += 1
+            continue
+        hour, intensity = parsed
+        if hour in by_hour:
+            rows_duplicate += 1
+            continue
+        if hour < last_hour:
+            out_of_order += 1
+        last_hour = max(last_hour, hour)
+        by_hour[hour] = intensity
+        rows_kept += 1
+
+    if not by_hour:
+        raise ConfigError(f"grid CSV {path} has no usable hour rows")
+    missing = sorted(set(range(max(by_hour) + 1)) - set(by_hour))
+    if missing:
+        raise ConfigError(
+            f"grid CSV {path} is missing hours {missing[:8]}"
+            f"{'...' if len(missing) > 8 else ''}; a signal must cover "
+            f"the dense range 0..{max(by_hour)}"
+        )
+    if name is None:
+        name = path.name
+        for suffix in (".gz", ".csv"):
+            if name.endswith(suffix):
+                name = name[: -len(suffix)]
+    values = tuple(by_hour[h] for h in range(len(by_hour)))
+    report = GridCsvReport(
+        source=str(path),
+        source_digest=digest,
+        schema=GRID_CSV_SCHEMA,
+        rows_total=rows_total,
+        rows_kept=rows_kept,
+        rows_blank=rows_blank,
+        rows_invalid=rows_invalid,
+        rows_duplicate=rows_duplicate,
+        out_of_order=out_of_order,
+        hours=len(values),
+    )
+    return CarbonSignal(name=name, values=values), report
+
+
+def marginal_watts_per_core(
+    sku: ServerSKU, model: Optional[CarbonModel] = None
+) -> float:
+    """Marginal operational power of one core on ``sku`` (Eq. 1 watts).
+
+    This is the carbon-aware placement rank: with one grid signal
+    attached, the instantaneous intensity multiplies every server
+    equally, so ordering servers by watts-per-core orders them by
+    marginal operational carbon at every instant.
+    """
+    model = model or CarbonModel()
+    if sku.cores <= 0:
+        raise ConfigError(f"SKU {sku.name!r} has no cores to amortize over")
+    return model.server_power_watts(sku) / sku.cores
+
+
+def carbon_aware_policy(signal: CarbonSignal, model: Optional[CarbonModel] = None):
+    """Build the ``"carbon_aware"`` placement policy for ``signal``.
+
+    Returns a :class:`repro.allocation.cluster.PlacementPolicy` whose
+    ``carbon_key`` ranks SKUs by :func:`marginal_watts_per_core` under
+    ``model`` (default :class:`CarbonModel`).  The signal itself rides
+    along for accounting and provenance; see the module docstring for
+    why the ranking is time-invariant.
+    """
+    from ..allocation.cluster import PlacementPolicy
+
+    if signal is None:
+        raise ConfigError(
+            "carbon_aware placement needs an attached CarbonSignal"
+        )
+    model = model or CarbonModel()
+
+    def key(sku: ServerSKU) -> float:
+        return marginal_watts_per_core(sku, model)
+
+    return PlacementPolicy(name="carbon_aware", carbon_key=key, signal=signal)
+
+
+@dataclass(frozen=True)
+class OperationalCarbonReport:
+    """Exact operational carbon of one replay under one grid signal.
+
+    Attributes:
+        signal_name: The :class:`CarbonSignal` integrated against.
+        start_hours / end_hours: Accounting window (trace window).
+        kg_by_sku: Operational kgCO2e attributed to each SKU's VMs.
+        core_hours_by_sku: Allocated core-hours per SKU.
+        events: Place/remove events the accountant observed.
+    """
+
+    signal_name: str
+    start_hours: float
+    end_hours: float
+    kg_by_sku: Dict[str, float]
+    core_hours_by_sku: Dict[str, float]
+    events: int
+
+    @property
+    def total_kg(self) -> float:
+        """Total operational kgCO2e across all SKUs."""
+        return sum(self.kg_by_sku.values())
+
+    @property
+    def total_core_hours(self) -> float:
+        """Total allocated core-hours across all SKUs."""
+        return sum(self.core_hours_by_sku.values())
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view (keys sorted for byte determinism)."""
+        return {
+            "signal": self.signal_name,
+            "start_hours": self.start_hours,
+            "end_hours": self.end_hours,
+            "total_kg": self.total_kg,
+            "kg_by_sku": dict(sorted(self.kg_by_sku.items())),
+            "core_hours_by_sku": dict(
+                sorted(self.core_hours_by_sku.items())
+            ),
+            "events": self.events,
+        }
+
+
+class CarbonAccountant:
+    """Integrates allocated cores against a grid signal, exactly.
+
+    Attach one fresh accountant per replay (``simulate(...,
+    accountant=...)``); the replay loop reports every placement and
+    departure, and :meth:`finalize` closes the window.  Per SKU the
+    accountant keeps the exact rational ``integral of active_cores x
+    intensity dt`` (core-hours weighted by kgCO2e/kWh); multiplying by
+    the SKU's watts-per-core / 1000 converts to kgCO2e with a single
+    rounding at report time.  Because the integral is exact, blind and
+    carbon-aware replays of the same trace are comparable to the bit.
+    """
+
+    def __init__(
+        self, signal: CarbonSignal, model: Optional[CarbonModel] = None
+    ) -> None:
+        if not isinstance(signal, CarbonSignal):
+            raise ConfigError("CarbonAccountant needs a CarbonSignal")
+        self.signal = signal
+        self._model = model or CarbonModel()
+        self._watts_per_core: Dict[str, float] = {}
+        self._skus: Dict[str, ServerSKU] = {}
+        self._active_cores: Dict[str, int] = {}
+        self._weighted: Dict[str, Fraction] = {}
+        self._core_hours: Dict[str, Fraction] = {}
+        self._t_first: Optional[float] = None
+        self._t_last: Optional[Fraction] = None
+        self.events = 0
+
+    def _advance(self, t: TimeLike) -> Fraction:
+        """Integrate active cores up to ``t``; returns exact ``t``."""
+        tf = _as_fraction(t, "event time")
+        if self._t_last is None:
+            self._t_first = float(tf)
+            self._t_last = tf
+            return tf
+        if tf < self._t_last:
+            raise ConfigError(
+                f"accountant events must be time-ordered: {float(tf)} "
+                f"after {float(self._t_last)}"
+            )
+        if tf > self._t_last:
+            segment = self.signal.integrate_exact(self._t_last, tf)
+            dt = tf - self._t_last
+            for name, cores in self._active_cores.items():
+                if cores:
+                    self._weighted[name] += cores * segment
+                    self._core_hours[name] += cores * dt
+            self._t_last = tf
+        return tf
+
+    def on_place(self, t: TimeLike, sku: ServerSKU, cores: int) -> None:
+        """Record a VM placement of ``cores`` cores on ``sku`` at ``t``."""
+        self._advance(t)
+        self.events += 1
+        name = sku.name
+        if name not in self._watts_per_core:
+            self._watts_per_core[name] = marginal_watts_per_core(
+                sku, self._model
+            )
+            self._skus[name] = sku
+            self._active_cores[name] = 0
+            self._weighted[name] = Fraction(0)
+            self._core_hours[name] = Fraction(0)
+        self._active_cores[name] += cores
+
+    def on_remove(self, t: TimeLike, sku: ServerSKU, cores: int) -> None:
+        """Record the departure of a VM holding ``cores`` on ``sku``."""
+        self._advance(t)
+        self.events += 1
+        name = sku.name
+        if self._active_cores.get(name, 0) < cores:
+            raise ConfigError(
+                f"accountant underflow: removing {cores} cores from "
+                f"{name!r} with {self._active_cores.get(name, 0)} active"
+            )
+        self._active_cores[name] -= cores
+
+    def finalize(self, end: TimeLike) -> OperationalCarbonReport:
+        """Close the window at ``end`` and emit the exact report."""
+        if self._t_last is not None:
+            self._advance(end)
+            end_f = float(self._t_last)
+            start_f = float(self._t_first)
+        else:
+            end_f = float(_as_fraction(end, "window end"))
+            start_f = end_f
+        kg = {
+            name: float(
+                Fraction(self._watts_per_core[name])
+                / 1000
+                * self._weighted[name]
+            )
+            for name in sorted(self._weighted)
+        }
+        core_hours = {
+            name: float(self._core_hours[name])
+            for name in sorted(self._core_hours)
+        }
+        return OperationalCarbonReport(
+            signal_name=self.signal.name,
+            start_hours=start_f,
+            end_hours=end_f,
+            kg_by_sku=kg,
+            core_hours_by_sku=core_hours,
+            events=self.events,
+        )
+
+
+__all__ = [
+    "GRID_SIGNALS",
+    "GRID_CSV_SCHEMA",
+    "TimeLike",
+    "CarbonSignal",
+    "flat_signal",
+    "diurnal_signal",
+    "seasonal_signal",
+    "grid_signal",
+    "GridCsvReport",
+    "signal_from_csv",
+    "marginal_watts_per_core",
+    "carbon_aware_policy",
+    "CarbonAccountant",
+    "OperationalCarbonReport",
+]

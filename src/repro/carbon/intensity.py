@@ -12,6 +12,7 @@ operational emissions at ~9% of data-center emissions rather than zero.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -42,6 +43,13 @@ class EnergyMix:
     renewable_ci: float = RENEWABLE_LIFECYCLE_CI
 
     def __post_init__(self) -> None:
+        for label, value in (
+            ("renewable fraction", self.renewable_fraction),
+            ("fossil CI", self.fossil_ci),
+            ("renewable CI", self.renewable_ci),
+        ):
+            if not math.isfinite(value):
+                raise ConfigError(f"{label} must be finite, got {value}")
         if not 0 <= self.renewable_fraction <= 1:
             raise ConfigError("renewable fraction must be in [0, 1]")
         if self.fossil_ci < 0 or self.renewable_ci < 0:
@@ -83,9 +91,14 @@ def azure_average_mix() -> EnergyMix:
 def mix_for_intensity(target_ci: float) -> EnergyMix:
     """The renewable fraction whose blended intensity equals ``target_ci``.
 
-    Inverse of :attr:`EnergyMix.effective_ci`; raises when the target is
+    Inverse of :attr:`EnergyMix.effective_ci`; raises :class:`ConfigError`
+    (never a silent clamp) when the target is non-finite, non-positive, or
     outside the achievable [renewable_ci, fossil_ci] band.
     """
+    if not math.isfinite(target_ci):
+        raise ConfigError(f"target CI must be finite, got {target_ci}")
+    if target_ci <= 0:
+        raise ConfigError(f"target CI must be > 0, got {target_ci}")
     lo, hi = RENEWABLE_LIFECYCLE_CI, FOSSIL_GRID_CI
     if not lo <= target_ci <= hi:
         raise ConfigError(

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..allocation.cluster import CARBON_PLACEMENT_POLICIES
 from ..allocation.ingest import (
     AZURE_DIR_ENV,
     azure_trace_suite,
@@ -40,6 +41,7 @@ from ..allocation.ingest import (
     file_digest,
 )
 from ..allocation.traces import TraceParams, generate_trace
+from ..carbon.grid import GRID_SIGNALS
 from ..core import provenance, telemetry
 from ..core.errors import ConfigError, SimulationError
 from ..core.runner import cached_map, content_key
@@ -71,6 +73,15 @@ class SweepSpec:
             stock SKU, an even integer rebuilds it via
             :func:`with_cxl_dimms`.
         backends: Trace backends (``synthetic`` / ``azure``).
+        grid_signals: Time-varying grid-signal names from
+            :data:`repro.carbon.grid.GRID_SIGNALS`; ``None`` (the
+            default) skips the carbon-aware replay pair entirely,
+            keeping the point's payload byte-identical to pre-axis
+            sweeps.
+        placement_policies: Placement-policy names from
+            :data:`~repro.allocation.cluster.CARBON_PLACEMENT_POLICIES`.
+            ``carbon_aware`` requires every ``grid_signals`` value to
+            name a real signal.
         carbon_intensity: Grid CI override (``None`` = framework default).
         seed / vms / days: Synthetic-trace generator inputs.  They shape
             the ``trace/synthetic`` *leaf digest*, not the point
@@ -83,6 +94,8 @@ class SweepSpec:
     buffer_fractions: Tuple[float, ...] = (0.15,)
     cxl_dimm_counts: Tuple[Optional[int], ...] = (None,)
     backends: Tuple[str, ...] = ("synthetic",)
+    grid_signals: Tuple[Optional[str], ...] = (None,)
+    placement_policies: Tuple[str, ...] = ("blind",)
     carbon_intensity: Optional[float] = None
     seed: int = 7
     vms: int = 60
@@ -96,8 +109,29 @@ class SweepSpec:
         for backend in self.backends:
             if backend not in SWEEP_BACKENDS:
                 raise ConfigError(f"unknown trace backend {backend!r}")
+        for signal in self.grid_signals:
+            if signal is not None and signal not in GRID_SIGNALS:
+                raise ConfigError(
+                    f"unknown grid signal {signal!r}; "
+                    f"known: {GRID_SIGNALS} (or None)"
+                )
+        for policy in self.placement_policies:
+            if policy not in CARBON_PLACEMENT_POLICIES:
+                raise ConfigError(
+                    f"unknown placement policy {policy!r}; "
+                    f"known: {CARBON_PLACEMENT_POLICIES}"
+                )
+        if "carbon_aware" in self.placement_policies and any(
+            signal is None for signal in self.grid_signals
+        ):
+            raise ConfigError(
+                "carbon_aware placement needs a grid signal on every "
+                "grid_signals value (None mixes a signal-less point "
+                "into the policy axis)"
+            )
         if not (self.skus and self.adoption_rules and self.buffer_fractions
-                and self.cxl_dimm_counts and self.backends):
+                and self.cxl_dimm_counts and self.backends
+                and self.grid_signals and self.placement_policies):
             raise ConfigError("every sweep axis needs at least one value")
 
 
@@ -117,6 +151,8 @@ class SweepPoint:
     buffer_fraction: float
     cxl_dimms: Optional[int]
     backend: str
+    grid_signal: Optional[str]
+    placement_policy: str
     carbon_intensity: Optional[float]
     seed: int
     vms: int
@@ -128,6 +164,7 @@ class SweepPoint:
         return (
             f"point/{self.sku}/{self.rule}/buf{self.buffer_fraction!r}"
             f"/cxl{self.cxl_dimms}/{self.backend}/ci{self.carbon_intensity!r}"
+            f"/sig{self.grid_signal}/pol{self.placement_policy}"
         )
 
 
@@ -139,19 +176,25 @@ def sweep_points(spec: SweepSpec) -> List[SweepPoint]:
             for buffer_fraction in spec.buffer_fractions:
                 for cxl_dimms in spec.cxl_dimm_counts:
                     for backend in spec.backends:
-                        points.append(
-                            SweepPoint(
-                                sku=sku,
-                                rule=rule,
-                                buffer_fraction=buffer_fraction,
-                                cxl_dimms=cxl_dimms,
-                                backend=backend,
-                                carbon_intensity=spec.carbon_intensity,
-                                seed=spec.seed,
-                                vms=spec.vms,
-                                days=spec.days,
-                            )
-                        )
+                        for signal in spec.grid_signals:
+                            for policy in spec.placement_policies:
+                                points.append(
+                                    SweepPoint(
+                                        sku=sku,
+                                        rule=rule,
+                                        buffer_fraction=buffer_fraction,
+                                        cxl_dimms=cxl_dimms,
+                                        backend=backend,
+                                        grid_signal=signal,
+                                        placement_policy=policy,
+                                        carbon_intensity=(
+                                            spec.carbon_intensity
+                                        ),
+                                        seed=spec.seed,
+                                        vms=spec.vms,
+                                        days=spec.days,
+                                    )
+                                )
     return points
 
 
@@ -287,6 +330,13 @@ def _compute_point(point: SweepPoint) -> Dict[str, object]:
     policy, runs the sizing search + GSF evaluation, and returns the
     JSON payload.  Policy callables are rebuilt from the rule name here
     because closures do not pickle.
+
+    Points carrying a ``grid_signal`` additionally replay the trace on a
+    two-generation mixed cluster under the blind and carbon-aware
+    placement policies (see
+    :func:`repro.experiments.expt_carbon_aware.run_trace`) and attach
+    the operational delta as a ``carbon_aware`` payload section;
+    signal-less points keep the pre-axis payload shape byte-for-byte.
     """
     from ..analysis.ablations import adoption_policy
     from ..gsf.framework import Gsf, GsfConfig
@@ -317,7 +367,16 @@ def _compute_point(point: SweepPoint) -> Dict[str, object]:
         "buffer_fraction": point.buffer_fraction,
         "cxl_dimms": point.cxl_dimms,
         "backend": point.backend,
+        "grid_signal": point.grid_signal,
+        "placement_policy": point.placement_policy,
     }
+    if point.grid_signal is not None:
+        from ..experiments.expt_carbon_aware import run_trace as carbon_pair
+
+        delta = carbon_pair(trace, gsf, sku, point.grid_signal)
+        section = delta.to_payload()["carbon_aware"]
+        section["policy"] = point.placement_policy
+        payload["carbon_aware"] = section
     return payload
 
 
@@ -365,17 +424,20 @@ def _summary_payload(
     for point, payload in zip(points, payloads):
         if payload is None:
             continue
-        rows.append(
-            {
-                "id": point.artifact_id,
-                "sku": point.sku,
-                "rule": point.rule,
-                "buffer_fraction": point.buffer_fraction,
-                "cxl_dimms": point.cxl_dimms,
-                "backend": point.backend,
-                "cluster_savings": payload["cluster_savings"],
-            }
-        )
+        row = {
+            "id": point.artifact_id,
+            "sku": point.sku,
+            "rule": point.rule,
+            "buffer_fraction": point.buffer_fraction,
+            "cxl_dimms": point.cxl_dimms,
+            "backend": point.backend,
+            "grid_signal": point.grid_signal,
+            "placement_policy": point.placement_policy,
+            "cluster_savings": payload["cluster_savings"],
+        }
+        if "carbon_aware" in payload:
+            row["carbon_delta_kg"] = payload["carbon_aware"]["delta_kg"]
+        rows.append(row)
     return {"points": rows, "count": len(rows)}
 
 

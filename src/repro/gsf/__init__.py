@@ -9,7 +9,12 @@ from .buffer import (
 )
 from .framework import GenerationAwareEvaluation, Gsf, GsfConfig
 from .report import evaluation_markdown
-from .results import DeploymentEmissions, GsfEvaluation, IntensitySweepPoint
+from .results import (
+    CarbonAwareDelta,
+    DeploymentEmissions,
+    GsfEvaluation,
+    IntensitySweepPoint,
+)
 from .sizing import (
     ClusterSizing,
     GenerationAwareSizing,
@@ -30,6 +35,7 @@ __all__ = [
     "GenerationAwareEvaluation",
     "Gsf",
     "GsfConfig",
+    "CarbonAwareDelta",
     "DeploymentEmissions",
     "GsfEvaluation",
     "IntensitySweepPoint",

@@ -64,10 +64,23 @@ class TestScaledSum:
 
 
 class TestConstruction:
-    def test_requires_dense_ids(self):
-        servers = [Server(5, baseline_gen3())]
-        with pytest.raises(ConfigError, match="dense sequential"):
-            SoAPlacementEngine(servers)
+    def test_accepts_ascending_sparse_ids(self):
+        # Non-dense but strictly increasing ids are valid (the carbon-
+        # tiered backend feeds ascending subsets of a cluster's ids).
+        servers = [Server(5, baseline_gen3()), Server(9, baseline_gen3())]
+        engine = SoAPlacementEngine(servers)
+        assert engine.server_ids == [5, 9]
+        vm = _vm(1)
+        chosen = engine.choose_baseline(vm, vm.cores, vm.memory_gb)
+        assert chosen.server_id == 5
+
+    def test_requires_strictly_increasing_ids(self):
+        decreasing = [Server(1, baseline_gen3()), Server(0, baseline_gen3())]
+        with pytest.raises(ConfigError, match="strictly increasing"):
+            SoAPlacementEngine(decreasing)
+        duplicated = [Server(2, baseline_gen3()), Server(2, baseline_gen3())]
+        with pytest.raises(ConfigError, match="strictly increasing"):
+            SoAPlacementEngine(duplicated)
 
     def test_requires_pristine_servers(self):
         server = Server(0, baseline_gen3())

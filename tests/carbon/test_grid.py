@@ -1,0 +1,270 @@
+"""Time-varying grid signals: construction, exact integration, ingestion."""
+
+import gzip
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.carbon.grid import (
+    GRID_CSV_SCHEMA,
+    GRID_SIGNALS,
+    CarbonAccountant,
+    CarbonSignal,
+    carbon_aware_policy,
+    diurnal_signal,
+    flat_signal,
+    grid_signal,
+    marginal_watts_per_core,
+    seasonal_signal,
+    signal_from_csv,
+)
+from repro.core.errors import ConfigError
+from repro.hardware.sku import baseline_gen2, baseline_gen3, greensku_full
+
+
+class TestCarbonSignal:
+    def test_flat_integrates_linearly(self):
+        signal = flat_signal(0.1)
+        assert signal.period_hours == 1
+        assert signal.integrate_exact(0, 5) == Fraction(0.1) * 5
+        assert signal.integrate(2, Fraction(9, 2)) == pytest.approx(0.25)
+
+    def test_full_period_integral_is_mean_times_period(self):
+        signal = diurnal_signal()
+        total = signal.integrate_exact(0, signal.period_hours)
+        assert float(total / signal.period_hours) == pytest.approx(
+            signal.mean_intensity
+        )
+
+    def test_value_at_wraps(self):
+        signal = CarbonSignal("steps", (0.1, 0.2, 0.3))
+        assert signal.value_at(0) == 0.1
+        assert signal.value_at(1.5) == 0.2
+        assert signal.value_at(3) == 0.1
+        assert signal.value_at(7.25) == 0.2
+
+    def test_reversed_window_rejected(self):
+        with pytest.raises(ConfigError, match="t1 >= t0"):
+            flat_signal().integrate_exact(3, 2)
+
+    def test_empty_window_is_zero(self):
+        assert diurnal_signal().integrate_exact(7.5, 7.5) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="needs a name"):
+            CarbonSignal("", (0.1,))
+        with pytest.raises(ConfigError, match="at least one"):
+            CarbonSignal("empty", ())
+        with pytest.raises(ConfigError, match=">= 0"):
+            CarbonSignal("neg", (0.1, -0.2))
+        with pytest.raises(ConfigError, match="finite float"):
+            CarbonSignal("nan", (float("nan"),))
+        with pytest.raises(ConfigError, match="finite float"):
+            CarbonSignal("int", (1,))
+
+    def test_non_finite_time_rejected(self):
+        with pytest.raises(ConfigError, match="finite number"):
+            flat_signal().integrate_exact(0, float("inf"))
+
+
+class TestGenerators:
+    def test_flat_is_one_hour(self):
+        assert flat_signal(0.2).values == (0.2,)
+
+    def test_diurnal_shape(self):
+        signal = diurnal_signal(mean_ci=0.1)
+        assert signal.period_hours == 24
+        assert signal.mean_intensity == pytest.approx(0.1, rel=1e-9)
+        # Midday solar dip: hour 13 is the cleanest.
+        assert min(signal.values) == signal.values[13]
+
+    def test_seasonal_shape(self):
+        signal = seasonal_signal(days=7)
+        assert signal.period_hours == 7 * 24
+        # The slow cycle modulates day means: day 0 dirtier than mid-cycle.
+        day = lambda d: sum(signal.values[d * 24:(d + 1) * 24])  # noqa: E731
+        assert day(0) > day(3)
+
+    def test_seasonal_validation(self):
+        with pytest.raises(ConfigError, match="weekly swing"):
+            seasonal_signal(weekly_swing=1.0)
+        with pytest.raises(ConfigError, match="at least one day"):
+            seasonal_signal(days=0)
+
+    def test_registry_dispatch(self):
+        for name in GRID_SIGNALS:
+            assert grid_signal(name).name == name
+        with pytest.raises(ConfigError, match="unknown grid signal"):
+            grid_signal("lunar")
+
+
+# Exact rational times: floats would fail shift invariance at the LSB,
+# which is exactly why the integrator is Fraction-based.
+times = st.fractions(min_value=0, max_value=1000)
+periods = st.integers(min_value=0, max_value=50)
+
+
+class TestIntegrationProperties:
+    @settings(deadline=None, max_examples=60)
+    @given(t0=times, t1=times, t2=times)
+    def test_additive_over_adjacent_windows(self, t0, t1, t2):
+        a, b, c = sorted((t0, t1, t2))
+        signal = diurnal_signal()
+        assert signal.integrate_exact(a, b) + signal.integrate_exact(
+            b, c
+        ) == signal.integrate_exact(a, c)
+
+    @settings(deadline=None, max_examples=60)
+    @given(t0=times, t1=times, k=periods)
+    def test_whole_period_shift_invariance(self, t0, t1, k):
+        a, b = sorted((t0, t1))
+        signal = seasonal_signal(days=2)
+        shift = k * signal.period_hours
+        assert signal.integrate_exact(
+            a + shift, b + shift
+        ) == signal.integrate_exact(a, b)
+
+
+class TestCsvIngestion:
+    def _write(self, tmp_path, text, name="grid.csv"):
+        path = tmp_path / name
+        path.write_text(text)
+        return path
+
+    def test_clean_roundtrip(self, tmp_path):
+        path = self._write(
+            tmp_path, "hour,intensity\n0,0.1\n1,0.2\n2,0.3\n"
+        )
+        signal, report = signal_from_csv(path)
+        assert signal.values == (0.1, 0.2, 0.3)
+        assert signal.name == "grid"
+        assert report.schema == GRID_CSV_SCHEMA
+        assert report.rows_total == report.rows_kept == 3
+        assert report.hours == 3
+        assert len(report.source_digest) == 64
+
+    def test_degradation_counted_per_reason(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "hour,intensity\n"
+            "1,0.2\n"        # kept (out of order comes later)
+            "0,0.1\n"        # kept, hour went backwards
+            "1,0.9\n"        # duplicate: first value wins
+            "\n"             # blank
+            "2,-0.5\n"       # invalid: negative intensity
+            "oops,0.1\n"     # invalid: unparseable hour
+            "2,0.3\n",       # kept
+        )
+        signal, report = signal_from_csv(path)
+        assert signal.values == (0.1, 0.2, 0.3)
+        assert report.rows_kept == 3
+        assert report.rows_blank == 1
+        assert report.rows_invalid == 2
+        assert report.rows_duplicate == 1
+        assert report.out_of_order == 1
+        assert report.rows_total == 7
+
+    def test_gzip_and_name_stripping(self, tmp_path):
+        raw = "0,0.1\n1,0.2\n".encode()
+        path = tmp_path / "texas.csv.gz"
+        path.write_bytes(gzip.compress(raw))
+        signal, report = signal_from_csv(path)
+        assert signal.name == "texas"
+        assert signal.values == (0.1, 0.2)
+
+    def test_missing_hours_rejected(self, tmp_path):
+        path = self._write(tmp_path, "0,0.1\n2,0.3\n")
+        with pytest.raises(ConfigError, match="missing hours"):
+            signal_from_csv(path)
+
+    def test_no_usable_rows_rejected(self, tmp_path):
+        path = self._write(tmp_path, "hour,intensity\nx,y\n")
+        with pytest.raises(ConfigError, match="no usable hour rows"):
+            signal_from_csv(path)
+
+
+class TestPolicyBuilder:
+    def test_gen2_outranks_gen3_in_watts_per_core(self):
+        # The divergent-scenario premise: gen2 burns more watts per core.
+        assert marginal_watts_per_core(
+            baseline_gen2()
+        ) > marginal_watts_per_core(baseline_gen3())
+
+    def test_policy_carries_key_and_signal(self):
+        signal = diurnal_signal()
+        policy = carbon_aware_policy(signal)
+        assert policy.name == "carbon_aware"
+        assert policy.signal is signal
+        assert policy.carbon_key(baseline_gen3()) == pytest.approx(
+            marginal_watts_per_core(baseline_gen3())
+        )
+
+    def test_signal_required(self):
+        with pytest.raises(ConfigError, match="CarbonSignal"):
+            carbon_aware_policy(None)
+
+
+class TestAccountant:
+    def test_exact_hand_computation(self):
+        signal = flat_signal(0.1)
+        sku = baseline_gen3()
+        acct = CarbonAccountant(signal)
+        acct.on_place(0, sku, 2)
+        acct.on_remove(10, sku, 2)
+        report = acct.finalize(24)
+        wpc = marginal_watts_per_core(sku)
+        # 2 cores x 10 h x 0.1 kg/kWh x (wpc/1000) kW per core.
+        assert report.total_kg == pytest.approx(2 * 10 * 0.1 * wpc / 1000)
+        assert report.core_hours_by_sku[sku.name] == pytest.approx(20.0)
+        assert report.events == 2
+        assert (report.start_hours, report.end_hours) == (0.0, 24.0)
+
+    def test_multiple_skus_partition(self):
+        signal = flat_signal(0.1)
+        acct = CarbonAccountant(signal)
+        acct.on_place(0, baseline_gen2(), 4)
+        acct.on_place(0, greensku_full(), 4)
+        acct.on_remove(5, baseline_gen2(), 4)
+        acct.on_remove(5, greensku_full(), 4)
+        report = acct.finalize(5)
+        assert set(report.kg_by_sku) == {
+            baseline_gen2().name, greensku_full().name,
+        }
+        assert report.total_core_hours == pytest.approx(40.0)
+        # gen2's worse watts-per-core shows up directly in its share.
+        assert (
+            report.kg_by_sku[baseline_gen2().name]
+            > report.kg_by_sku[greensku_full().name]
+        )
+
+    def test_underflow_rejected(self):
+        acct = CarbonAccountant(flat_signal())
+        acct.on_place(0, baseline_gen3(), 2)
+        with pytest.raises(ConfigError, match="underflow"):
+            acct.on_remove(1, baseline_gen3(), 3)
+
+    def test_time_reversal_rejected(self):
+        acct = CarbonAccountant(flat_signal())
+        acct.on_place(5, baseline_gen3(), 1)
+        with pytest.raises(ConfigError, match="time-ordered"):
+            acct.on_place(4, baseline_gen3(), 1)
+
+    def test_empty_accountant_finalizes_to_zero(self):
+        report = CarbonAccountant(diurnal_signal()).finalize(48)
+        assert report.total_kg == 0.0
+        assert report.events == 0
+        assert report.start_hours == report.end_hours == 48.0
+
+    def test_requires_signal(self):
+        with pytest.raises(ConfigError, match="CarbonSignal"):
+            CarbonAccountant("diurnal")
+
+    def test_report_dict_is_sorted(self):
+        acct = CarbonAccountant(flat_signal())
+        acct.on_place(0, greensku_full(), 1)
+        acct.on_place(0, baseline_gen2(), 1)
+        payload = acct.finalize(1).to_dict()
+        assert list(payload["kg_by_sku"]) == sorted(payload["kg_by_sku"])
+        assert payload["signal"] == "flat"

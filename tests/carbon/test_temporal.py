@@ -97,3 +97,46 @@ class TestStacking:
     def test_invalid_inputs(self):
         with pytest.raises(ConfigError):
             stacked_savings(1.5, 0.1, 0.1)
+
+
+class TestSchedulerBoundaries:
+    def test_job_longer_than_profile_wraps(self):
+        # A 30 h job against a 24 h profile: emissions wrap modulo the
+        # period and the scheduler still respects the (tight) window.
+        job = BatchJob(1, 0, 30, 30, power_kw=1.0)
+        profile = diurnal_intensity_profile()
+        assert job_emissions(job, 0, profile) == pytest.approx(
+            sum(profile[h % 24] for h in range(30))
+        )
+        result = schedule_batch([job], profile=profile)
+        assert result.shifted[0].start_hour == 0
+
+    def test_job_longer_than_horizon_with_slack_still_schedules(self):
+        # Duration exceeds one period *and* the job has slack: every
+        # candidate start stays within [submit, deadline - duration].
+        job = BatchJob(1, 0, 26, 60, power_kw=1.0)
+        result = schedule_batch([job])
+        s = result.shifted[0]
+        assert 0 <= s.start_hour <= 60 - 26
+        assert result.shifted_kg <= result.immediate_kg
+
+    def test_zero_length_job_rejected(self):
+        with pytest.raises(ConfigError, match="duration must be > 0"):
+            BatchJob(1, 0, 0, 5, power_kw=1.0)
+        with pytest.raises(ConfigError, match="duration must be > 0"):
+            BatchJob(1, 0, -2, 5, power_kw=1.0)
+
+    def test_flat_profile_tie_picks_earliest_start(self):
+        # Every start is equal-emission on a flat grid; the scheduler's
+        # min() must break ties toward the earliest feasible hour.
+        job = BatchJob(1, 2, 3, 20, power_kw=1.0)
+        result = schedule_batch([job], profile=[0.1] * 24)
+        assert result.shifted[0].start_hour == 2
+
+    def test_equal_intensity_trough_tie_is_deterministic(self):
+        # Two identical minima -> the earlier one wins, every run.
+        profile = [0.3] * 24
+        profile[5] = profile[11] = 0.1
+        job = BatchJob(1, 0, 1, 24, power_kw=1.0)
+        result = schedule_batch([job], profile=profile)
+        assert result.shifted[0].start_hour == 5

@@ -239,3 +239,87 @@ class TestRunSweep:
         # grid construction only, no evaluation).
         spec = SweepSpec(skus=tuple(sorted(paper_skus())))
         assert len(sweep_points(spec)) == len(paper_skus())
+
+
+class TestCarbonAxes:
+    """The ``grid_signal`` x ``placement_policy`` axes (PR 10)."""
+
+    def test_new_axes_multiply_the_grid(self):
+        spec = dataclasses.replace(
+            TINY,
+            grid_signals=("diurnal", "seasonal"),
+            placement_policies=("blind", "carbon_aware"),
+        )
+        points = sweep_points(spec)
+        assert len(points) == 2 * 2 * 2  # rules x signals x policies
+        assert len({p.artifact_id for p in points}) == len(points)
+
+    def test_default_axes_are_singletons(self):
+        # The pre-axis grid cardinality must be preserved exactly.
+        assert len(sweep_points(TINY)) == 2
+        point = sweep_points(TINY)[0]
+        assert point.grid_signal is None
+        assert point.placement_policy == "blind"
+
+    def test_unknown_signal_rejected(self):
+        with pytest.raises(ConfigError, match="unknown grid signal"):
+            dataclasses.replace(TINY, grid_signals=("lunar",))
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError, match="unknown placement policy"):
+            dataclasses.replace(TINY, placement_policies=("greedy",))
+
+    def test_carbon_aware_requires_signals(self):
+        with pytest.raises(ConfigError, match="needs a grid signal"):
+            dataclasses.replace(
+                TINY,
+                grid_signals=(None,),
+                placement_policies=("blind", "carbon_aware"),
+            )
+
+    def test_axes_rekey_points(self):
+        leaves = current_leaf_inputs(TINY)
+        base = {
+            closure_key(point_inputs(p, leaves)) for p in sweep_points(TINY)
+        }
+        signed = dataclasses.replace(TINY, grid_signals=("diurnal",))
+        keyed = {
+            closure_key(point_inputs(p, leaves))
+            for p in sweep_points(signed)
+        }
+        assert base.isdisjoint(keyed)
+
+    def test_signal_points_carry_carbon_payload(self, tmp_path):
+        spec = dataclasses.replace(
+            TINY,
+            adoption_rules=("always",),
+            grid_signals=("diurnal",),
+            placement_policies=("blind", "carbon_aware"),
+        )
+        catalog = ResultsCatalog(tmp_path / "catalog")
+        log = ProvenanceLog(tmp_path / "p.jsonl")
+        cold = run_sweep(spec, catalog, log)
+        assert len(cold.recomputed) == 2
+        for point, payload in zip(cold.points, cold.payloads):
+            section = payload["carbon_aware"]
+            assert section["signal"] == "diurnal"
+            assert section["policy"] == point.placement_policy
+            assert section["blind_kg"] > section["aware_kg"] > 0
+            assert section["blind_digest"] != section["aware_digest"]
+            assert payload["point"]["grid_signal"] == "diurnal"
+        rows = {row["id"]: row for row in cold.summary["points"]}
+        for point in cold.points:
+            assert "carbon_delta_kg" in rows[point.artifact_id]
+        # Warm pass: every carbon point served from the catalog.
+        warm = run_sweep(spec, catalog, log)
+        assert warm.recomputed == [] and len(warm.warm) == 2
+        assert warm.payloads == cold.payloads
+
+    def test_signalless_payload_keeps_pre_axis_shape(self, tmp_path):
+        outcome = run_sweep(
+            TINY,
+            ResultsCatalog(tmp_path / "catalog"),
+            ProvenanceLog(tmp_path / "p.jsonl"),
+        )
+        for payload in outcome.payloads:
+            assert "carbon_aware" not in payload

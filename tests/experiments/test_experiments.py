@@ -31,8 +31,8 @@ from repro.core.errors import ConfigError
 
 
 class TestRegistry:
-    def test_sixteen_experiments(self):
-        assert len(EXPERIMENTS) == 16
+    def test_seventeen_experiments(self):
+        assert len(EXPERIMENTS) == 17
 
     def test_lookup(self):
         assert get_experiment("fig11").module is fig11_cluster_savings
